@@ -1,0 +1,45 @@
+"""Figure 5 — compile-time breakdown per IR level.
+
+Regenerates the per-model compile times with their NN/VECTOR/SIHE/CKKS/
+POLY percentage split and checks the paper's qualitative findings: the
+VECTOR level (layout selection + conv/matmul lowering) dominates.
+"""
+
+import pytest
+
+from repro.evalharness import fig5
+from repro.evalharness.models import compiled_model
+
+
+def test_fig5_compile_time_breakdown(benchmark, models, scale, capsys):
+    rows = benchmark.pedantic(
+        lambda: fig5.compile_time_rows(models, scale), rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print("\n" + fig5.render(rows))
+    assert len(rows) == len(models)
+    for row in rows:
+        assert row["total_s"] > 0
+        # the paper's observation: the VECTOR level (layout + conv/matmul
+        # lowering) is a dominant share of compile time
+        assert row["VECTOR"] >= 20.0
+        assert row["VECTOR"] + row["SIHE"] >= 45.0
+        # percentages sum to ~100
+        total_pct = sum(
+            row[lvl]
+            for lvl in ("NN", "VECTOR", "SIHE", "CKKS", "POLY", "Others")
+        )
+        assert total_pct == pytest.approx(100.0, abs=1.0)
+
+
+def test_fig5_compile_benchmark(benchmark, models, scale):
+    """pytest-benchmark timing of one full compilation (smallest model)."""
+    name = models[0]
+    compiled_model(name, scale)  # warm the training cache
+
+    def compile_once():
+        compiled_model.cache_clear()
+        return compiled_model(name, scale)
+
+    program, _, _ = benchmark.pedantic(compile_once, rounds=1, iterations=1)
+    assert program.stats["ckks_ops"] > 0

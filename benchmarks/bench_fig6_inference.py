@@ -1,0 +1,38 @@
+"""Figure 6 — per-image inference time, ANT-ACE vs Expert, by phase.
+
+The paper reports an average 2.24x speedup with reductions of 31.5 %
+(Conv), 63.3 % (Bootstrap) and 44.6 % (ReLU).  We assert the *shape*:
+ACE wins overall and in every phase.
+"""
+
+from repro.evalharness import fig6
+
+
+def test_fig6_ace_beats_expert(benchmark, models, scale, capsys):
+    rows = benchmark.pedantic(
+        lambda: fig6.inference_rows(models, scale), rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print("\n" + fig6.render(rows))
+    for row in rows:
+        assert row["speedup"] > 1.0, f"{row['model']}: ACE slower than expert"
+    reductions = fig6.phase_reductions(rows)
+    assert reductions["Bootstrap"] > 20.0
+    assert reductions["ReLU"] > 10.0
+    assert reductions["Conv"] > 5.0
+    avg = fig6.average_speedup(rows)
+    assert 1.2 < avg < 10.0, f"average speedup {avg} out of plausible range"
+
+
+def test_fig6_single_inference_benchmark(benchmark, models, scale):
+    """Wall-clock of one simulated encrypted inference (smallest model)."""
+    from repro.evalharness.models import compiled_model
+
+    program, _model, dataset = compiled_model(models[0], scale)
+    image, _ = dataset.sample(1, seed=77)
+    backend = program.make_sim_backend(inject_noise=False, seed=0)
+
+    def run_once():
+        return program.run(backend, image[0][None], check_plan=False)
+
+    benchmark.pedantic(run_once, rounds=1, iterations=1)

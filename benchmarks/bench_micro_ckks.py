@@ -1,0 +1,84 @@
+"""Microbenchmarks of the ACEfhe-py runtime primitives (real crypto).
+
+These are genuine pytest-benchmark timings of the exact RNS-CKKS kernels
+(the ones the cost model is calibrated against)."""
+
+import numpy as np
+import pytest
+
+from repro.backend import ExactBackend
+from repro.ckks import CkksParameters
+
+
+@pytest.fixture(scope="module")
+def backend():
+    params = CkksParameters(
+        poly_degree=2048, scale_bits=40, first_prime_bits=50, num_levels=4
+    )
+    return ExactBackend(params, rotation_steps=[1, 8], seed=0)
+
+
+@pytest.fixture(scope="module")
+def operands(backend):
+    x = np.linspace(-1, 1, backend.config.num_slots)
+    ct = backend.encrypt(x)
+    pt = backend.encode(x, backend.config.scale, backend.config.max_level)
+    return ct, pt
+
+
+def bench_name(op):
+    return f"ckks_{op}_N2048_L4"
+
+
+def test_bench_encrypt(benchmark, backend):
+    x = np.linspace(-1, 1, backend.config.num_slots)
+    benchmark(lambda: backend.encrypt(x))
+
+
+def test_bench_add(benchmark, backend, operands):
+    ct, _ = operands
+    benchmark(lambda: backend.add(ct, ct))
+
+
+def test_bench_mul_plain(benchmark, backend, operands):
+    ct, pt = operands
+    benchmark(lambda: backend.mul_plain(ct, pt))
+
+
+def test_bench_mul_cipher_relin(benchmark, backend, operands):
+    ct, _ = operands
+    benchmark(lambda: backend.relinearize(backend.mul(ct, ct)))
+
+
+def test_bench_rotate(benchmark, backend, operands):
+    ct, _ = operands
+    benchmark(lambda: backend.rotate(ct, 1))
+
+
+def test_bench_rescale(benchmark, backend, operands):
+    ct, pt = operands
+    prod = backend.mul_plain(ct, pt)
+    benchmark(lambda: backend.rescale(prod))
+
+
+def test_bench_ntt(benchmark):
+    from repro.polymath import NttContext
+    from repro.utils.primes import next_ntt_prime
+
+    n = 4096
+    ctx = NttContext(next_ntt_prime(45, 2 * n), n)
+    data = np.arange(n, dtype=np.uint64) % 1000
+    benchmark(lambda: ctx.forward(data))
+
+
+def test_bench_bootstrap(benchmark):
+    from repro.ckks import CkksContext
+
+    params = CkksParameters(
+        poly_degree=64, scale_bits=25, first_prime_bits=26,
+        num_levels=22, secret_hamming_weight=8,
+    )
+    ctx = CkksContext(params, rotation_steps=[], seed=0)
+    bs = ctx.make_bootstrapper()
+    ct = ctx.encrypt(np.full(32, 0.2), level=0)
+    benchmark.pedantic(lambda: bs.bootstrap(ct), rounds=1, iterations=1)

@@ -1,0 +1,109 @@
+"""Tables 1, 2, 3-7, 8, 9 — the survey, pass and operator tables, and
+the LoC breakdown, regenerated from live data."""
+
+from repro.evalharness import surveys, table8, table_ops
+from repro.ir.registry import OPS
+
+
+def test_table1_capabilities(benchmark, capsys):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\n" + surveys.render_table1())
+    ace = surveys.TABLE1["ACE"]
+    assert all(ace), "ACE claims every capability in Table 1"
+    for name, caps in surveys.TABLE1.items():
+        if name != "ACE":
+            assert not all(caps), f"{name} should not match ACE's row"
+
+
+def test_table2_pass_registry(benchmark, capsys):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\n" + table_ops.render_table2())
+    from repro.passes import passes_for_level
+
+    assert "Bootstrapping Placement" in passes_for_level("CKKS")
+    assert "Data Layout Selection" in passes_for_level("VECTOR")
+    assert "Loop Fusion" in passes_for_level("POLY")
+
+
+def test_tables_3_to_7_operator_sets(benchmark, capsys):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\n" + table_ops.render_op_tables())
+    # paper Table 3 operators all registered
+    for op in ("conv", "gemm", "relu", "average_pool",
+               "global_average_pool", "flatten", "reshape", "strided_slice"):
+        assert f"nn.{op}" in OPS
+    # Table 4
+    for op in ("add", "broadcast", "mul", "pad", "reshape", "roll",
+               "slice", "tile"):
+        assert f"vector.{op}" in OPS
+    # Table 5
+    for op in ("rotate", "add", "sub", "mul", "neg", "encode", "decode"):
+        assert f"sihe.{op}" in OPS
+    # Table 6 additions
+    for op in ("modswitch", "upscale", "rescale", "downscale",
+               "bootstrap", "relin"):
+        assert f"ckks.{op}" in OPS
+    # Table 7 (fused granularity)
+    for op in ("decomp", "mod_up", "mod_down", "rescale", "muladd",
+               "decomp_modup", "ntt", "intt", "automorphism"):
+        assert f"poly.{op}" in OPS
+
+
+def test_table8_loc_breakdown(benchmark, capsys):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    rows = table8.loc_rows()
+    with capsys.disabled():
+        print("\n" + table8.render(rows))
+    total = rows[-1]
+    assert total["component"] == "Total"
+    assert total["loc"] > 6000, "reproduction should be a substantial system"
+    assert total["tests"] > 2000
+    assert total["comments"] > 1000
+    components = {r["component"] for r in rows}
+    assert "Run-Time Library (ACEfhe-py)" in components
+
+
+def test_table9_detailed_comparison(benchmark, capsys):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    with capsys.disabled():
+        print("\n" + surveys.render_table9())
+    ace = surveys.TABLE9["ANT-ACE"]
+    assert "ONNX" in ace[2]
+    assert "NN/VECTOR/SIHE/CKKS/POLY" in ace[4]
+
+
+def test_section_4_5_listing_counts(benchmark, capsys):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    """The gemv example's POLY-IR and generated-C line counts (§4.5)."""
+    import numpy as np
+
+    from repro.codegen import generate_c_like
+    from repro.codegen.cgen import line_count
+    from repro.compiler import ACECompiler, CompileOptions
+    from repro.onnx import OnnxGraphBuilder, load_model_bytes, model_to_bytes
+
+    rng = np.random.default_rng(0)
+    builder = OnnxGraphBuilder("linear_infer")
+    builder.add_input("image", [1, 84])
+    builder.add_initializer(
+        "fc.weight", rng.normal(size=(10, 84)).astype(np.float32))
+    builder.add_initializer(
+        "fc.bias", rng.normal(size=(10,)).astype(np.float32))
+    builder.add_node("Gemm", ["image", "fc.weight", "fc.bias"],
+                     outputs=["output"], transB=1)
+    builder.add_output("output", [1, 10])
+    model = load_model_bytes(model_to_bytes(builder.build()))
+    program = ACECompiler(model, CompileOptions(poly_mode="full")).compile()
+    poly_lines = program.stats["poly"]["poly_ir_lines"]
+    c_lines = line_count(
+        generate_c_like(program.module.functions["main_poly"])
+    )
+    with capsys.disabled():
+        print(f"\n§4.5 — linear_infer: POLY IR {poly_lines} ops, "
+              f"generated C {c_lines} lines "
+              f"(paper: 331 POLY lines -> 68 C lines)")
+    assert poly_lines > 100  # substantially expanded, like the paper's 331
+    assert c_lines > poly_lines  # C includes the explicit RNS loops

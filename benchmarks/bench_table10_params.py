@@ -1,0 +1,53 @@
+"""Table 10 — automatic security-parameter selection.
+
+At paper scale the selector must reproduce the exact published values
+(log2 N = 16, log2 Q0 = 60, log2 Δ = 56 for every model); we check that
+directly through the selector (the compiled ci-scale programs obviously
+pick a smaller N, which we also check for consistency).
+"""
+
+from repro.evalharness import table10
+from repro.params import ParameterSelector
+
+
+def test_table10_paper_values_from_selector(benchmark):
+    """ResNet-sized programs at N/2 = 32768 slots select the paper row."""
+    selector = benchmark.pedantic(
+        lambda: ParameterSelector(security_bits=128), rounds=1, iterations=1
+    )
+    # depth per bootstrap region for the paper's models: a ReLU block's
+    # approximation plus the surrounding convolutions — ~18-26 levels
+    for depth in (18, 20, 24, 26):
+        sel = selector.select(depth=depth, simd_width=32768,
+                              log_scale=56, log_q0=60)
+        assert sel.table10_row() == table10.PAPER_ROW, depth
+
+
+def test_table10_selection_is_secure(benchmark):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    from repro.params.security import max_log_qp_for_degree
+
+    selector = ParameterSelector(security_bits=128)
+    sel = selector.select(depth=22, simd_width=32768)
+    assert sel.log_qp <= max_log_qp_for_degree(sel.degree, 128)
+
+
+def test_table10_compiled_models(benchmark, models, scale, capsys):
+    rows = benchmark.pedantic(
+        lambda: table10.parameter_rows(models, scale), rounds=1, iterations=1
+    )
+    with capsys.disabled():
+        print("\n" + table10.render(rows))
+    # every model selects the same parameters (as in the paper), and they
+    # cover the compiled programs' requirements
+    assert len({(r["log2(N)"], r["log2(Q0)"], r["log2(Delta)"])
+                for r in rows}) == 1
+    for row in rows:
+        assert row["log2(Q0)"] == 60
+        assert row["log2(Delta)"] == 56
+
+
+def test_table10_benchmark(benchmark):
+    selector = ParameterSelector(security_bits=128)
+    benchmark(lambda: selector.select(depth=22, simd_width=32768,
+                                      log_scale=56, log_q0=60))

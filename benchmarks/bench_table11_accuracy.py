@@ -1,0 +1,42 @@
+"""Table 11 — unencrypted vs encrypted inference accuracy.
+
+The paper reports an average 0.43 % accuracy loss over 1000 images; its
+artifact quick mode uses 10 images.  We run a small image budget per
+model (REPRO_EVAL_IMAGES) and assert the loss stays small and the
+encrypted model agrees with the cleartext one on most predictions.
+"""
+
+import os
+
+from repro.evalharness import table11
+
+
+def eval_images() -> int:
+    return int(os.environ.get("REPRO_EVAL_IMAGES", "5"))
+
+
+def test_table11_accuracy_gap(benchmark, models, scale, capsys):
+    rows = benchmark.pedantic(
+        lambda: table11.accuracy_rows(models, scale,
+                                      num_images=eval_images()),
+        rounds=1, iterations=1,
+    )
+    with capsys.disabled():
+        print("\n" + table11.render(rows))
+    for row in rows:
+        assert row["prediction_agreement"] >= 0.8, row["model"]
+        # encrypted accuracy within one image of cleartext accuracy
+        assert abs(row["loss_pct"]) <= 100.0 / eval_images() + 1e-9, row
+    assert abs(table11.average_loss(rows)) <= 100.0 / eval_images()
+
+
+def test_table11_single_image_benchmark(benchmark, models, scale):
+    from repro.evalharness.models import compiled_model
+
+    program, _model, dataset = compiled_model(models[0], scale)
+    backend = program.make_sim_backend(inject_noise=True, seed=0)
+    image, _ = dataset.sample(1, seed=3)
+    benchmark.pedantic(
+        lambda: program.run(backend, image[0][None], check_plan=False),
+        rounds=1, iterations=1,
+    )

@@ -1,0 +1,46 @@
+"""Shared benchmark configuration.
+
+Environment knobs:
+
+* ``REPRO_EVAL_MODELS`` — comma-separated subset of the six evaluation
+  models (default: "ResNet-20,ResNet-32,ResNet-32*").  Set it to "all"
+  to regenerate every figure/table over the full six-model set.
+* ``REPRO_EVAL_SCALE``  — "ci" (default, 3x16x16 inputs) or "paper"
+  (3x32x32, N = 2^16 — slow: hours for the full suite, like the paper's
+  25+-hour artifact).
+* ``REPRO_EVAL_IMAGES`` — images per model for Table 11 (default 5; the
+  paper's artifact quick mode uses 10).
+"""
+
+import os
+
+import pytest
+
+from repro.evalharness.models import EVAL_MODELS
+
+_DEFAULT_MODELS = "ResNet-20,ResNet-32"
+
+
+def selected_models() -> tuple[str, ...]:
+    raw = os.environ.get("REPRO_EVAL_MODELS", _DEFAULT_MODELS)
+    if raw.strip().lower() == "all":
+        return EVAL_MODELS
+    return tuple(m.strip() for m in raw.split(",") if m.strip())
+
+
+def eval_scale() -> str:
+    return os.environ.get("REPRO_EVAL_SCALE", "ci")
+
+
+def eval_images() -> int:
+    return int(os.environ.get("REPRO_EVAL_IMAGES", "5"))
+
+
+@pytest.fixture(scope="session")
+def models():
+    return selected_models()
+
+
+@pytest.fixture(scope="session")
+def scale():
+    return eval_scale()

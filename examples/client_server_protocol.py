@@ -1,0 +1,72 @@
+"""The Figure-2 threat-model protocol, end to end on real crypto.
+
+A *client* holds the secret key; an untrusted *server* holds only the
+compiled program, the evaluation keys and the model weights.  The client
+encrypts an input and ships serialized ciphertext bytes; the server runs
+encrypted inference and ships bytes back; the client decrypts.  The
+server never observes the plaintext.
+
+Run:  python examples/client_server_protocol.py
+"""
+
+import numpy as np
+
+from repro.ckks import CkksParameters
+from repro.ckks.serialize import deserialize_ciphertext, serialize_ciphertext
+from repro.compiler import ACECompiler, CompileOptions
+from repro.compiler.artifacts import client_tools
+from repro.onnx import OnnxGraphBuilder, load_model_bytes, model_to_bytes
+from repro.runtime import run_ckks_function
+
+
+def build_model():
+    rng = np.random.default_rng(0)
+    builder = OnnxGraphBuilder("credit_score")
+    builder.add_input("features", [1, 24])
+    builder.add_initializer(
+        "w", (rng.normal(size=(3, 24)) * 0.3).astype(np.float32))
+    builder.add_initializer("b", rng.normal(size=(3,)).astype(np.float32))
+    builder.add_node("Gemm", ["features", "w", "b"], outputs=["output"],
+                     transB=1)
+    builder.add_output("output", [1, 3])
+    return load_model_bytes(model_to_bytes(builder.build()))
+
+
+def main() -> None:
+    model = build_model()
+    params = CkksParameters(poly_degree=256, scale_bits=30,
+                            first_prime_bits=40, num_levels=4)
+    program = ACECompiler(model, CompileOptions(
+        exact_params=params, bootstrap_enabled=False, poly_mode="off",
+    )).compile()
+    backend = program.make_exact_backend(params, seed=7)
+    cipher_basis, _ = params.make_bases()
+    encryptor, decryptor = client_tools(program)
+
+    # ---- client side -------------------------------------------------
+    features = np.random.default_rng(1).uniform(-1, 1, size=(1, 24))
+    ct = encryptor(backend, features)
+    wire_to_server = serialize_ciphertext(ct)
+    print(f"client -> server: {len(wire_to_server)} ciphertext bytes "
+          f"(plaintext never leaves the client)")
+
+    # ---- server side (no secret key used below) ------------------------
+    server_ct = deserialize_ciphertext(wire_to_server, cipher_basis)
+    outs = run_ckks_function(program.module, program.module.main(),
+                             backend, [server_ct])
+    wire_to_client = serialize_ciphertext(outs[0])
+    print(f"server -> client: {len(wire_to_client)} result bytes")
+
+    # ---- client side --------------------------------------------------
+    result_ct = deserialize_ciphertext(wire_to_client, cipher_basis)
+    scores = decryptor(backend, result_ct)
+    weights = {t.name: t.to_numpy() for t in model.graph.initializer}
+    expected = (features @ weights["w"].T + weights["b"]).ravel()
+    print(f"decrypted scores: {np.round(scores.ravel(), 4)}")
+    print(f"expected        : {np.round(expected, 4)}")
+    assert np.allclose(scores.ravel(), expected, atol=1e-3)
+    print("protocol OK — computation matched, data stayed encrypted")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,44 @@
+"""repro — a pure-Python reproduction of the ANT-ACE FHE compiler.
+
+ANT-ACE (Li et al., CGO 2025) compiles ONNX neural-network models into
+programs that run inference on RNS-CKKS-encrypted data.  The public API
+mirrors the paper's workflow:
+
+>>> from repro import ACECompiler, CompileOptions, load_model
+>>> program = ACECompiler(load_model("model.onnx")).compile()
+>>> program.selection.table10_row()      # auto-selected security params
+>>> backend = program.make_sim_backend()
+>>> logits = program.run(backend, image)[0]
+
+Subpackages:
+
+* :mod:`repro.ckks` — the RNS-CKKS runtime library (ACEfhe analogue)
+* :mod:`repro.onnx` — dependency-free ONNX reader/writer
+* :mod:`repro.ir` / :mod:`repro.passes` — the five-level compiler
+* :mod:`repro.backend` — exact and simulation execution backends
+* :mod:`repro.nn` — plaintext models, training, ResNet builders
+* :mod:`repro.expert` — the Lee-et-al.-style hand-tuned baseline
+* :mod:`repro.evalharness` — regenerates every paper figure/table
+"""
+
+from repro.backend import ExactBackend, SchemeConfig, SimBackend
+from repro.ckks import CkksContext, CkksParameters
+from repro.compiler import ACECompiler, CompileOptions, CompiledProgram
+from repro.onnx import load_model, load_model_bytes, save_model
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "ACECompiler",
+    "CompileOptions",
+    "CompiledProgram",
+    "CkksContext",
+    "CkksParameters",
+    "ExactBackend",
+    "SchemeConfig",
+    "SimBackend",
+    "load_model",
+    "load_model_bytes",
+    "save_model",
+    "__version__",
+]

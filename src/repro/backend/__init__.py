@@ -1,0 +1,23 @@
+"""Execution backends for compiled FHE programs.
+
+Compiled programs (and the SIHE/CKKS-level interpreters) talk to an
+abstract :class:`HEBackend`.  Two implementations:
+
+* :class:`ExactBackend` — the real RNS-CKKS library
+  (:mod:`repro.ckks`); used for all correctness testing and for
+  small-model end-to-end runs.
+* :class:`SimBackend` — cleartext vectors with bit-exact *scale/level
+  bookkeeping*, calibrated CKKS noise injection and full operation
+  tracing.  This is the substitution that lets us run the paper's
+  ResNet-scale evaluation (Figures 6-7, Table 11) on a laptop: the
+  compiler's decisions (levels consumed, keys required, bootstrap
+  placement) are identical on both backends, which the test suite
+  verifies differentially.
+"""
+
+from repro.backend.interface import HEBackend, SchemeConfig
+from repro.backend.trace import OpTrace
+from repro.backend.exact import ExactBackend
+from repro.backend.sim import SimBackend
+
+__all__ = ["HEBackend", "SchemeConfig", "OpTrace", "ExactBackend", "SimBackend"]

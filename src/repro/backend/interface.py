@@ -1,0 +1,165 @@
+"""The abstract homomorphic-evaluation backend interface.
+
+The operation set mirrors the CKKS IR (paper Table 6): everything a
+lowered program can ask a runtime library to do.  Handles returned by the
+backend are opaque to callers; only the backend interprets them.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class SchemeConfig:
+    """Scheme-shape description shared by both backends.
+
+    Unlike :class:`repro.ckks.params.CkksParameters` this carries no
+    executable constraints: a :class:`SimBackend` may use the paper's
+    N = 2^16 with 56-bit scale primes.
+    """
+
+    poly_degree: int
+    scale_bits: int
+    first_prime_bits: int
+    num_levels: int
+    num_special_primes: int = 1
+    secret_hamming_weight: int | None = None
+
+    @property
+    def num_slots(self) -> int:
+        return self.poly_degree // 2
+
+    @property
+    def scale(self) -> float:
+        return float(2**self.scale_bits)
+
+    @property
+    def max_level(self) -> int:
+        return self.num_levels
+
+    def limb_count(self, level: int) -> int:
+        return level + 1
+
+    def log_q(self) -> int:
+        return self.first_prime_bits + self.num_levels * self.scale_bits
+
+    def log_qp(self) -> int:
+        return self.log_q() + self.num_special_primes * self.first_prime_bits
+
+
+class HEBackend(ABC):
+    """Abstract FHE runtime: the target of generated code & interpreters."""
+
+    config: SchemeConfig
+
+    # -- data movement -------------------------------------------------
+
+    @abstractmethod
+    def encrypt(self, values, scale: float | None = None, level: int | None = None):
+        """Encrypt a cleartext vector into a ciphertext handle."""
+
+    @abstractmethod
+    def decrypt(self, cipher, num_values: int | None = None) -> np.ndarray:
+        """Decrypt a ciphertext handle back to a cleartext vector."""
+
+    @abstractmethod
+    def encode(self, values, scale: float, level: int):
+        """Encode a cleartext vector into a plaintext handle."""
+
+    # -- arithmetic -----------------------------------------------------
+
+    @abstractmethod
+    def add(self, a, b):
+        ...
+
+    @abstractmethod
+    def add_plain(self, a, p):
+        ...
+
+    @abstractmethod
+    def sub(self, a, b):
+        ...
+
+    @abstractmethod
+    def sub_plain(self, a, p):
+        ...
+
+    @abstractmethod
+    def negate(self, a):
+        ...
+
+    @abstractmethod
+    def mul(self, a, b):
+        """Cipher-cipher multiply; returns a 3-part ciphertext."""
+
+    @abstractmethod
+    def mul_plain(self, a, p):
+        ...
+
+    @abstractmethod
+    def relinearize(self, a):
+        ...
+
+    # -- scale / level management ------------------------------------------
+
+    @abstractmethod
+    def rescale(self, a):
+        ...
+
+    @abstractmethod
+    def mod_switch(self, a, levels: int = 1):
+        ...
+
+    @abstractmethod
+    def upscale(self, a, extra_scale_bits: int):
+        ...
+
+    @abstractmethod
+    def bootstrap(self, a, target_level: int | None = None):
+        ...
+
+    # -- slot manipulation -----------------------------------------------
+
+    @abstractmethod
+    def rotate(self, a, steps: int):
+        ...
+
+    @abstractmethod
+    def conjugate(self, a):
+        ...
+
+    # -- introspection ------------------------------------------------------
+
+    @abstractmethod
+    def level_of(self, a) -> int:
+        ...
+
+    @abstractmethod
+    def scale_of(self, a) -> float:
+        ...
+
+    @abstractmethod
+    def prime_at(self, level: int) -> float:
+        """The modulus consumed when rescaling *from* ``level``.
+
+        The compiler's scale-management pass plans exact runtime scales
+        with this chain, so compiled programs match scales bit-for-bit on
+        any backend.
+        """
+
+    def mod_switch_to(self, a, level: int):
+        """Drop limbs until the handle sits at ``level``."""
+        current = self.level_of(a)
+        if level > current:
+            from repro.errors import LevelMismatchError
+
+            raise LevelMismatchError(
+                f"cannot raise level {current} -> {level} without bootstrap"
+            )
+        if level == current:
+            return a
+        return self.mod_switch(a, current - level)

@@ -1,0 +1,63 @@
+"""Operation tracing for cost/memory modelling.
+
+Every backend operation is recorded as ``(tag, op, limbs)`` where *tag* is
+the currently active region label (e.g. the NN operator that generated the
+homomorphic ops: "Conv", "ReLU", "Bootstrap").  The evaluation harness
+feeds these aggregates into the cost model to regenerate Figure 6's
+per-phase inference-time breakdown.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+@dataclass
+class OpTrace:
+    """Aggregated homomorphic-operation counts, grouped by region tag."""
+
+    counts: Counter = field(default_factory=Counter)
+    _tag_stack: list[str] = field(default_factory=list)
+
+    @property
+    def current_tag(self) -> str:
+        return self._tag_stack[-1] if self._tag_stack else "Other"
+
+    @contextmanager
+    def region(self, tag: str):
+        """Attribute all ops recorded inside to ``tag``."""
+        self._tag_stack.append(tag)
+        try:
+            yield
+        finally:
+            self._tag_stack.pop()
+
+    def record(self, op: str, limbs: int, count: int = 1) -> None:
+        self.counts[(self.current_tag, op, limbs)] += count
+
+    def clear(self) -> None:
+        self.counts.clear()
+
+    # -- views ---------------------------------------------------------------
+
+    def total(self, op: str | None = None) -> int:
+        return sum(
+            n for (_, o, _), n in self.counts.items() if op is None or o == op
+        )
+
+    def by_tag(self) -> dict[str, Counter]:
+        out: dict[str, Counter] = {}
+        for (tag, op, limbs), n in self.counts.items():
+            out.setdefault(tag, Counter())[(op, limbs)] += n
+        return out
+
+    def by_op(self) -> Counter:
+        out = Counter()
+        for (_, op, _), n in self.counts.items():
+            out[op] += n
+        return out
+
+    def merge(self, other: "OpTrace") -> None:
+        self.counts.update(other.counts)

@@ -1,0 +1,20 @@
+"""ACEfhe-py: the custom RNS-CKKS runtime library (paper §3.3).
+
+This package is the Python analogue of ANT-ACE's ACEfhe C++ library: a
+self-contained RNS-CKKS implementation with
+
+* batched complex/real encoding (:mod:`repro.ckks.encoder`),
+* key generation including relinearisation / rotation keys with per-prime
+  digit decomposition and a special prime (:mod:`repro.ckks.keys`),
+* the homomorphic evaluator: add/sub/mul/rotate/conjugate, rescale,
+  modulus switching, upscale/downscale, relinearisation
+  (:mod:`repro.ckks.evaluator`),
+* CKKS bootstrapping — ModRaise, CoeffToSlot/SlotToCoeff, EvalMod
+  (:mod:`repro.ckks.bootstrap`).
+"""
+
+from repro.ckks.params import CkksParameters
+from repro.ckks.cipher import Ciphertext, Plaintext
+from repro.ckks.context import CkksContext
+
+__all__ = ["CkksParameters", "Ciphertext", "Plaintext", "CkksContext"]

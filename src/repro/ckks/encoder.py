@@ -1,0 +1,110 @@
+"""CKKS batching encoder (message vector <-> plaintext polynomial).
+
+Implements the canonical-embedding encoding of CKKS: a vector of N/2
+complex (or real) slot values is mapped to a real polynomial of degree N
+whose evaluations at the primitive 2N-th roots of unity ``ζ^(5^t)`` equal
+the slot values.  The slot ordering by powers of 5 is what makes the ring
+automorphism ``X -> X^(5^k)`` act as a cyclic *rotation* of the slots.
+
+Both directions run in O(N log N) using numpy's FFT after an index
+permutation and a half-turn twist.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import EncodingError
+from repro.utils.bits import is_power_of_two
+
+
+class CkksEncoder:
+    """Encode/decode between complex slot vectors and integer coefficients."""
+
+    def __init__(self, poly_degree: int):
+        if not is_power_of_two(poly_degree) or poly_degree < 8:
+            raise EncodingError(f"bad ring degree {poly_degree}")
+        self.degree = poly_degree
+        self.num_slots = poly_degree // 2
+        n = poly_degree
+        two_n = 2 * n
+        # slot t lives at the odd exponent 5^t mod 2N; odd exponent 2k+1
+        # corresponds to FFT bin k.
+        exps = np.empty(self.num_slots, dtype=np.int64)
+        acc = 1
+        for t in range(self.num_slots):
+            exps[t] = acc
+            acc = (acc * 5) % two_n
+        self._slot_bins = (exps - 1) // 2
+        self._conj_bins = n - 1 - self._slot_bins
+        j = np.arange(n)
+        self._twist = np.exp(1j * np.pi * j / n)  # ζ^j
+        self._untwist = np.conj(self._twist)
+
+    # -- core transforms -----------------------------------------------------
+
+    def embed(self, coeffs: np.ndarray) -> np.ndarray:
+        """Evaluate a real-coefficient polynomial at the slot roots.
+
+        ``coeffs`` is a length-N float array; returns N/2 complex slots.
+        """
+        b = np.asarray(coeffs, dtype=np.complex128) * self._twist
+        odd_vals = np.fft.ifft(b) * self.degree
+        return odd_vals[self._slot_bins]
+
+    def unembed(self, slots: np.ndarray) -> np.ndarray:
+        """Inverse of :meth:`embed`: slots -> real coefficient vector."""
+        slots = np.asarray(slots, dtype=np.complex128)
+        if slots.shape != (self.num_slots,):
+            raise EncodingError(
+                f"expected {self.num_slots} slots, got shape {slots.shape}"
+            )
+        odd_vals = np.zeros(self.degree, dtype=np.complex128)
+        odd_vals[self._slot_bins] = slots
+        odd_vals[self._conj_bins] = np.conj(slots)
+        b = np.fft.fft(odd_vals) / self.degree
+        return np.real(b * self._untwist)
+
+    # -- public encode/decode ---------------------------------------------------
+
+    def encode(self, values, scale: float) -> list[int]:
+        """Encode a message into integer polynomial coefficients.
+
+        ``values`` may be shorter than N/2 (it is zero-padded) or a scalar
+        (broadcast to every slot).  Returns Python ints so callers can build
+        an RNS polynomial over arbitrarily large Q.
+        """
+        if scale <= 0:
+            raise EncodingError(f"scale must be positive, got {scale}")
+        arr = np.atleast_1d(np.asarray(values, dtype=np.complex128))
+        if arr.ndim != 1 or arr.size > self.num_slots:
+            raise EncodingError(
+                f"message must be a vector of at most {self.num_slots} values"
+            )
+        if arr.size == 1 and np.isscalar(values):
+            slots = np.full(self.num_slots, arr[0], dtype=np.complex128)
+        else:
+            slots = np.zeros(self.num_slots, dtype=np.complex128)
+            slots[: arr.size] = arr
+        coeffs = self.unembed(slots) * scale
+        if not np.all(np.isfinite(coeffs)):
+            raise EncodingError("encoding overflowed float range; lower the scale")
+        return [int(v) for v in np.round(coeffs)]
+
+    def decode(self, coeffs, scale: float, num_values: int | None = None) -> np.ndarray:
+        """Decode signed integer coefficients back to complex slot values."""
+        if scale <= 0:
+            raise EncodingError(f"scale must be positive, got {scale}")
+        arr = np.array([float(c) for c in coeffs], dtype=np.float64)
+        if arr.shape != (self.degree,):
+            raise EncodingError(
+                f"expected {self.degree} coefficients, got {arr.shape}"
+            )
+        slots = self.embed(arr) / scale
+        if num_values is not None:
+            slots = slots[:num_values]
+        return slots
+
+    def decode_real(self, coeffs, scale: float, num_values: int | None = None) -> np.ndarray:
+        """Decode and drop the (noise-only) imaginary parts."""
+        return np.real(self.decode(coeffs, scale, num_values))

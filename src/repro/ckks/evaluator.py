@@ -1,0 +1,345 @@
+"""The RNS-CKKS homomorphic evaluator.
+
+Implements every primitive the CKKS IR (paper Table 6) targets:
+``add, sub, neg, mul`` (cipher-cipher, cipher-plain), ``rotate``,
+``conjugate``, ``relin``, ``rescale``, ``modswitch``, ``upscale``,
+``downscale``, ``encode`` — plus encryption/decryption.  ``bootstrap``
+lives in :mod:`repro.ckks.bootstrap` and is attached by the context.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import (
+    LevelMismatchError,
+    NoiseBudgetExhausted,
+    ParameterError,
+    ScaleMismatchError,
+)
+from repro.ckks.cipher import Ciphertext, Plaintext
+from repro.ckks.encoder import CkksEncoder
+from repro.ckks.keys import KeyChain, KeySwitchKey, sample_error, sample_ternary
+from repro.polymath.crt import signed_coeffs
+from repro.polymath.poly import (
+    conjugation_galois_element,
+    rotation_galois_element,
+)
+from repro.polymath.rns import RnsBasis, RnsPoly
+
+_SCALE_RTOL = 1e-6
+
+
+def _same_scale(a: float, b: float) -> bool:
+    return math.isclose(a, b, rel_tol=_SCALE_RTOL)
+
+
+class CkksEvaluator:
+    """Stateless-ish evaluator bound to one parameter set and key chain."""
+
+    def __init__(self, params, keys: KeyChain, rng: np.random.Generator):
+        self.params = params
+        self.keys = keys
+        self.rng = rng
+        self.encoder = CkksEncoder(params.poly_degree)
+        self.cipher_basis, self.key_basis = params.make_bases()
+        self._ext_bases: dict[int, RnsBasis] = {}
+
+    # ------------------------------------------------------------------
+    # encoding / encryption
+    # ------------------------------------------------------------------
+
+    def basis_at(self, level: int) -> RnsBasis:
+        """Ciphertext basis with ``level + 1`` limbs."""
+        if not 0 <= level <= self.params.max_level:
+            raise ParameterError(f"level {level} out of range")
+        return self.cipher_basis.prefix(level + 1)
+
+    def encode(self, values, scale: float | None = None,
+               level: int | None = None) -> Plaintext:
+        """Encode a cleartext vector at the given scale and level."""
+        scale = float(scale if scale is not None else self.params.scale)
+        level = self.params.max_level if level is None else level
+        coeffs = self.encoder.encode(values, scale)
+        poly = RnsPoly.from_int_coeffs(self.basis_at(level), coeffs)
+        return Plaintext(poly=poly, scale=scale)
+
+    def decode(self, plain: Plaintext, num_values: int | None = None) -> np.ndarray:
+        coeffs = signed_coeffs(
+            plain.poly.to_coeff().residues, plain.poly.basis.moduli
+        )
+        return self.encoder.decode_real(coeffs, plain.scale, num_values)
+
+    def encrypt(self, plain: Plaintext) -> Ciphertext:
+        """Public-key encryption of an encoded plaintext."""
+        basis = plain.poly.basis
+        count = len(basis)
+        pk_b = RnsPoly(basis, self.keys.public.b.residues[:count].copy(), True)
+        pk_a = RnsPoly(basis, self.keys.public.a.residues[:count].copy(), True)
+        u = sample_ternary(basis, self.rng)
+        e0 = sample_error(basis, self.rng, self.params.error_std)
+        e1 = sample_error(basis, self.rng, self.params.error_std)
+        c0 = pk_b * u + e0 + plain.poly
+        c1 = pk_a * u + e1
+        return Ciphertext([c0, c1], plain.scale)
+
+    def decrypt(self, cipher: Ciphertext) -> Plaintext:
+        basis = cipher.basis
+        s = self.keys.secret.restrict(basis)
+        acc = cipher.parts[0] + cipher.parts[1] * s
+        if cipher.size == 3:
+            acc = acc + cipher.parts[2] * s * s
+        return Plaintext(poly=acc, scale=cipher.scale)
+
+    def decrypt_decode(self, cipher: Ciphertext, num_values: int | None = None) -> np.ndarray:
+        return self.decode(self.decrypt(cipher), num_values)
+
+    # ------------------------------------------------------------------
+    # linear operations
+    # ------------------------------------------------------------------
+
+    def _check_binary(self, a: Ciphertext, b) -> None:
+        if a.basis.moduli != (b.basis.moduli if isinstance(b, Ciphertext)
+                              else b.poly.basis.moduli):
+            raise LevelMismatchError(
+                "operands at different levels; insert modswitch first"
+            )
+        b_scale = b.scale
+        if not _same_scale(a.scale, b_scale):
+            raise ScaleMismatchError(
+                f"scales differ: 2^{math.log2(a.scale):.3f} vs "
+                f"2^{math.log2(b_scale):.3f}"
+            )
+
+    def add(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
+        self._check_binary(a, b)
+        size = max(a.size, b.size)
+        parts = []
+        for i in range(size):
+            if i < a.size and i < b.size:
+                parts.append(a.parts[i] + b.parts[i])
+            elif i < a.size:
+                parts.append(a.parts[i].copy())
+            else:
+                parts.append(b.parts[i].copy())
+        return Ciphertext(parts, a.scale)
+
+    def sub(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
+        self._check_binary(a, b)
+        size = max(a.size, b.size)
+        parts = []
+        for i in range(size):
+            if i < a.size and i < b.size:
+                parts.append(a.parts[i] - b.parts[i])
+            elif i < a.size:
+                parts.append(a.parts[i].copy())
+            else:
+                parts.append(-b.parts[i])
+        return Ciphertext(parts, a.scale)
+
+    def negate(self, a: Ciphertext) -> Ciphertext:
+        return Ciphertext([-p for p in a.parts], a.scale, a.slots_in_use)
+
+    def add_plain(self, a: Ciphertext, plain: Plaintext) -> Ciphertext:
+        self._check_binary(a, plain)
+        parts = [a.parts[0] + plain.poly] + [p.copy() for p in a.parts[1:]]
+        return Ciphertext(parts, a.scale)
+
+    def sub_plain(self, a: Ciphertext, plain: Plaintext) -> Ciphertext:
+        self._check_binary(a, plain)
+        parts = [a.parts[0] - plain.poly] + [p.copy() for p in a.parts[1:]]
+        return Ciphertext(parts, a.scale)
+
+    # ------------------------------------------------------------------
+    # multiplication family
+    # ------------------------------------------------------------------
+
+    def multiply(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
+        """Cipher-cipher multiplication; result has 3 parts (Cipher3)."""
+        if a.size != 2 or b.size != 2:
+            raise ParameterError("relinearise before multiplying again")
+        if a.basis.moduli != b.basis.moduli:
+            raise LevelMismatchError(
+                "operands at different levels; insert modswitch first"
+            )
+        d0 = a.parts[0] * b.parts[0]
+        d1 = a.parts[0] * b.parts[1] + a.parts[1] * b.parts[0]
+        d2 = a.parts[1] * b.parts[1]
+        return Ciphertext([d0, d1, d2], a.scale * b.scale)
+
+    def multiply_plain(self, a: Ciphertext, plain: Plaintext) -> Ciphertext:
+        if a.basis.moduli != plain.poly.basis.moduli:
+            raise LevelMismatchError(
+                "plaintext encoded at wrong level; re-encode or modswitch"
+            )
+        parts = [p * plain.poly for p in a.parts]
+        return Ciphertext(parts, a.scale * plain.scale)
+
+    def square(self, a: Ciphertext) -> Ciphertext:
+        return self.multiply(a, a)
+
+    # ------------------------------------------------------------------
+    # scale & level management
+    # ------------------------------------------------------------------
+
+    def rescale(self, a: Ciphertext) -> Ciphertext:
+        """Divide by the last prime; drops one level, scale /= q_last."""
+        if a.level == 0:
+            raise NoiseBudgetExhausted(
+                "no levels left to rescale; bootstrap required"
+            )
+        q_last = a.basis.moduli[-1]
+        parts = [p.rescale_last() for p in a.parts]
+        return Ciphertext(parts, a.scale / q_last, a.slots_in_use)
+
+    def mod_switch(self, a: Ciphertext, levels: int = 1) -> Ciphertext:
+        """Drop limbs without changing the scale."""
+        if levels <= 0:
+            return a.copy()
+        if a.level - levels < 0:
+            raise NoiseBudgetExhausted("cannot modswitch below level 0")
+        parts = [p.drop_last(levels) for p in a.parts]
+        return Ciphertext(parts, a.scale, a.slots_in_use)
+
+    def mod_switch_to(self, a: Ciphertext, level: int) -> Ciphertext:
+        if level > a.level:
+            raise LevelMismatchError(
+                f"cannot raise level {a.level} -> {level} without bootstrap"
+            )
+        return self.mod_switch(a, a.level - level)
+
+    def upscale(self, a: Ciphertext, extra_scale_bits: int) -> Ciphertext:
+        """Multiply by 2^extra_scale_bits without consuming a level."""
+        factor = 1 << extra_scale_bits
+        parts = [p.scalar_mul(factor) for p in a.parts]
+        return Ciphertext(parts, a.scale * factor, a.slots_in_use)
+
+    def downscale(self, a: Ciphertext, target_scale: float) -> Ciphertext:
+        """Rescale repeatedly until the scale is at or below the target."""
+        out = a
+        while out.scale > target_scale * (1 + _SCALE_RTOL) and out.level > 0:
+            out = self.rescale(out)
+        return out
+
+    def adjust_scale(self, a: Ciphertext, target_scale: float) -> Ciphertext:
+        """Force-match a scale by multiplying with an encoded constant 1.
+
+        Consumes one multiplication + rescale worth of budget; used to align
+        addition operands whose scales drifted apart.
+        """
+        if _same_scale(a.scale, target_scale):
+            return a
+        ratio = target_scale * a.basis.moduli[-1] / a.scale
+        if ratio < 1:
+            raise ScaleMismatchError(
+                f"cannot reduce scale {a.scale} to {target_scale} exactly"
+            )
+        one = self.encode(1.0, scale=ratio, level=a.level)
+        return self.rescale(self.multiply_plain(a, one))
+
+    # ------------------------------------------------------------------
+    # key switching: relinearise / rotate / conjugate
+    # ------------------------------------------------------------------
+
+    def _extended_basis(self, level: int) -> RnsBasis:
+        """Basis (q_0..q_level, specials), sharing precomputed NTT tables."""
+        if level not in self._ext_bases:
+            moduli = (
+                self.cipher_basis.moduli[: level + 1]
+                + self.key_basis.moduli[len(self.cipher_basis):]
+            )
+            ext = RnsBasis.__new__(RnsBasis)
+            ext.moduli = moduli
+            ext.degree = self.key_basis.degree
+            ext.ntts = (
+                self.key_basis.ntts[: level + 1]
+                + self.key_basis.ntts[len(self.cipher_basis):]
+            )
+            ext._inv_last = {}
+            self._ext_bases[level] = ext
+        return self._ext_bases[level]
+
+    def _restrict_key_poly(self, poly: RnsPoly, level: int) -> RnsPoly:
+        """Select the rows of a key-basis polynomial matching level+specials."""
+        num_cipher = len(self.cipher_basis)
+        idx = list(range(level + 1)) + list(
+            range(num_cipher, len(self.key_basis))
+        )
+        ext = self._extended_basis(level)
+        return RnsPoly(ext, poly.residues[idx].copy(), poly.is_ntt)
+
+    def _key_switch(self, d: RnsPoly, ksk: KeySwitchKey) -> tuple[RnsPoly, RnsPoly]:
+        """Return (b, a) with b + a*s ≈ d * target over d's basis."""
+        level = len(d.basis) - 1
+        d_coeff = d.to_coeff()
+        ext = self._extended_basis(level)
+        acc_b = RnsPoly.zero(ext, is_ntt=True)
+        acc_a = RnsPoly.zero(ext, is_ntt=True)
+        for j in range(level + 1):
+            digit = d_coeff.residues[j]
+            rows = np.stack([np.mod(digit, np.uint64(q)) for q in ext.moduli])
+            dig = RnsPoly(ext, rows, is_ntt=False).to_ntt()
+            ksk_b = self._restrict_key_poly(ksk.pairs[j][0], level)
+            ksk_a = self._restrict_key_poly(ksk.pairs[j][1], level)
+            acc_b = acc_b + dig * ksk_b
+            acc_a = acc_a + dig * ksk_a
+        num_special = len(self.key_basis) - len(self.cipher_basis)
+        return acc_b.mod_down(num_special), acc_a.mod_down(num_special)
+
+    def relinearize(self, a: Ciphertext) -> Ciphertext:
+        """Reduce a 3-part ciphertext back to 2 parts (paper `relin`)."""
+        if a.size == 2:
+            return a.copy()
+        if self.keys.relin is None:
+            raise ParameterError("no relinearisation key generated")
+        ks_b, ks_a = self._key_switch(a.parts[2], self.keys.relin)
+        return Ciphertext(
+            [a.parts[0] + ks_b, a.parts[1] + ks_a], a.scale, a.slots_in_use
+        )
+
+    def multiply_relin(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
+        return self.relinearize(self.multiply(a, b))
+
+    def _apply_galois(self, a: Ciphertext, galois: int, ksk: KeySwitchKey) -> Ciphertext:
+        if a.size != 2:
+            raise ParameterError("relinearise before rotating")
+        c0 = a.parts[0].automorphism(galois)
+        c1 = a.parts[1].automorphism(galois)
+        ks_b, ks_a = self._key_switch(c1, ksk)
+        return Ciphertext([c0 + ks_b, ks_a], a.scale, a.slots_in_use)
+
+    def rotate(self, a: Ciphertext, steps: int) -> Ciphertext:
+        """Cyclically rotate the slot vector left by ``steps``.
+
+        If no key exists for the exact step, the rotation is composed from
+        power-of-two rotations, the standard library fallback (paper §2.2).
+        Composition costs one key switch per set bit — this is precisely
+        the inefficiency ANT-ACE's key-analysis pass removes by generating
+        keys for the exact steps a program needs.
+        """
+        n = self.params.poly_degree
+        steps = steps % (n // 2)
+        if steps == 0:
+            return a.copy()
+        galois = rotation_galois_element(steps, n)
+        if galois in self.keys.rotations:
+            return self._apply_galois(a, galois, self.keys.rotations[galois])
+        out = a
+        bit = 1
+        remaining = steps
+        while remaining:
+            if remaining & 1:
+                g = rotation_galois_element(bit, n)
+                ksk = self.keys.rotation_key(g)
+                out = self._apply_galois(out, g, ksk)
+            remaining >>= 1
+            bit <<= 1
+        return out
+
+    def conjugate(self, a: Ciphertext) -> Ciphertext:
+        if self.keys.conjugation is None:
+            raise ParameterError("no conjugation key generated")
+        galois = conjugation_galois_element(self.params.poly_degree)
+        return self._apply_galois(a, galois, self.keys.conjugation)

@@ -1,0 +1,114 @@
+"""Homomorphic linear transforms (matrix-vector products on slot vectors).
+
+Implements the diagonal (Halevi–Shoup) method and its baby-step/giant-step
+(BSGS) refinement: for an n×n matrix M and an encrypted slot vector z,
+
+    M·z = sum_d  diag_d(M) ⊙ rot(z, d)                      (diagonal)
+        = sum_i rot( sum_j diag'_{i*g+j}(M) ⊙ rot(z, j), i*g )   (BSGS)
+
+where ``diag_d(M)[k] = M[k, (k+d) mod n]`` and the BSGS inner diagonals
+are pre-rotated by ``-i*g``.  BSGS needs only ``O(sqrt(n))`` rotation keys
+— the same trick the compiler's VECTOR-IR lowering uses for GEMV.
+
+Used by bootstrapping (CoeffToSlot / SlotToCoeff are dense DFT-like
+matrices) and available to tests as a reference for the compiler output.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.ckks.cipher import Ciphertext
+from repro.ckks.evaluator import CkksEvaluator
+from repro.errors import ParameterError
+
+
+class LinearTransform:
+    """A plaintext n×n complex matrix applicable to encrypted slot vectors."""
+
+    def __init__(self, matrix: np.ndarray, use_bsgs: bool = True):
+        matrix = np.asarray(matrix, dtype=np.complex128)
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise ParameterError(f"matrix must be square, got {matrix.shape}")
+        self.n = matrix.shape[0]
+        self.matrix = matrix
+        self.use_bsgs = use_bsgs
+        self.giant = int(math.isqrt(self.n))
+        while self.n % self.giant:
+            self.giant -= 1
+        self.baby = self.n // self.giant
+
+    def diagonal(self, d: int) -> np.ndarray:
+        idx = np.arange(self.n)
+        return self.matrix[idx, (idx + d) % self.n]
+
+    def required_rotations(self) -> list[int]:
+        """Rotation steps the transform needs keys for."""
+        if not self.use_bsgs:
+            return [d for d in range(1, self.n)]
+        steps = set()
+        for j in range(1, self.giant):
+            steps.add(j)
+        for i in range(1, self.baby):
+            steps.add(i * self.giant)
+        return sorted(steps)
+
+    def apply(self, ev: CkksEvaluator, ct: Ciphertext) -> Ciphertext:
+        """Compute M · slots(ct); consumes exactly one level."""
+        if self.n != ev.params.num_slots:
+            raise ParameterError(
+                f"matrix is {self.n}x{self.n} but the ring has "
+                f"{ev.params.num_slots} slots"
+            )
+        if self.use_bsgs:
+            out = self._apply_bsgs(ev, ct)
+        else:
+            out = self._apply_diagonal(ev, ct)
+        return ev.rescale(out)
+
+    def _encode_diag(self, ev: CkksEvaluator, values: np.ndarray,
+                     ct: Ciphertext):
+        return ev.encode(values, scale=float(ev.params.scale), level=ct.level)
+
+    def _apply_diagonal(self, ev: CkksEvaluator, ct: Ciphertext) -> Ciphertext:
+        acc = None
+        for d in range(self.n):
+            diag = self.diagonal(d)
+            if not np.any(diag):
+                continue
+            rotated = ev.rotate(ct, d)
+            term = ev.multiply_plain(rotated, self._encode_diag(ev, diag, ct))
+            acc = term if acc is None else ev.add(acc, term)
+        if acc is None:
+            raise ParameterError("zero matrix")
+        return acc
+
+    def _apply_bsgs(self, ev: CkksEvaluator, ct: Ciphertext) -> Ciphertext:
+        g, b = self.giant, self.baby
+        baby_rots = {0: ct}
+        for j in range(1, g):
+            baby_rots[j] = ev.rotate(ct, j)
+        acc = None
+        for i in range(b):
+            inner = None
+            for j in range(g):
+                d = i * g + j
+                diag = self.diagonal(d)
+                if not np.any(diag):
+                    continue
+                # pre-rotate the diagonal so the outer rotation lines it up
+                shifted = np.roll(diag, i * g)
+                term = ev.multiply_plain(
+                    baby_rots[j], self._encode_diag(ev, shifted, ct)
+                )
+                inner = term if inner is None else ev.add(inner, term)
+            if inner is None:
+                continue
+            if i:
+                inner = ev.rotate(inner, i * g)
+            acc = inner if acc is None else ev.add(acc, inner)
+        if acc is None:
+            raise ParameterError("zero matrix")
+        return acc

@@ -1,0 +1,72 @@
+"""Noise measurement and budget estimation for RNS-CKKS.
+
+CKKS is an *approximate* scheme: every operation adds a little noise, and
+the compiler's whole job is to keep the signal comfortably above it.
+These utilities measure the actual noise of a ciphertext (given the
+secret key and the expected message) and estimate remaining precision —
+used by the test-suite to validate the SimBackend's injected-noise
+calibration against the real scheme.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.ckks.cipher import Ciphertext
+from repro.ckks.evaluator import CkksEvaluator
+
+
+@dataclass
+class NoiseReport:
+    """Measured precision of one ciphertext."""
+
+    max_error: float
+    rms_error: float
+    #: -log2 of the max error: "bits of precision" remaining
+    precision_bits: float
+    level: int
+    log_scale: float
+
+    def __str__(self) -> str:
+        return (
+            f"NoiseReport(level={self.level}, "
+            f"precision={self.precision_bits:.1f} bits, "
+            f"max_err={self.max_error:.3e})"
+        )
+
+
+def measure_noise(ev: CkksEvaluator, ct: Ciphertext,
+                  expected: np.ndarray) -> NoiseReport:
+    """Decrypt and compare against the expected cleartext message."""
+    got = ev.decrypt_decode(ct, num_values=len(expected))
+    err = np.abs(got - np.asarray(expected, dtype=np.float64))
+    max_err = float(err.max()) if err.size else 0.0
+    rms = float(np.sqrt(np.mean(err**2))) if err.size else 0.0
+    return NoiseReport(
+        max_error=max_err,
+        rms_error=rms,
+        precision_bits=-math.log2(max_err) if max_err > 0 else float("inf"),
+        level=ct.level,
+        log_scale=math.log2(ct.scale),
+    )
+
+
+def fresh_noise_estimate(poly_degree: int, scale: float,
+                         error_std: float = 3.2) -> float:
+    """Expected max error of a fresh encryption (heuristic bound)."""
+    return 8.0 * error_std * math.sqrt(poly_degree) / scale
+
+
+def keyswitch_noise_estimate(poly_degree: int, scale: float, level: int,
+                             error_std: float = 3.2) -> float:
+    """Expected additional error from one digit-decomposed key switch."""
+    digits = level + 1
+    return 8.0 * error_std * digits * math.sqrt(poly_degree) / scale
+
+
+def remaining_depth(ct: Ciphertext) -> int:
+    """Levels available before a bootstrap is forced."""
+    return ct.level

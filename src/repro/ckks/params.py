@@ -1,0 +1,136 @@
+"""RNS-CKKS scheme parameters.
+
+A parameter set fixes the ring degree ``N``, the rescaling scale ``Δ``,
+and the RNS modulus chain: one *first* prime (sized for output precision,
+the paper's ``Q0``), ``num_levels`` *scale* primes (each close to Δ), and
+one or more *special* primes used only inside key switching.
+
+The executable arithmetic layer supports primes up to 50 bits
+(:data:`repro.polymath.modmath.MAX_MODULUS_BITS`); the paper's 56/60-bit
+targets are still what the *parameter selector* reasons about (see
+:mod:`repro.params`), and get clamped here only when a context must
+actually run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ParameterError, SecurityError
+from repro.params.security import max_log_qp_for_degree
+from repro.polymath.modmath import MAX_MODULUS_BITS
+from repro.polymath.rns import RnsBasis
+from repro.utils.bits import is_power_of_two
+from repro.utils.primes import generate_prime_chain
+
+
+@dataclass
+class CkksParameters:
+    """User-facing RNS-CKKS parameter set.
+
+    Attributes:
+        poly_degree: ring degree N (power of two); N/2 complex slots.
+        scale_bits: log2 of the rescaling scale Δ.
+        first_prime_bits: log2 of q0 (output precision budget).
+        num_levels: number of rescaling levels L (chain has L+1 primes).
+        num_special_primes: special primes for key switching (≥ 1).
+        security_bits: required security level; 0 disables the check
+            (toy/test parameters).
+    """
+
+    poly_degree: int
+    scale_bits: int = 40
+    first_prime_bits: int = 50
+    num_levels: int = 3
+    num_special_primes: int = 1
+    security_bits: int = 0
+    error_std: float = 3.2
+    #: sparse-secret Hamming weight (None = dense ternary).  Bootstrapping
+    #: contexts use a sparse secret so the ModRaise overflow count I stays
+    #: small (|I| <= h/2 + 1), exactly as in HEAAN-style bootstrapping.
+    secret_hamming_weight: int | None = None
+    moduli: list[int] = field(init=False, repr=False)
+    special_moduli: list[int] = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if not is_power_of_two(self.poly_degree) or self.poly_degree < 8:
+            raise ParameterError(
+                f"poly_degree must be a power of two >= 8, got {self.poly_degree}"
+            )
+        if self.num_levels < 0:
+            raise ParameterError("num_levels must be non-negative")
+        if self.num_special_primes < 1:
+            raise ParameterError("need at least one special prime")
+        for name, bits in (
+            ("scale_bits", self.scale_bits),
+            ("first_prime_bits", self.first_prime_bits),
+        ):
+            if not 20 <= bits <= MAX_MODULUS_BITS:
+                raise ParameterError(
+                    f"{name}={bits} outside executable range "
+                    f"[20, {MAX_MODULUS_BITS}]"
+                )
+        special_bits = max(self.first_prime_bits, self.scale_bits)
+        chain_bits = (
+            [self.first_prime_bits]
+            + [self.scale_bits] * self.num_levels
+            + [special_bits] * self.num_special_primes
+        )
+        primes = generate_prime_chain(chain_bits, self.poly_degree)
+        self.moduli = primes[: self.num_levels + 1]
+        self.special_moduli = primes[self.num_levels + 1 :]
+        if self.security_bits:
+            self._check_security()
+
+    def _check_security(self) -> None:
+        budget = max_log_qp_for_degree(self.poly_degree, self.security_bits)
+        used = sum(q.bit_length() for q in self.moduli + self.special_moduli)
+        if used > budget:
+            raise SecurityError(
+                f"log2(QP) = {used} exceeds the {self.security_bits}-bit "
+                f"security budget {budget} for N={self.poly_degree}"
+            )
+
+    # -- derived quantities -------------------------------------------------
+
+    @property
+    def scale(self) -> int:
+        """The default encoding scale Δ."""
+        return 1 << self.scale_bits
+
+    @property
+    def num_slots(self) -> int:
+        return self.poly_degree // 2
+
+    @property
+    def max_level(self) -> int:
+        """Highest level index (level l means l rescalings remain)."""
+        return self.num_levels
+
+    def log_q(self) -> int:
+        return sum(q.bit_length() for q in self.moduli)
+
+    def log_qp(self) -> int:
+        return self.log_q() + sum(q.bit_length() for q in self.special_moduli)
+
+    # -- basis construction ---------------------------------------------------
+
+    def make_bases(self) -> tuple[RnsBasis, RnsBasis]:
+        """Return (ciphertext basis, key basis = ciphertext + specials)."""
+        key_basis = RnsBasis(self.moduli + self.special_moduli, self.poly_degree)
+        cipher_basis = key_basis.prefix(len(self.moduli))
+        return cipher_basis, key_basis
+
+    def describe(self) -> dict:
+        """Summary dict used by reports and tests."""
+        return {
+            "N": self.poly_degree,
+            "log2_N": self.poly_degree.bit_length() - 1,
+            "slots": self.num_slots,
+            "scale_bits": self.scale_bits,
+            "first_prime_bits": self.first_prime_bits,
+            "levels": self.num_levels,
+            "log2_Q": self.log_q(),
+            "log2_QP": self.log_qp(),
+            "special_primes": self.num_special_primes,
+        }

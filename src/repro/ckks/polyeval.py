@@ -1,0 +1,112 @@
+"""Homomorphic polynomial evaluation on ciphertexts.
+
+Two strategies:
+
+* :func:`evaluate_polynomial_horner` — classic Horner scheme; depth equals
+  the polynomial degree.  Simple, used as a correctness oracle.
+* :func:`evaluate_polynomial` — power-cache evaluation with binary power
+  construction (Paterson–Stockmeyer flavoured); depth is
+  ``ceil(log2(degree)) + 1``, which is what makes deep nonlinear
+  approximations (ReLU sign polynomials, EvalMod Taylor series) affordable.
+  The SIHE IR's nonlinear-approximation pass relies on this depth bound
+  when computing multiplicative-depth budgets.
+
+Coefficients may be complex (EvalMod uses the complex exponential).
+"""
+
+from __future__ import annotations
+
+from repro.ckks.cipher import Ciphertext
+from repro.ckks.evaluator import CkksEvaluator
+from repro.errors import ParameterError
+
+
+def polynomial_depth(degree: int) -> int:
+    """Multiplicative depth of :func:`evaluate_polynomial` for a degree."""
+    if degree <= 0:
+        return 0
+    if degree == 1:
+        return 1
+    return (degree - 1).bit_length() + 1
+
+
+def _align_for_multiply(ev: CkksEvaluator, a: Ciphertext, b: Ciphertext):
+    level = min(a.level, b.level)
+    return ev.mod_switch_to(a, level), ev.mod_switch_to(b, level)
+
+
+def _powers(ev: CkksEvaluator, x: Ciphertext, degree: int) -> dict[int, Ciphertext]:
+    """Compute x^1..x^degree with binary decomposition, rescaled each mult."""
+    powers = {1: x}
+    for j in range(2, degree + 1):
+        half = j // 2
+        rest = j - half
+        a, b = _align_for_multiply(ev, powers[half], powers[rest])
+        powers[j] = ev.rescale(ev.multiply_relin(a, b))
+    return powers
+
+
+def evaluate_polynomial(
+    ev: CkksEvaluator, x: Ciphertext, coeffs: list[complex]
+) -> Ciphertext:
+    """Evaluate ``sum_k coeffs[k] * x^k`` homomorphically.
+
+    All monomial terms are aligned to a common level and a common scale
+    (the constant multipliers are encoded at compensating scales), so a
+    single rescale finishes the evaluation.
+    """
+    if not coeffs:
+        raise ParameterError("empty coefficient list")
+    degree = len(coeffs) - 1
+    while degree > 0 and coeffs[degree] == 0:
+        degree -= 1
+    if degree == 0:
+        plain = ev.encode(coeffs[0], scale=x.scale, level=x.level)
+        zero = ev.sub(x, x)
+        return ev.add_plain(zero, plain)
+    powers = _powers(ev, x, degree)
+    deepest = min(p.level for p in powers.values())
+    target_scale = float(ev.params.scale) ** 2
+    acc = None
+    for k in range(1, degree + 1):
+        c = coeffs[k]
+        if c == 0:
+            continue
+        term_x = ev.mod_switch_to(powers[k], deepest)
+        plain = ev.encode(c, scale=target_scale / term_x.scale, level=deepest)
+        term = ev.multiply_plain(term_x, plain)
+        acc = term if acc is None else ev.add(acc, term)
+    result = ev.rescale(acc)
+    if coeffs[0] != 0:
+        const = ev.encode(coeffs[0], scale=result.scale, level=result.level)
+        result = ev.add_plain(result, const)
+    return result
+
+
+def evaluate_polynomial_horner(
+    ev: CkksEvaluator, x: Ciphertext, coeffs: list[complex]
+) -> Ciphertext:
+    """Horner-scheme evaluation (depth = degree); correctness oracle."""
+    if not coeffs:
+        raise ParameterError("empty coefficient list")
+    degree = len(coeffs) - 1
+    while degree > 0 and coeffs[degree] == 0:
+        degree -= 1
+    if degree == 0:
+        plain = ev.encode(coeffs[0], scale=x.scale, level=x.level)
+        zero = ev.sub(x, x)
+        return ev.add_plain(zero, plain)
+    # acc = c_d * x + c_{d-1}
+    lead = ev.encode(coeffs[degree], scale=float(ev.params.scale), level=x.level)
+    acc = ev.rescale(ev.multiply_plain(x, lead))
+    if coeffs[degree - 1] != 0:
+        plain = ev.encode(coeffs[degree - 1], scale=acc.scale, level=acc.level)
+        acc = ev.add_plain(acc, plain)
+    # acc = acc * x + c_k, for k = d-2 .. 0
+    for k in range(degree - 2, -1, -1):
+        xx = ev.mod_switch_to(x, acc.level)
+        acc = ev.rescale(ev.multiply_relin(acc, xx))
+        if coeffs[k] != 0:
+            plain = ev.encode(coeffs[k], scale=acc.scale, level=acc.level)
+            acc = ev.add_plain(acc, plain)
+    return acc

@@ -1,0 +1,116 @@
+"""Ciphertext and key serialisation (the Figure-2 wire format).
+
+The threat-model protocol ships ciphertexts between client and server;
+this module provides a compact binary encoding for ciphertexts and
+plaintexts: a small JSON header (scale, level, domain, moduli fingerprint)
+followed by the raw residue matrices.  The receiving side validates the
+fingerprint against its own basis, so mismatched parameter sets fail
+loudly instead of decrypting garbage.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import struct
+
+import numpy as np
+
+from repro.ckks.cipher import Ciphertext, Plaintext
+from repro.errors import ParameterError
+from repro.polymath.rns import RnsBasis, RnsPoly
+
+_MAGIC = b"ACEct010"
+
+
+def basis_fingerprint(basis: RnsBasis) -> str:
+    """Stable digest of (degree, moduli-prefix) for compatibility checks."""
+    payload = json.dumps([basis.degree, basis.moduli]).encode()
+    return hashlib.sha256(payload).hexdigest()[:16]
+
+
+def _pack_header(meta: dict) -> bytes:
+    blob = json.dumps(meta).encode()
+    return _MAGIC + struct.pack("<I", len(blob)) + blob
+
+
+def _unpack_header(data: bytes) -> tuple[dict, int]:
+    if data[: len(_MAGIC)] != _MAGIC:
+        raise ParameterError("not an ACE ciphertext payload")
+    (length,) = struct.unpack_from("<I", data, len(_MAGIC))
+    start = len(_MAGIC) + 4
+    meta = json.loads(data[start : start + length])
+    return meta, start + length
+
+
+def serialize_ciphertext(ct: Ciphertext) -> bytes:
+    """Encode a ciphertext as bytes."""
+    basis = ct.basis
+    meta = {
+        "kind": "cipher",
+        "parts": ct.size,
+        "limbs": len(basis),
+        "degree": basis.degree,
+        "scale": ct.scale,
+        "slots_in_use": ct.slots_in_use,
+        "is_ntt": ct.parts[0].is_ntt,
+        "fingerprint": basis_fingerprint(basis),
+    }
+    body = b"".join(
+        np.ascontiguousarray(p.residues).tobytes() for p in ct.parts
+    )
+    return _pack_header(meta) + body
+
+
+def deserialize_ciphertext(data: bytes, basis: RnsBasis) -> Ciphertext:
+    """Decode a ciphertext; ``basis`` is the receiver's full chain."""
+    meta, offset = _unpack_header(data)
+    if meta.get("kind") != "cipher":
+        raise ParameterError(f"expected a ciphertext, got {meta.get('kind')}")
+    limbs = meta["limbs"]
+    degree = meta["degree"]
+    sub_basis = basis.prefix(limbs)
+    if basis_fingerprint(sub_basis) != meta["fingerprint"]:
+        raise ParameterError(
+            "ciphertext was produced under a different parameter set"
+        )
+    count = limbs * degree
+    parts = []
+    for index in range(meta["parts"]):
+        start = offset + index * count * 8
+        flat = np.frombuffer(data, dtype=np.uint64, count=count,
+                             offset=start)
+        parts.append(RnsPoly(sub_basis, flat.reshape(limbs, degree).copy(),
+                             meta["is_ntt"]))
+    return Ciphertext(parts, meta["scale"], meta["slots_in_use"])
+
+
+def serialize_plaintext(pt: Plaintext) -> bytes:
+    meta = {
+        "kind": "plain",
+        "parts": 1,
+        "limbs": len(pt.poly.basis),
+        "degree": pt.poly.basis.degree,
+        "scale": pt.scale,
+        "is_ntt": pt.poly.is_ntt,
+        "fingerprint": basis_fingerprint(pt.poly.basis),
+    }
+    return _pack_header(meta) + np.ascontiguousarray(
+        pt.poly.residues).tobytes()
+
+
+def deserialize_plaintext(data: bytes, basis: RnsBasis) -> Plaintext:
+    meta, offset = _unpack_header(data)
+    if meta.get("kind") != "plain":
+        raise ParameterError(f"expected a plaintext, got {meta.get('kind')}")
+    limbs, degree = meta["limbs"], meta["degree"]
+    sub_basis = basis.prefix(limbs)
+    if basis_fingerprint(sub_basis) != meta["fingerprint"]:
+        raise ParameterError(
+            "plaintext was produced under a different parameter set"
+        )
+    flat = np.frombuffer(data, dtype=np.uint64, count=limbs * degree,
+                         offset=offset)
+    poly = RnsPoly(sub_basis, flat.reshape(limbs, degree).copy(),
+                   meta["is_ntt"])
+    return Plaintext(poly, meta["scale"])

@@ -1,0 +1,138 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``compile`` — compile an ONNX model: emits the generated Python program,
+  the external weights file, the client encryptor/decryptor tools and a
+  compilation report (the §3.4 artifact set).
+* ``run`` — compile and execute one encrypted inference on the simulation
+  backend with a random (or ``.npy``) input.
+* ``report`` — regenerate the paper's figures/tables
+  (same as ``python -m repro.evalharness.report``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+import numpy as np
+
+
+def _add_compile_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("model", help="path to an .onnx file")
+    parser.add_argument("--sign-iterations", type=int, default=4)
+    parser.add_argument("--no-bootstrap", action="store_true")
+    parser.add_argument("--batch-size", type=int, default=1)
+    parser.add_argument("--gemm-strategy", default="auto",
+                        choices=("auto", "dedup", "bsgs"))
+    parser.add_argument("--poly-mode", default="stats",
+                        choices=("off", "stats", "full"))
+
+
+def _options_from(args):
+    from repro.compiler import CompileOptions
+
+    return CompileOptions(
+        sign_iterations=args.sign_iterations,
+        bootstrap_enabled=not args.no_bootstrap,
+        batch_size=args.batch_size,
+        gemm_strategy=args.gemm_strategy,
+        poly_mode=args.poly_mode,
+    )
+
+
+def _compile(args) -> int:
+    from repro.codegen import write_python_package
+    from repro.compiler import ACECompiler
+    from repro.compiler.artifacts import write_client_tools
+    from repro.onnx import load_model
+
+    out_dir = Path(args.output)
+    program = ACECompiler(load_model(args.model),
+                          _options_from(args)).compile()
+    py_path = write_python_package(program.module, out_dir, "fhe_program")
+    tools_path = write_client_tools(program, out_dir)
+    report = {
+        "model": str(args.model),
+        "selection": program.selection.table10_row(),
+        "scheme": {
+            "poly_degree": program.scheme.poly_degree,
+            "levels": program.scheme.num_levels,
+            "scale_bits": program.scheme.scale_bits,
+        },
+        "ckks_ops": program.stats["ckks_ops"],
+        "rotation_keys": len(program.rotation_steps),
+        "compile_seconds": {
+            k: round(v, 3) for k, v in program.pass_timers.items()
+        },
+    }
+    if "poly" in program.stats:
+        report["poly_ir_lines"] = program.stats["poly"].get("poly_ir_lines")
+    (out_dir / "report.json").write_text(json.dumps(report, indent=2))
+    print(f"generated program: {py_path}")
+    print(f"client tools:      {tools_path}")
+    print(f"report:            {out_dir / 'report.json'}")
+    print(json.dumps(report["selection"]))
+    return 0
+
+
+def _run(args) -> int:
+    from repro.compiler import ACECompiler
+    from repro.onnx import load_model
+
+    program = ACECompiler(load_model(args.model),
+                          _options_from(args)).compile()
+    shape = program.input_layouts[0].shape
+    if args.input:
+        tensor = np.load(args.input)
+    else:
+        tensor = np.random.default_rng(args.seed).normal(size=shape) * 0.5
+    backend = program.make_sim_backend(seed=args.seed)
+    outputs = program.run(backend, tensor, check_plan=False)
+    for index, out in enumerate(outputs):
+        print(f"output[{index}]: {np.round(out.ravel(), 5).tolist()}")
+    return 0
+
+
+def _report(args) -> int:
+    from repro.evalharness.report import generate_report
+
+    models = tuple(m.strip() for m in args.models.split(",") if m.strip())
+    generate_report(args.output, models, args.scale, args.images)
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ANT-ACE reproduction: FHE compiler for ONNX models",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_compile = sub.add_parser("compile", help="compile an ONNX model")
+    _add_compile_options(p_compile)
+    p_compile.add_argument("-o", "--output", default="fhe_out")
+    p_compile.set_defaults(fn=_compile)
+
+    p_run = sub.add_parser("run", help="compile and run one inference")
+    _add_compile_options(p_run)
+    p_run.add_argument("--input", help="optional .npy input tensor")
+    p_run.add_argument("--seed", type=int, default=0)
+    p_run.set_defaults(fn=_run)
+
+    p_report = sub.add_parser("report", help="regenerate paper artifacts")
+    p_report.add_argument("-o", "--output", default="results")
+    p_report.add_argument("--models", default="ResNet-20")
+    p_report.add_argument("--scale", default="ci", choices=("ci", "paper"))
+    p_report.add_argument("--images", type=int, default=5)
+    p_report.set_defaults(fn=_report)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

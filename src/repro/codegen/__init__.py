@@ -1,0 +1,15 @@
+"""Code generation (paper §3.4).
+
+* :mod:`repro.codegen.pygen` — emits an executable Python module from the
+  CKKS IR; weights/plaintext constants are stored in an external ``.npz``
+  (the paper stores weights outside the generated C for the same reason:
+  ResNet-20's source shrinks from 621 MB to 384 KB).
+* :mod:`repro.codegen.cgen` — emits C-like source from the POLY IR,
+  mirroring the C the paper's backend produces (reported for line-count
+  fidelity with §4.5; not compiled here).
+"""
+
+from repro.codegen.pygen import generate_python, write_python_package
+from repro.codegen.cgen import generate_c_like
+
+__all__ = ["generate_python", "write_python_package", "generate_c_like"]

@@ -1,0 +1,5 @@
+"""The ANT-ACE compiler driver (paper §3)."""
+
+from repro.compiler.driver import ACECompiler, CompileOptions, CompiledProgram
+
+__all__ = ["ACECompiler", "CompileOptions", "CompiledProgram"]

@@ -1,0 +1,107 @@
+"""Generated encryptor / decryptor artifacts (paper §3).
+
+ANT-ACE's client-side tools encode an input tensor with the layout the
+compiler selected, encrypt it, and later decrypt+decode the result.  The
+:class:`GeneratedEncryptor`/:class:`GeneratedDecryptor` pair captures the
+compiled layouts, and :func:`write_client_tools` emits them as standalone
+Python source (with the layout tables in the external weights file) so a
+client needs neither the compiler nor the model to take part in the
+Figure-2 protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.passes.layout import PackedLayout
+
+
+@dataclass
+class GeneratedEncryptor:
+    """Client-side: tensor -> packed vector -> ciphertext."""
+
+    layout: PackedLayout
+
+    def pack(self, tensor: np.ndarray) -> np.ndarray:
+        return self.layout.pack(np.asarray(tensor))
+
+    def __call__(self, backend, tensor: np.ndarray):
+        return backend.encrypt(self.pack(tensor))
+
+
+@dataclass
+class GeneratedDecryptor:
+    """Client-side: ciphertext -> packed vector -> tensor."""
+
+    layout: PackedLayout
+
+    def unpack(self, vector: np.ndarray) -> np.ndarray:
+        return self.layout.unpack(np.asarray(vector))
+
+    def __call__(self, backend, handle) -> np.ndarray:
+        vector = backend.decrypt(handle, num_values=self.layout.slots)
+        return self.unpack(vector)
+
+
+def client_tools(program) -> tuple[GeneratedEncryptor, GeneratedDecryptor]:
+    """Build the encryptor/decryptor pair for a compiled program."""
+    return (
+        GeneratedEncryptor(program.input_layouts[0]),
+        GeneratedDecryptor(program.output_layouts[0]),
+    )
+
+
+_CLIENT_TEMPLATE = '''"""Auto-generated ANT-ACE client tools (encryptor / decryptor).
+
+The layout tables live in {npz_name!r} next to this file.
+"""
+
+from pathlib import Path
+
+import numpy as np
+
+_HERE = Path(__file__).parent
+_TABLES = np.load(_HERE / {npz_name!r})
+SLOTS = int(_TABLES["slots"])
+INPUT_POSITIONS = _TABLES["input_positions"]
+INPUT_SHAPE = tuple(_TABLES["input_shape"])
+OUTPUT_POSITIONS = _TABLES["output_positions"]
+OUTPUT_SHAPE = tuple(_TABLES["output_shape"])
+
+
+def encrypt_input(backend, tensor):
+    """Encode a tensor with the compiled layout and encrypt it."""
+    vec = np.zeros(SLOTS)
+    vec[INPUT_POSITIONS.ravel()] = np.asarray(tensor).ravel()
+    return backend.encrypt(vec)
+
+
+def decrypt_output(backend, handle):
+    """Decrypt and decode a result ciphertext back to a tensor."""
+    vec = np.asarray(backend.decrypt(handle, num_values=SLOTS))
+    return vec[OUTPUT_POSITIONS.ravel()].reshape(OUTPUT_SHAPE)
+'''
+
+
+def write_client_tools(program, out_dir: str | Path,
+                       name: str = "client_tools") -> Path:
+    """Emit the encryptor/decryptor as a standalone Python module."""
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    in_layout = program.input_layouts[0]
+    out_layout = program.output_layouts[0]
+    npz_name = f"{name}_tables.npz"
+    np.savez_compressed(
+        out_dir / npz_name,
+        slots=in_layout.slots,
+        input_positions=in_layout.positions,
+        input_shape=np.asarray(in_layout.shape),
+        output_positions=out_layout.positions,
+        output_shape=np.asarray(out_layout.shape),
+    )
+    path = out_dir / f"{name}.py"
+    path.write_text(_CLIENT_TEMPLATE.format(npz_name=npz_name))
+    return path

@@ -1,0 +1,399 @@
+"""End-to-end compiler driver: ONNX model -> executable FHE program.
+
+Mirrors the paper's pipeline (Figure 3): front end -> NN IR -> VECTOR IR
+-> SIHE IR -> CKKS IR (-> POLY IR), with automatic security-parameter
+selection between the SIHE and CKKS stages and per-IR-level pass timing
+(the raw data of Figure 5).
+
+The lowering through VECTOR depends on the slot count, while the ring
+degree is only known after the SIHE-level depth analysis; the driver
+therefore runs the front half provisionally and re-lowers once if the
+parameter selector picks a larger N (paper §4.4: N = max(N1, N2)).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.backend import ExactBackend, SchemeConfig, SimBackend
+from repro.errors import CompileError, LoweringError
+from repro.ir import Module, Pass, PassManager
+from repro.ir.printer import print_function
+from repro.onnx.protos import ModelProto
+from repro.params import ParameterSelector, SelectedParameters
+from repro.passes.common import run_cleanups
+from repro.passes.frontend import onnx_to_nn
+from repro.passes.lowering.nn_to_vector import NnToVectorLowering
+from repro.passes.lowering.sihe_to_ckks import (
+    DepthAnalysis,
+    SiheToCkksLowering,
+)
+from repro.passes.lowering.vector_to_sihe import VectorToSiheLowering
+from repro.passes.nn_opt import nn_operator_fusion
+from repro.runtime.ckks_interp import run_ckks_function
+from repro.runtime.nn_interp import run_nn_function
+from repro.utils.bits import next_power_of_two
+
+
+_CALIBRATED_OPS = ("nn.relu", "nn.sigmoid", "nn.tanh", "nn.exp", "nn.gelu")
+
+
+def _calibrate_relu_bounds(module: Module, images: list,
+                           headroom: float = 1.25) -> None:
+    """Measure per-nonlinearity input ranges; attach ``bound`` attrs."""
+    fn = module.main()
+    bounds: dict[int, float] = {}
+
+    def observe(op, args, _result):
+        if op.opcode in _CALIBRATED_OPS:
+            peak = float(np.abs(args[0]).max())
+            key = id(op)
+            bounds[key] = max(bounds.get(key, 0.0), peak)
+
+    for image in images:
+        run_nn_function(module, fn, [image], observer=observe)
+    for op in fn.body:
+        if op.opcode in _CALIBRATED_OPS:
+            bound = bounds.get(id(op), 1.0)
+            op.attrs["bound"] = max(1.0, headroom * bound)
+
+
+@dataclass
+class CompileOptions:
+    """User-facing knobs."""
+
+    #: requested input scale / output precision (paper Table 10 defaults)
+    log_scale: int = 56
+    log_q0: int = 60
+    security_bits: int = 128
+    sign_iterations: int = 4
+    relu_bound: float = 16.0
+    bootstrap_enabled: bool = True
+    #: force the slot count (None = derive from tensors, then from N)
+    slots: int | None = None
+    #: extra chain levels beyond the analysed requirement
+    level_margin: int = 2
+    #: lower to POLY IR: "off", "stats", or "full"
+    poly_mode: str = "stats"
+    #: compile against a concrete executable parameter set (exact backend);
+    #: scales/levels are then planned with its real prime chain
+    exact_params: object | None = None
+    #: representative inputs for range calibration: per-ReLU activation
+    #: bounds are measured on these (CHET-style data-driven tuning)
+    calibration_inputs: list | None = None
+    #: ablation: refresh to minimal levels (§4.4) or to the full chain
+    minimal_level_bootstrap: bool = True
+    #: GEMM lowering strategy: "auto", "dedup" (offset-grouped), or
+    #: "bsgs" (baby-step/giant-step diagonals, ~2*sqrt(n) rotations)
+    gemm_strategy: str = "auto"
+    #: SIMD image batching: pack this many images per ciphertext; all
+    #: homomorphic ops are shared, so throughput scales by the factor
+    #: (Table 2 "Batching"); must be a power of two
+    batch_size: int = 1
+
+
+@dataclass
+class CompiledProgram:
+    """Everything the compilation produced."""
+
+    module: Module
+    options: CompileOptions
+    selection: SelectedParameters
+    scheme: SchemeConfig
+    rotation_steps: list[int]
+    input_layouts: list
+    output_layouts: list
+    pass_timers: dict[str, float]
+    depth: DepthAnalysis
+    stats: dict = field(default_factory=dict)
+
+    # -- execution -----------------------------------------------------------
+
+    def make_sim_backend(self, **kwargs) -> SimBackend:
+        """A simulation backend matching the compiled scheme shape."""
+        return SimBackend(self.scheme, **kwargs)
+
+    def make_exact_backend(self, params, **kwargs) -> ExactBackend:
+        """An exact backend; ``params`` must match the compiled slot count.
+
+        The compiler hands the backend exactly the rotation keys the key
+        analysis found (paper §4.4) unless overridden.
+        """
+        if params.num_slots * 2 != self.scheme.poly_degree:
+            raise CompileError(
+                f"params have {params.num_slots} slots; program was "
+                f"compiled for {self.scheme.num_slots}"
+            )
+        kwargs.setdefault("rotation_steps", self.rotation_steps)
+        return ExactBackend(params, **kwargs)
+
+    @property
+    def batch_size(self) -> int:
+        return self.options.batch_size
+
+    def pack_input(self, tensor: np.ndarray, index: int = 0) -> np.ndarray:
+        """The ANT-ACE-generated *encryptor*'s encoding step (§3).
+
+        With batching enabled the single image occupies batch block 0.
+        """
+        packed = self.input_layouts[index].pack(np.asarray(tensor))
+        if packed.size == self.scheme.num_slots:
+            return packed
+        out = np.zeros(self.scheme.num_slots)
+        out[: packed.size] = packed
+        return out
+
+    def pack_batch(self, tensors, index: int = 0) -> np.ndarray:
+        """Pack up to ``batch_size`` images into one slot vector."""
+        layout = self.input_layouts[index]
+        block = layout.slots
+        out = np.zeros(self.scheme.num_slots)
+        if len(tensors) > self.batch_size:
+            raise CompileError(
+                f"{len(tensors)} images exceed batch size {self.batch_size}"
+            )
+        for b, tensor in enumerate(tensors):
+            out[b * block : (b + 1) * block] = layout.pack(
+                np.asarray(tensor))
+        return out
+
+    def unpack_output(self, vector: np.ndarray, index: int = 0) -> np.ndarray:
+        """The ANT-ACE-generated *decryptor*'s decoding step (§3)."""
+        return self.output_layouts[index].unpack(np.asarray(vector))
+
+    def unpack_batch(self, vector: np.ndarray, count: int,
+                     index: int = 0) -> list[np.ndarray]:
+        layout = self.output_layouts[index]
+        block = layout.slots
+        vector = np.asarray(vector)
+        return [
+            layout.unpack(vector[b * block : (b + 1) * block])
+            for b in range(count)
+        ]
+
+    def run_batch(self, backend, images, check_plan: bool = False):
+        """Encrypted inference over up to ``batch_size`` images at once."""
+        packed = self.pack_batch(images)
+        fn = self.module.main()
+        outs = run_ckks_function(
+            self.module, fn, backend, [packed], check_plan=check_plan
+        )
+        vec = backend.decrypt(outs[0], num_values=self.scheme.num_slots)
+        return self.unpack_batch(vec, len(images))
+
+    def run(self, backend, *tensors, check_plan: bool = True) -> list[np.ndarray]:
+        """Encrypt inputs, run the compiled CKKS program, decrypt outputs."""
+        packed = [self.pack_input(t, i) for i, t in enumerate(tensors)]
+        fn = self.module.main()
+        outs = run_ckks_function(
+            self.module, fn, backend, packed, check_plan=check_plan
+        )
+        results = []
+        for i, out in enumerate(outs):
+            vec = backend.decrypt(out, num_values=self.scheme.num_slots)
+            results.append(self.unpack_output(vec, i))
+        return results
+
+    def dump_ir(self) -> str:
+        return print_function(self.module.main())
+
+
+class ACECompiler:
+    """Compile ONNX models for encrypted inference."""
+
+    def __init__(self, model: ModelProto, options: CompileOptions | None = None):
+        self.model = model
+        self.options = options or CompileOptions()
+
+    def compile(self) -> CompiledProgram:
+        opts = self.options
+        timers = PassManager()
+        if opts.exact_params is not None:
+            slots = opts.exact_params.num_slots
+        else:
+            slots = opts.slots or (opts.batch_size * self._minimum_slots())
+        for attempt in range(16):
+            try:
+                module, context = self._lower_front(timers, slots)
+            except LoweringError:
+                # activations did not fit the provisional slot count
+                slots *= 2
+                continue
+            analysis: DepthAnalysis = context["depth_analysis"]
+            selector = ParameterSelector(opts.security_bits)
+            region_depth = analysis.max_depth + opts.level_margin
+            selection = selector.select(
+                depth=region_depth,
+                simd_width=slots,
+                log_scale=opts.log_scale,
+                log_q0=opts.log_q0,
+            )
+            if opts.exact_params is not None:
+                break
+            required_slots = selection.degree // 2
+            if required_slots <= slots:
+                break
+            slots = required_slots
+        else:
+            raise CompileError("parameter selection did not converge")
+        if opts.exact_params is not None:
+            params = opts.exact_params
+            scheme = SchemeConfig(
+                poly_degree=params.poly_degree,
+                scale_bits=params.scale_bits,
+                first_prime_bits=params.first_prime_bits,
+                num_levels=params.num_levels,
+                num_special_primes=params.num_special_primes,
+                secret_hamming_weight=params.secret_hamming_weight,
+            )
+            moduli = [float(q) for q in params.moduli]
+            needed = (
+                analysis.max_depth + opts.level_margin
+                if opts.bootstrap_enabled
+                else self._total_depth(analysis) + opts.level_margin
+            )
+            if params.num_levels < needed:
+                raise CompileError(
+                    f"exact parameters provide {params.num_levels} levels "
+                    f"but the program needs {needed}"
+                )
+        else:
+            num_levels = (
+                analysis.max_depth + opts.level_margin
+                if opts.bootstrap_enabled
+                else self._total_depth(analysis) + opts.level_margin
+            )
+            scheme = SchemeConfig(
+                poly_degree=2 * slots,
+                scale_bits=opts.log_scale,
+                first_prime_bits=opts.log_q0,
+                num_levels=num_levels,
+                num_special_primes=selection.num_special_primes,
+            )
+            moduli = None
+        self._lower_ckks(timers, module, context, scheme, moduli)
+        stats = {
+            "ckks_ops": module.main().op_count(),
+            "rotations": len(context["rotation_steps"]),
+        }
+        if opts.poly_mode != "off":
+            stats["poly"] = self._poly_stage(timers, module, context, scheme)
+        return CompiledProgram(
+            module=module,
+            options=opts,
+            selection=selection,
+            scheme=scheme,
+            rotation_steps=context["rotation_steps"],
+            input_layouts=context["input_layouts"],
+            output_layouts=context["output_layouts"],
+            pass_timers=dict(timers.timers.totals),
+            depth=analysis,
+            stats=stats,
+        )
+
+    # -- internals ---------------------------------------------------------
+
+    def _minimum_slots(self) -> int:
+        largest = 1
+        for value_info in list(self.model.graph.input) + list(
+            self.model.graph.output
+        ):
+            size = 1
+            for d in value_info.shape:
+                size *= max(d, 1)
+            largest = max(largest, size)
+        for t in self.model.graph.initializer:
+            # intermediate activations are bounded by channelsxHxW which
+            # conv weights bound as c_out * spatial of inputs; keep simple:
+            pass
+        return next_power_of_two(max(largest, 2))
+
+    def _lower_front(self, timers: PassManager, slots: int):
+        opts = self.options
+        context: dict = {}
+        module_holder: dict = {}
+
+        def import_pass(_m, ctx):
+            module_holder["module"] = onnx_to_nn(self.model)
+
+        shell = Module("shell")
+        pm = PassManager(timers=timers.timers, verify_between=False)
+        pm.add(Pass("onnx-import", "Others", import_pass))
+        if opts.calibration_inputs:
+            pm.add(Pass(
+                "range-calibration", "NN",
+                lambda m, c: _calibrate_relu_bounds(
+                    module_holder["module"], opts.calibration_inputs
+                ),
+                "data-driven per-ReLU activation bounds",
+            ))
+        pm.run(shell, context)
+        module = module_holder["module"]
+
+        pm2 = PassManager(timers=timers.timers)
+        pm2.add(Pass("nn-operator-fusion", "NN", nn_operator_fusion))
+        pm2.add(Pass(
+            "nn-to-vector", "VECTOR",
+            NnToVectorLowering(slots, opts.gemm_strategy,
+                               opts.batch_size).run,
+            "data layout selection, batching, conv/matmul optimisation",
+        ))
+        pm2.add(Pass("vector-cleanup", "VECTOR",
+                     lambda m, c: run_cleanups(m, c)))
+        pm2.add(Pass(
+            "vector-to-sihe", "SIHE",
+            VectorToSiheLowering(opts.sign_iterations, opts.relu_bound).run,
+            "FHE computation recognition, nonlinear approximation",
+        ))
+        pm2.add(Pass("sihe-cleanup", "SIHE", lambda m, c: run_cleanups(m, c)))
+        pm2.add(Pass(
+            "sihe-depth-analysis", "CKKS",
+            lambda m, c: c.__setitem__(
+                "depth_analysis", DepthAnalysis(m.main())
+            ),
+        ))
+        pm2.run(module, context)
+        return module, context
+
+    def _total_depth(self, analysis: DepthAnalysis) -> int:
+        # without bootstrapping the chain must cover the whole program
+        total = analysis.input_requirement
+        total += sum(analysis.hint_requirements.values())
+        return max(total, analysis.max_depth)
+
+    def _lower_ckks(self, timers, module, context, scheme: SchemeConfig,
+                    moduli: list[float] | None = None):
+        if moduli is None:
+            moduli = [float(2**scheme.first_prime_bits)] + [
+                float(2**scheme.scale_bits)
+            ] * scheme.num_levels
+        pm = PassManager(timers=timers.timers)
+        pm.add(Pass(
+            "sihe-to-ckks", "CKKS",
+            SiheToCkksLowering(
+                moduli, scheme.scale, self.options.bootstrap_enabled,
+                self.options.minimal_level_bootstrap,
+            ).run,
+            "rescale/relin/bootstrap placement, key analysis",
+        ))
+        pm.add(Pass("ckks-cleanup", "CKKS", lambda m, c: run_cleanups(m, c)))
+        pm.run(module, context)
+
+    def _poly_stage(self, timers, module, context, scheme) -> dict:
+        from repro.passes.lowering.ckks_to_poly import poly_statistics
+
+        result: dict = {}
+        pm = PassManager(timers=timers.timers, verify_between=False)
+        pm.add(Pass(
+            "ckks-to-poly", "POLY",
+            lambda m, c: result.update(
+                poly_statistics(m.main(), scheme,
+                                full=self.options.poly_mode == "full",
+                                module=m)
+            ),
+            "polynomial operator fusion, RNS loop fusion",
+        ))
+        pm.run(module, context)
+        return result

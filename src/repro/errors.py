@@ -1,0 +1,72 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch library failures without also
+swallowing programming errors such as ``TypeError``.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ParameterError(ReproError):
+    """Invalid or inconsistent FHE scheme parameters."""
+
+
+class SecurityError(ParameterError):
+    """Requested parameters cannot meet the requested security level."""
+
+
+class EncodingError(ReproError):
+    """A message cannot be encoded/decoded with the given encoder."""
+
+
+class NoiseBudgetExhausted(ReproError):
+    """A ciphertext ran out of levels or its noise passed the threshold."""
+
+
+class ScaleMismatchError(ReproError):
+    """Homomorphic operands have incompatible scales."""
+
+
+class LevelMismatchError(ReproError):
+    """Homomorphic operands live at different levels."""
+
+
+class KeyError_(ReproError):
+    """A required evaluation key (relin/rotation) is missing."""
+
+
+class IRError(ReproError):
+    """Malformed IR detected (verification failure, bad operands...)."""
+
+
+class IRTypeError(IRError):
+    """An IR value has the wrong type for the op consuming it."""
+
+
+class LoweringError(ReproError):
+    """A lowering pass could not translate a construct."""
+
+
+class PassError(ReproError):
+    """A compiler pass failed an internal invariant."""
+
+
+class OnnxParseError(ReproError):
+    """The ONNX protobuf payload is malformed or unsupported."""
+
+
+class UnsupportedOperatorError(ReproError):
+    """The model uses an operator outside the supported subset."""
+
+
+class CompileError(ReproError):
+    """Top-level compilation failure."""
+
+
+class RuntimeBackendError(ReproError):
+    """An FHE runtime backend failed to execute a program."""

@@ -1,0 +1,11 @@
+"""Evaluation harness: regenerates every table and figure of the paper.
+
+Each ``figN``/``tableN`` module produces the corresponding artifact as
+plain data (dicts/rows) plus an ASCII rendering; the benchmark suite under
+``benchmarks/`` drives them through pytest-benchmark.
+"""
+
+from repro.evalharness.costmodel import CostModel
+from repro.evalharness.memmodel import MemoryModel
+
+__all__ = ["CostModel", "MemoryModel"]

@@ -1,0 +1,149 @@
+"""Analytic cost model for RNS-CKKS operations.
+
+Converts an :class:`~repro.backend.trace.OpTrace` (op, limb-count,
+region-tag aggregates) into estimated single-thread seconds, using the
+asymptotic costs of §2.3 — multiplications and rotations are
+``O(N log N * r^2)`` (key switching dominates), additions ``O(N * r)``,
+bootstrapping linear in the refreshed level (§4.4) — with constants
+calibrated against the real :class:`ExactBackend` kernels.
+
+Absolute numbers depend on the host; the *relative* ACE-vs-Expert shape
+(Figure 6) comes from op counts, limb counts and bootstrap targets, which
+are real properties of the two programs.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+
+from repro.backend.trace import OpTrace
+
+
+@dataclass
+class CostModel:
+    """Per-op timing formulas, parameterised by ring degree N."""
+
+    poly_degree: int
+    num_special_primes: int = 1
+    #: seconds per (N log2 N) butterfly unit — NTT/pointwise kernels
+    c_ntt: float = 2.0e-9
+    #: seconds per (N * limb) element-wise modular op
+    c_eltwise: float = 1.5e-9
+    #: bootstrap: seconds per (target_level+1) * N log2 N unit
+    c_boot: float = 6.0e-8
+    #: fixed per-op dispatch overhead
+    c_fixed: float = 2.0e-6
+
+    def _nlogn(self) -> float:
+        n = self.poly_degree
+        return n * math.log2(n)
+
+    def op_seconds(self, op: str, limbs: int) -> float:
+        """Estimated single-thread seconds for one operation."""
+        n = self.poly_degree
+        unit = self._nlogn()
+        k = self.num_special_primes
+        if op in ("add", "sub", "negate", "add_plain", "sub_plain",
+                  "modswitch", "upscale"):
+            return self.c_fixed + self.c_eltwise * n * limbs
+        if op in ("mul_plain", "mul"):
+            parts = 4 if op == "mul" else 2
+            return self.c_fixed + self.c_eltwise * n * limbs * parts
+        if op in ("relin", "rotate", "conjugate"):
+            # digit-decomposed key switch: `limbs` digits, each an NTT at
+            # limbs+k residues plus multiply-accumulates
+            digits = limbs
+            ext = limbs + k
+            ntts = digits * ext + 2 * ext          # digit NTTs + mod-down
+            muladds = 2 * digits * ext
+            return (
+                self.c_fixed
+                + self.c_ntt * unit * ntts
+                + self.c_eltwise * n * muladds
+            )
+        if op == "rescale":
+            return self.c_fixed + self.c_ntt * unit * 2 * limbs
+        if op == "bootstrap":
+            # `limbs` records target_level+1 (set by the backends); cost is
+            # linear in the refreshed level — the §4.4 optimisation lever.
+            return self.c_fixed + self.c_boot * unit * limbs
+        if op in ("encrypt", "decrypt", "encode"):
+            return self.c_fixed + self.c_ntt * unit * limbs
+        return self.c_fixed
+
+    def trace_seconds(self, trace: OpTrace) -> dict[str, float]:
+        """Seconds per region tag for a recorded trace."""
+        out: dict[str, float] = {}
+        for (tag, op, limbs), count in trace.counts.items():
+            out[tag] = out.get(tag, 0.0) + count * self.op_seconds(op, limbs)
+        return out
+
+    def total_seconds(self, trace: OpTrace) -> float:
+        return sum(self.trace_seconds(trace).values())
+
+    # -- calibration ------------------------------------------------------
+
+    @classmethod
+    def calibrated(cls, poly_degree: int, num_special_primes: int = 1,
+                   sample_degree: int = 1024) -> "CostModel":
+        """Fit the constants against real ExactBackend kernels.
+
+        Runs a handful of operations at a small ring degree and scales the
+        measured unit costs; keeps the model honest about this host.
+        """
+        from repro.backend import ExactBackend
+        from repro.ckks import CkksParameters
+
+        params = CkksParameters(
+            poly_degree=sample_degree, scale_bits=30, first_prime_bits=40,
+            num_levels=3,
+        )
+        be = ExactBackend(params, rotation_steps=[1], seed=0)
+        x = [0.5] * (sample_degree // 2)
+        ct = be.encrypt(x)
+        pt = be.encode(x, be.config.scale, be.config.max_level)
+
+        def time_it(fn, reps=3):
+            best = float("inf")
+            for _ in range(reps):
+                start = time.perf_counter()
+                fn()
+                best = min(best, time.perf_counter() - start)
+            return best
+
+        unit = sample_degree * math.log2(sample_degree)
+        limbs = params.num_levels + 1
+        t_mul = time_it(lambda: be.mul_plain(ct, pt))
+        t_rot = time_it(lambda: be.rotate(ct, 1))
+        model = cls(poly_degree=poly_degree,
+                    num_special_primes=num_special_primes)
+        model.c_eltwise = max(t_mul / (sample_degree * limbs * 2), 1e-10)
+        digits = limbs
+        ext = limbs + 1
+        ntts = digits * ext + 2 * ext
+        model.c_ntt = max(t_rot / (unit * ntts), 1e-11)
+        model.c_boot = model.c_ntt * 30.0  # CtS+EvalMod+StC per level
+        return model
+
+
+@dataclass
+class InferenceBreakdown:
+    """Figure-6 row: per-region seconds for one model/implementation."""
+
+    model: str
+    implementation: str
+    regions: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total(self) -> float:
+        return sum(self.regions.values())
+
+    def row(self) -> dict:
+        return {
+            "model": self.model,
+            "impl": self.implementation,
+            **{k: round(v, 4) for k, v in self.regions.items()},
+            "total": round(self.total, 4),
+        }

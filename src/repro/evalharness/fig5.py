@@ -1,0 +1,35 @@
+"""Figure 5: compile times with per-IR-level breakdown."""
+
+from __future__ import annotations
+
+from repro.evalharness.models import EVAL_MODELS, compiled_model
+from repro.ir.passmanager import IR_LEVELS
+
+
+def compile_time_rows(models=EVAL_MODELS, scale: str = "ci") -> list[dict]:
+    """One row per model: total seconds + % per IR level."""
+    rows = []
+    for name in models:
+        program, _model, _dataset = compiled_model(name, scale)
+        timers = program.pass_timers
+        total = sum(timers.values())
+        row = {"model": name, "total_s": round(total, 2)}
+        for level in IR_LEVELS:
+            row[level] = round(100.0 * timers.get(level, 0.0) / total, 1)
+        rows.append(row)
+    return rows
+
+
+def render(rows: list[dict]) -> str:
+    lines = ["Figure 5 — ANT-ACE compile times (percent per IR level)"]
+    header = f"{'model':<12}{'total(s)':>9}" + "".join(
+        f"{lvl:>9}" for lvl in IR_LEVELS
+    )
+    lines.append(header)
+    for row in rows:
+        lines.append(
+            f"{row['model']:<12}{row['total_s']:>9}" + "".join(
+                f"{row[lvl]:>8}%" for lvl in IR_LEVELS
+            )
+        )
+    return "\n".join(lines)

@@ -1,0 +1,75 @@
+"""One-shot report generator: every figure/table into a results directory.
+
+Usage::
+
+    python -m repro.evalharness.report [out_dir] [--models m1,m2] [--scale ci]
+
+This is the analogue of the paper artifact's ``generate_figures.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+
+from repro.evalharness import (
+    fig5,
+    fig6,
+    fig7,
+    surveys,
+    table8,
+    table10,
+    table11,
+    table_ops,
+)
+from repro.evalharness.models import EVAL_MODELS
+
+
+def generate_report(out_dir: str | Path, models=EVAL_MODELS,
+                    scale: str = "ci", num_images: int = 10,
+                    echo: bool = True) -> dict[str, str]:
+    """Regenerate every artifact; returns {name: rendered text}."""
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    artifacts: dict[str, str] = {}
+
+    def emit(name: str, text: str) -> None:
+        artifacts[name] = text
+        (out_dir / f"{name}.txt").write_text(text + "\n")
+        if echo:
+            print(f"\n{text}", flush=True)
+
+    started = time.perf_counter()
+    emit("table1", surveys.render_table1())
+    emit("table2", table_ops.render_table2())
+    emit("tables_3_to_7", table_ops.render_op_tables())
+    emit("table8", table8.render(table8.loc_rows()))
+    emit("table9", surveys.render_table9())
+    emit("fig5", fig5.render(fig5.compile_time_rows(models, scale)))
+    emit("fig6", fig6.render(fig6.inference_rows(models, scale)))
+    emit("fig7", fig7.render(fig7.memory_rows(models, scale)))
+    emit("table10", table10.render(table10.parameter_rows(models, scale)))
+    emit("table11", table11.render(
+        table11.accuracy_rows(models, scale, num_images=num_images)))
+    if echo:
+        print(f"\nreport complete in {time.perf_counter() - started:.0f}s; "
+              f"artifacts in {out_dir}/")
+    return artifacts
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("out_dir", nargs="?", default="results")
+    parser.add_argument("--models", default=",".join(EVAL_MODELS))
+    parser.add_argument("--scale", default="ci", choices=("ci", "paper"))
+    parser.add_argument("--images", type=int, default=10)
+    args = parser.parse_args(argv)
+    models = tuple(m.strip() for m in args.models.split(",") if m.strip())
+    generate_report(args.out_dir, models, args.scale, args.images)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

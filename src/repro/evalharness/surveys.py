@@ -1,0 +1,66 @@
+"""Tables 1 and 9: the FHE-compiler capability survey (static data)."""
+
+from __future__ import annotations
+
+#: Table 1 columns
+TABLE1_COLUMNS = (
+    "Auto Linear", "Auto Nonlinear", "Auto Params", "Bootstrapping",
+    "Fixed-Point", "Not DSL", "Open Source",
+)
+
+#: Table 1 rows (True = filled circle in the paper)
+TABLE1 = {
+    "E3":         (False, False, False, False, False, False, True),
+    "nGraph-HE":  (True,  False, False, False, True,  True,  True),
+    "CHET":       (False, False, True,  False, True,  False, False),
+    "EVA":        (False, False, True,  False, True,  False, True),
+    "Transpiler": (False, False, False, True,  False, False, True),
+    "HECO":       (False, False, False, False, True,  False, True),
+    "Fhelipe":    (False, False, True,  True,  True,  False, True),
+    "ACE":        (True,  True,  True,  True,  True,  True,  True),
+}
+
+#: Table 9 rows: scheme, infrastructure, frontend, backend, IR, optimisations
+TABLE9 = {
+    "E3": ("BFV/BGV/TFHE", "Synopsys Compiler", "C++", "SEAL/TFHE",
+           "Circuit", "Circuit"),
+    "nGraph-HE": ("BFV/CKKS", "nGraph Compiler", "TensorFlow", "SEAL",
+                  "nGraph IR", "SIMD packing, operator fusion"),
+    "CHET": ("CKKS", "In-house DAG", "Tensor-circuit DSL", "SEAL/HEAAN",
+             "Homo tensor circuit + ISA", "FHE vectorisation, data layout"),
+    "EVA": ("CKKS", "In-house DAG", "Python DSL", "SEAL",
+            "Abstract semantic graph", "Rescale, modswitch"),
+    "Transpiler": ("TFHE", "XLS", "C++", "TFHE", "XLS IR", "Circuit"),
+    "HECO": ("BFV/BGV/CKKS", "MLIR", "Python DSL", "SEAL",
+             "HIR/SIR/PIR/RIR", "Batching"),
+    "Fhelipe": ("CKKS", "In-house DAG", "Python DSL", "Lattigo",
+                "Tensor DFG + CKKS DAG", "Data layout, rescale, bootstrap"),
+    "ANT-ACE": ("CKKS", "In-house IR", "ONNX", "Custom library (ACEfhe)",
+                "NN/VECTOR/SIHE/CKKS/POLY", "All operations in Table 2"),
+}
+
+
+def render_table1() -> str:
+    lines = ["Table 1 — FHE compiler capabilities"]
+    header = f"{'compiler':<12}" + "".join(
+        f"{c[:12]:>14}" for c in TABLE1_COLUMNS
+    )
+    lines.append(header)
+    for name, caps in TABLE1.items():
+        lines.append(
+            f"{name:<12}" + "".join(
+                f"{'yes' if c else '-':>14}" for c in caps
+            )
+        )
+    return "\n".join(lines)
+
+
+def render_table9() -> str:
+    lines = ["Table 9 — compiler-technology comparison"]
+    for name, row in TABLE9.items():
+        scheme, infra, frontend, backend, ir, opts = row
+        lines.append(
+            f"{name}: scheme={scheme}; infra={infra}; frontend={frontend}; "
+            f"backend={backend}; IR={ir}; optimisations={opts}"
+        )
+    return "\n".join(lines)

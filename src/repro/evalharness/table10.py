@@ -1,0 +1,30 @@
+"""Table 10: automatically selected security parameters per model."""
+
+from __future__ import annotations
+
+from repro.evalharness.models import EVAL_MODELS, compiled_model
+
+
+def parameter_rows(models=EVAL_MODELS, scale: str = "ci") -> list[dict]:
+    rows = []
+    for name in models:
+        program, _model, _dataset = compiled_model(name, scale)
+        row = {"model": name, **program.selection.table10_row()}
+        rows.append(row)
+    return rows
+
+
+#: the values the paper reports (identical for all six models)
+PAPER_ROW = {"log2(N)": 16, "log2(Q0)": 60, "log2(Delta)": 56}
+
+
+def render(rows: list[dict]) -> str:
+    lines = ["Table 10 — security parameters selected by the compiler"]
+    lines.append(f"{'model':<12}{'log2(N)':>9}{'log2(Q0)':>10}{'log2(D)':>9}")
+    for row in rows:
+        lines.append(
+            f"{row['model']:<12}{row['log2(N)']:>9}{row['log2(Q0)']:>10}"
+            f"{row['log2(Delta)']:>9}"
+        )
+    lines.append(f"paper values: {PAPER_ROW}")
+    return "\n".join(lines)

@@ -1,0 +1,118 @@
+"""Table 8: this implementation's component breakdown by LoC.
+
+The paper reports 44K lines of C++ with 11K of tests and 15K of comments;
+here we count our own tree the same way (code / test / comment lines per
+component), which is also a useful self-check that the reproduction is a
+full system rather than a demo.
+"""
+
+from __future__ import annotations
+
+import io
+import tokenize
+from pathlib import Path
+
+#: component -> source subpackages
+COMPONENTS = {
+    "Infrastructure": ("ir", "compiler", "passes/common.py", "passes/table.py",
+                       "passes/frontend.py", "passes/nn_opt.py",
+                       "passes/layout.py", "utils", "errors.py", "params",
+                       "codegen", "backend", "onnx", "nn", "expert",
+                       "evalharness"),
+    "NN IR": ("ir/dialects/nn_ops.py", "runtime/nn_interp.py"),
+    "VECTOR IR": ("ir/dialects/vector_ops.py",
+                  "passes/lowering/nn_to_vector.py",
+                  "runtime/vector_interp.py"),
+    "SIHE IR": ("ir/dialects/sihe_ops.py",
+                "passes/lowering/vector_to_sihe.py",
+                "runtime/sihe_interp.py"),
+    "CKKS IR": ("ir/dialects/ckks_ops.py",
+                "passes/lowering/sihe_to_ckks.py",
+                "runtime/ckks_interp.py"),
+    "POLY IR": ("ir/dialects/poly_ops.py",
+                "passes/lowering/ckks_to_poly.py"),
+    "Run-Time Library (ACEfhe-py)": ("ckks", "polymath"),
+}
+
+
+def classify_lines(source: str) -> tuple[int, int]:
+    """Return (code_lines, comment_lines) — docstrings count as comments;
+    lines with trailing comments count as code."""
+    docstring_lines: set[int] = set()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type == tokenize.STRING and tok.line.lstrip().startswith(
+                ('"""', "'''", 'r"""')
+            ):
+                for line_no in range(tok.start[0], tok.end[0] + 1):
+                    docstring_lines.add(line_no)
+    except tokenize.TokenError:
+        pass
+    code = 0
+    comments = 0
+    for number, line in enumerate(source.splitlines(), start=1):
+        stripped = line.strip()
+        if not stripped:
+            continue
+        if stripped.startswith("#") or number in docstring_lines:
+            comments += 1
+        else:
+            code += 1
+    return code, comments
+
+
+def _count_tree(paths: list[Path]) -> tuple[int, int]:
+    code = comments = 0
+    for path in paths:
+        files = [path] if path.is_file() else sorted(path.rglob("*.py"))
+        for f in files:
+            c, m = classify_lines(f.read_text())
+            code += c
+            comments += m
+    return code, comments
+
+
+def loc_rows(repo_root: str | Path | None = None) -> list[dict]:
+    root = Path(repo_root) if repo_root else Path(__file__).parents[3]
+    src = root / "src" / "repro"
+    claimed: set[Path] = set()
+    rows = []
+    # count the specific components first so Infrastructure gets the rest
+    for component, entries in list(COMPONENTS.items())[1:]:
+        paths = [src / e for e in entries]
+        code, comments = _count_tree(paths)
+        for p in paths:
+            claimed.update([p] if p.is_file() else p.rglob("*.py"))
+        rows.append({"component": component, "loc": code,
+                     "comments": comments})
+    infra_files = [
+        f for f in src.rglob("*.py") if f not in claimed
+    ]
+    code, comments = _count_tree(infra_files)
+    rows.insert(0, {"component": "Infrastructure", "loc": code,
+                    "comments": comments})
+    # tests are one shared pool, reported like the paper's Tests column
+    test_code, test_comments = _count_tree([root / "tests",
+                                            root / "benchmarks"])
+    total_code = sum(r["loc"] for r in rows)
+    total_comments = sum(r["comments"] for r in rows)
+    rows.append({
+        "component": "Total",
+        "loc": total_code,
+        "comments": total_comments,
+        "tests": test_code,
+    })
+    return rows
+
+
+def render(rows: list[dict]) -> str:
+    lines = ["Table 8 — component breakdown by LoC (this reproduction)"]
+    lines.append(f"{'component':<32}{'LOC':>8}{'comments':>10}{'tests':>8}")
+    for row in rows:
+        tests = row.get("tests", "")
+        lines.append(
+            f"{row['component']:<32}{row['loc']:>8}{row['comments']:>10}"
+            f"{tests:>8}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,42 @@
+"""Tables 2-7: the pass table and the operator sets of the five IRs,
+regenerated from the live registries (so they cannot drift from the
+implementation)."""
+
+from __future__ import annotations
+
+from repro.ir.registry import OPS
+from repro.passes.table import PASS_TABLE
+
+_TABLES = {
+    "Table 3 (NN IR)": "nn",
+    "Table 4 (VECTOR IR)": "vector",
+    "Table 5 (SIHE IR)": "sihe",
+    "Table 6 (CKKS IR)": "ckks",
+    "Table 7 (POLY IR)": "poly",
+}
+
+
+def dialect_ops(dialect: str) -> list[tuple[str, str]]:
+    """(opcode, first doc line) for every op of a dialect."""
+    out = []
+    for opdef in OPS.by_dialect(dialect):
+        doc = (opdef.doc or "").strip().splitlines()
+        out.append((opdef.opcode, doc[0] if doc else ""))
+    return out
+
+
+def render_table2() -> str:
+    lines = ["Table 2 — analyses/optimisations per IR level"]
+    for level, name, focus in PASS_TABLE:
+        lines.append(f"  {level:<8} {name:<40} [{focus}]")
+    return "\n".join(lines)
+
+
+def render_op_tables() -> str:
+    lines = []
+    for title, dialect in _TABLES.items():
+        lines.append(title)
+        for opcode, doc in dialect_ops(dialect):
+            lines.append(f"  {opcode:<24} {doc}")
+        lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,5 @@
+"""The "Expert" comparison baseline (paper §6, Lee et al. [35] style)."""
+
+from repro.expert.lee_resnet import ExpertInference, ExpertConfig
+
+__all__ = ["ExpertInference", "ExpertConfig"]

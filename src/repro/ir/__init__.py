@@ -1,0 +1,60 @@
+"""Compiler IR infrastructure (paper §3.2, §4).
+
+A small SSA-flavoured graph IR: a :class:`Module` holds :class:`Function`s
+whose bodies are topologically ordered lists of :class:`Op`s producing
+:class:`Value`s.  Five *dialects* (NN, VECTOR, SIHE, CKKS, POLY — paper
+Tables 3-7) register their opcodes, type rules and verifiers with a
+central :class:`OpRegistry`; the :class:`PassManager` times every pass by
+IR level, which is exactly the data Figure 5's compile-time breakdown is
+regenerated from.
+
+Inference graphs are DAGs, so the IR needs no control flow; the POLY
+level's RNS loops are represented at fused-operator granularity (see
+:mod:`repro.ir.dialects.poly_ops`).
+"""
+
+from repro.ir.types import (
+    CipherType,
+    Cipher3Type,
+    IndexType,
+    PlainType,
+    PolyType,
+    ScalarType,
+    TensorType,
+    Type,
+    VectorType,
+)
+from repro.ir.core import Function, Module, Op, Value
+from repro.ir.registry import OpRegistry, OPS
+from repro.ir.builder import IRBuilder
+from repro.ir.printer import print_function, print_module
+from repro.ir.verifier import verify_function, verify_module
+from repro.ir.passmanager import Pass, PassManager
+
+# importing the dialects registers every opcode with the global registry
+from repro.ir import dialects as _dialects  # noqa: E402,F401
+
+__all__ = [
+    "CipherType",
+    "Cipher3Type",
+    "IndexType",
+    "PlainType",
+    "PolyType",
+    "ScalarType",
+    "TensorType",
+    "Type",
+    "VectorType",
+    "Function",
+    "Module",
+    "Op",
+    "Value",
+    "OpRegistry",
+    "OPS",
+    "IRBuilder",
+    "print_function",
+    "print_module",
+    "verify_function",
+    "verify_module",
+    "Pass",
+    "PassManager",
+]

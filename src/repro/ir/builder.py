@@ -1,0 +1,73 @@
+"""IRBuilder: create type-checked ops appended to a function."""
+
+from __future__ import annotations
+
+from typing import Any
+
+import numpy as np
+
+from repro.errors import IRError
+from repro.ir.core import Function, Module, Op, Value
+from repro.ir.registry import OPS
+from repro.ir.types import Type
+
+
+class IRBuilder:
+    """Appends ops to a function with registry-driven type inference."""
+
+    def __init__(self, module: Module, function: Function):
+        self.module = module
+        self.function = function
+
+    @classmethod
+    def make_function(cls, module: Module, name: str,
+                      param_types: list[Type],
+                      param_names: list[str] | None = None) -> "IRBuilder":
+        names = param_names or [f"arg{i}" for i in range(len(param_types))]
+        params = [Value(t, n) for t, n in zip(param_types, names)]
+        fn = Function(name, params)
+        module.add_function(fn)
+        return cls(module, fn)
+
+    def emit(self, opcode: str, operands: list[Value],
+             attrs: dict[str, Any] | None = None,
+             name_hint: str = "") -> Value:
+        """Create, infer, append; returns the (single) result value."""
+        results = self.emit_multi(opcode, operands, attrs, name_hint)
+        if len(results) != 1:
+            raise IRError(f"{opcode} produced {len(results)} results")
+        return results[0]
+
+    def emit_multi(self, opcode: str, operands: list[Value],
+                   attrs: dict[str, Any] | None = None,
+                   name_hint: str = "") -> list[Value]:
+        opdef = OPS.get(opcode)
+        attrs = dict(attrs or {})
+        if opdef.arity >= 0 and len(operands) != opdef.arity:
+            raise IRError(
+                f"{opcode} expects {opdef.arity} operands, got {len(operands)}"
+            )
+        result_types = opdef.infer([o.type for o in operands], attrs)
+        hint = name_hint or opcode.split(".")[-1]
+        results = []
+        for t in result_types:
+            v = Value(t)
+            v.name = f"{hint}_{v.id}"
+            results.append(v)
+        op = Op(opcode, operands, results, attrs)
+        if opdef.verify:
+            opdef.verify(op)
+        self.function.append(op)
+        return results
+
+    def constant(self, opcode: str, array: np.ndarray, hint: str = "const",
+                 extra_attrs: dict | None = None) -> Value:
+        """Emit a constant op whose payload lives in module storage."""
+        name = self.module.add_constant(hint, array)
+        attrs = {"const_name": name}
+        if extra_attrs:
+            attrs.update(extra_attrs)
+        return self.emit(opcode, [], attrs, name_hint=hint)
+
+    def ret(self, values: list[Value]) -> None:
+        self.function.returns = list(values)

@@ -1,0 +1,8 @@
+"""The five IR dialects (paper Tables 3-7).
+
+Importing this package registers every opcode with the global registry.
+"""
+
+from repro.ir.dialects import nn_ops, vector_ops, sihe_ops, ckks_ops, poly_ops
+
+__all__ = ["nn_ops", "vector_ops", "sihe_ops", "ckks_ops", "poly_ops"]

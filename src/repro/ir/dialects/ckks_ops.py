@@ -1,0 +1,139 @@
+"""CKKS IR dialect (paper Table 6).
+
+Semantics differ from SIHE: Cipher is a pair of polynomials, cipher-cipher
+``mul`` yields a Cipher3, and the scale/level management operators appear
+(``modswitch, upscale, rescale, downscale, bootstrap, relin``).  Each
+value's exact runtime scale and level are computed by the scale-management
+pass and stored in ``Value.meta["scale"]/["level"]`` — type inference stays
+purely structural so the verifier can re-run it after any pass.
+"""
+
+from __future__ import annotations
+
+from repro.errors import IRTypeError
+from repro.ir.registry import OPS
+from repro.ir.types import Cipher3Type, CipherType, PlainType, VectorType
+
+
+def _cipher(types, i, opcode):
+    t = types[i]
+    if not isinstance(t, CipherType):
+        raise IRTypeError(f"{opcode} operand {i} must be cipher, got {t}")
+    return t
+
+
+@OPS.define("ckks.rotate", 1)
+def _c_rotate(types, attrs):
+    """rotate x — Galois automorphism + key switch (attr steps)."""
+    return [_cipher(types, 0, "ckks.rotate")]
+
+
+@OPS.define("ckks.conjugate", 1)
+def _c_conj(types, attrs):
+    """conjugate x — slot-wise complex conjugation."""
+    return [_cipher(types, 0, "ckks.conjugate")]
+
+
+def _c_binary(types, opcode, allow_c3=False):
+    a = types[0]
+    b = types[1]
+    if not isinstance(a, (CipherType, Cipher3Type)):
+        raise IRTypeError(f"{opcode} operand 0 must be cipher, got {a}")
+    if isinstance(a, Cipher3Type) and not allow_c3:
+        raise IRTypeError(f"{opcode} needs relinearised operand")
+    if not isinstance(b, (CipherType, Cipher3Type, PlainType)):
+        raise IRTypeError(f"{opcode} operand 1 must be cipher/plain, got {b}")
+    if a.slots != b.slots:
+        raise IRTypeError(f"{opcode} slot mismatch")
+    if isinstance(a, Cipher3Type) or isinstance(b, Cipher3Type):
+        return Cipher3Type(a.slots)
+    return CipherType(a.slots)
+
+
+@OPS.define("ckks.add", 2)
+def _c_add(types, attrs):
+    """add x y — requires equal scales and levels (checked at runtime)."""
+    return [_c_binary(types, "ckks.add", allow_c3=True)]
+
+
+@OPS.define("ckks.sub", 2)
+def _c_sub(types, attrs):
+    """sub x y."""
+    return [_c_binary(types, "ckks.sub", allow_c3=True)]
+
+
+@OPS.define("ckks.neg", 1)
+def _c_neg(types, attrs):
+    """neg x."""
+    return [types[0]]
+
+
+@OPS.define("ckks.mul", 2)
+def _c_mul(types, attrs):
+    """mul x y — Cipher*Plain -> Cipher; Cipher*Cipher -> Cipher3."""
+    a = _cipher(types, 0, "ckks.mul")
+    b = types[1]
+    if isinstance(b, CipherType):
+        return [Cipher3Type(a.slots)]
+    if isinstance(b, PlainType):
+        if a.slots != b.slots:
+            raise IRTypeError("ckks.mul slot mismatch")
+        return [CipherType(a.slots)]
+    raise IRTypeError(f"ckks.mul operand 1 must be cipher or plain, got {b}")
+
+
+@OPS.define("ckks.relin", 1)
+def _c_relin(types, attrs):
+    """relin x — Cipher3 -> Cipher via the relinearisation key."""
+    t = types[0]
+    if not isinstance(t, Cipher3Type):
+        raise IRTypeError(f"ckks.relin needs cipher3, got {t}")
+    return [CipherType(t.slots)]
+
+
+@OPS.define("ckks.rescale", 1)
+def _c_rescale(types, attrs):
+    """rescale x — divide by the last prime (scale /= q, level -= 1)."""
+    return [types[0]]
+
+
+@OPS.define("ckks.modswitch", 1)
+def _c_modswitch(types, attrs):
+    """modswitch x — drop attr levels without changing the scale."""
+    return [types[0]]
+
+
+@OPS.define("ckks.upscale", 1)
+def _c_upscale(types, attrs):
+    """upscale x y — multiply the scale by 2^attr bits (no level cost)."""
+    return [types[0]]
+
+
+@OPS.define("ckks.downscale", 1)
+def _c_downscale(types, attrs):
+    """downscale x — rescale until the scale reaches attr target."""
+    return [types[0]]
+
+
+@OPS.define("ckks.bootstrap", 1)
+def _c_bootstrap(types, attrs):
+    """bootstrap x — refresh to attr target_level."""
+    return [_cipher(types, 0, "ckks.bootstrap")]
+
+
+@OPS.define("ckks.encode", 1)
+def _c_encode(types, attrs):
+    """encode x — cleartext -> plaintext at attr scale/level."""
+    t = types[0]
+    if not isinstance(t, VectorType):
+        raise IRTypeError(f"ckks.encode needs a vector, got {t}")
+    return [PlainType(attrs.get("slots", t.length))]
+
+
+@OPS.define("ckks.decode", 1)
+def _c_decode(types, attrs):
+    """decode x — plaintext -> cleartext."""
+    t = types[0]
+    if not isinstance(t, PlainType):
+        raise IRTypeError(f"ckks.decode needs plain, got {t}")
+    return [VectorType(t.slots)]

@@ -1,0 +1,143 @@
+"""NN IR dialect — the ONNX-equivalent level (paper Table 3).
+
+Each op mirrors its ONNX counterpart's semantics; tensors are NCHW with
+batch 1.  Weights are ``nn.constant`` ops whose payload lives in the
+module's external constant storage (paper §3.4).
+"""
+
+from __future__ import annotations
+
+from repro.errors import IRTypeError
+from repro.ir.registry import OPS
+from repro.ir.types import TensorType
+
+
+def _tensor(types, i, opcode):
+    t = types[i]
+    if not isinstance(t, TensorType):
+        raise IRTypeError(f"{opcode} operand {i} must be a tensor, got {t}")
+    return t
+
+
+@OPS.define("nn.constant", 0)
+def _nn_constant(types, attrs):
+    """A weight/bias tensor stored externally (attr const_name, shape)."""
+    return [TensorType(tuple(attrs["shape"]))]
+
+
+@OPS.define("nn.conv", 3)
+def _nn_conv(types, attrs):
+    """conv x w b — 2-D convolution (attrs: stride, pad)."""
+    x = _tensor(types, 0, "nn.conv")
+    w = _tensor(types, 1, "nn.conv")
+    n, c_in, h, w_in = x.shape
+    c_out, c_in_w, kh, kw = w.shape
+    if c_in != c_in_w:
+        raise IRTypeError(f"nn.conv channel mismatch: {c_in} vs {c_in_w}")
+    stride = attrs.get("stride", 1)
+    pad = attrs.get("pad", kh // 2)
+    out_h = (h + 2 * pad - kh) // stride + 1
+    out_w = (w_in + 2 * pad - kw) // stride + 1
+    return [TensorType((n, c_out, out_h, out_w))]
+
+
+@OPS.define("nn.gemm", 3)
+def _nn_gemm(types, attrs):
+    """gemm a b c — matrix multiply + bias (attr trans_b)."""
+    a = _tensor(types, 0, "nn.gemm")
+    b = _tensor(types, 1, "nn.gemm")
+    rows = a.shape[0]
+    cols = b.shape[0] if attrs.get("trans_b") else b.shape[-1]
+    inner_a = a.shape[-1]
+    inner_b = b.shape[-1] if attrs.get("trans_b") else b.shape[0]
+    if inner_a != inner_b:
+        raise IRTypeError(f"nn.gemm inner-dim mismatch: {inner_a} vs {inner_b}")
+    return [TensorType((rows, cols))]
+
+
+@OPS.define("nn.relu", 1)
+def _nn_relu(types, attrs):
+    """relu x — elementwise max(x, 0)."""
+    return [_tensor(types, 0, "nn.relu")]
+
+
+@OPS.define("nn.sigmoid", 1)
+def _nn_sigmoid(types, attrs):
+    """sigmoid x — approximated by a Chebyshev polynomial at SIHE level."""
+    return [_tensor(types, 0, "nn.sigmoid")]
+
+
+@OPS.define("nn.tanh", 1)
+def _nn_tanh(types, attrs):
+    """tanh x — approximated by an odd Chebyshev polynomial."""
+    return [_tensor(types, 0, "nn.tanh")]
+
+
+@OPS.define("nn.exp", 1)
+def _nn_exp(types, attrs):
+    """exp x — approximated by a Chebyshev polynomial (paper §2.3)."""
+    return [_tensor(types, 0, "nn.exp")]
+
+
+@OPS.define("nn.gelu", 1)
+def _nn_gelu(types, attrs):
+    """gelu x — approximated by a Chebyshev polynomial."""
+    return [_tensor(types, 0, "nn.gelu")]
+
+
+@OPS.define("nn.add", 2)
+def _nn_add(types, attrs):
+    """add x y — elementwise addition (residual connections)."""
+    x = _tensor(types, 0, "nn.add")
+    y = _tensor(types, 1, "nn.add")
+    if x.shape != y.shape:
+        raise IRTypeError(f"nn.add shape mismatch: {x.shape} vs {y.shape}")
+    return [x]
+
+
+@OPS.define("nn.average_pool", 1)
+def _nn_average_pool(types, attrs):
+    """average_pool x — (attrs: kernel, stride)."""
+    x = _tensor(types, 0, "nn.average_pool")
+    n, c, h, w = x.shape
+    k = attrs["kernel"]
+    s = attrs.get("stride", k)
+    return [TensorType((n, c, (h - k) // s + 1, (w - k) // s + 1))]
+
+
+@OPS.define("nn.global_average_pool", 1)
+def _nn_gap(types, attrs):
+    """global_average_pool x — mean over the spatial dimensions."""
+    x = _tensor(types, 0, "nn.global_average_pool")
+    n, c = x.shape[0], x.shape[1]
+    return [TensorType((n, c, 1, 1))]
+
+
+@OPS.define("nn.flatten", 1)
+def _nn_flatten(types, attrs):
+    """flatten x — collapse all but the leading axis."""
+    x = _tensor(types, 0, "nn.flatten")
+    lead = x.shape[0]
+    rest = 1
+    for d in x.shape[1:]:
+        rest *= d
+    return [TensorType((lead, rest))]
+
+
+@OPS.define("nn.reshape", 1)
+def _nn_reshape(types, attrs):
+    """reshape d s — reshape to attr shape."""
+    x = _tensor(types, 0, "nn.reshape")
+    shape = tuple(attrs["shape"])
+    if x.num_elements != TensorType(shape).num_elements:
+        raise IRTypeError(
+            f"nn.reshape element count mismatch: {x.shape} -> {shape}"
+        )
+    return [TensorType(shape)]
+
+
+@OPS.define("nn.strided_slice", 1)
+def _nn_strided_slice(types, attrs):
+    """strided_slice d i l t — slice with starts/sizes/strides attrs."""
+    _tensor(types, 0, "nn.strided_slice")
+    return [TensorType(tuple(attrs["sizes"]))]

@@ -1,0 +1,94 @@
+"""SIHE IR dialect — Scheme-Independent Homomorphic Encryption (Table 5).
+
+Three data classes: Cipher (encrypted sequence), Plain (encoded cleartext)
+and Vector (inherited from VECTOR IR).  ``add/sub/mul`` accept a Cipher
+first operand and Cipher-or-Plain second operand, as in the paper.
+"""
+
+from __future__ import annotations
+
+from repro.errors import IRTypeError
+from repro.ir.registry import OPS
+from repro.ir.types import CipherType, PlainType, VectorType
+
+
+def _cipher(types, i, opcode):
+    t = types[i]
+    if not isinstance(t, CipherType):
+        raise IRTypeError(f"{opcode} operand {i} must be cipher, got {t}")
+    return t
+
+
+def _cipher_or_plain(types, i, opcode):
+    t = types[i]
+    if not isinstance(t, (CipherType, PlainType)):
+        raise IRTypeError(
+            f"{opcode} operand {i} must be cipher or plain, got {t}"
+        )
+    return t
+
+
+def _binary(types, opcode):
+    a = _cipher(types, 0, opcode)
+    b = _cipher_or_plain(types, 1, opcode)
+    if a.slots != b.slots:
+        raise IRTypeError(f"{opcode} slot mismatch: {a.slots} vs {b.slots}")
+    return a
+
+
+@OPS.define("sihe.rotate", 1)
+def _s_rotate(types, attrs):
+    """rotate x y — cyclic slot rotation by attr steps."""
+    return [_cipher(types, 0, "sihe.rotate")]
+
+
+@OPS.define("sihe.add", 2)
+def _s_add(types, attrs):
+    """add x y — x cipher, y cipher|plain."""
+    return [_binary(types, "sihe.add")]
+
+
+@OPS.define("sihe.sub", 2)
+def _s_sub(types, attrs):
+    """sub x y — x cipher, y cipher|plain."""
+    return [_binary(types, "sihe.sub")]
+
+
+@OPS.define("sihe.mul", 2)
+def _s_mul(types, attrs):
+    """mul x y — x cipher, y cipher|plain (scheme-independent)."""
+    return [_binary(types, "sihe.mul")]
+
+
+@OPS.define("sihe.neg", 1)
+def _s_neg(types, attrs):
+    """neg x — negation."""
+    return [_cipher(types, 0, "sihe.neg")]
+
+
+@OPS.define("sihe.encode", 1)
+def _s_encode(types, attrs):
+    """encode x — cleartext vector -> plaintext (attr slots)."""
+    t = types[0]
+    if not isinstance(t, VectorType):
+        raise IRTypeError(f"sihe.encode needs a vector, got {t}")
+    return [PlainType(attrs.get("slots", t.length))]
+
+
+@OPS.define("sihe.decode", 1)
+def _s_decode(types, attrs):
+    """decode x — plaintext -> cleartext vector."""
+    t = types[0]
+    if not isinstance(t, PlainType):
+        raise IRTypeError(f"sihe.decode needs plain, got {t}")
+    return [VectorType(t.slots)]
+
+
+@OPS.define("sihe.bootstrap_hint", 1)
+def _s_bootstrap_hint(types, attrs):
+    """Marker the nonlinear pass leaves where a refresh will be needed.
+
+    Scheme-independent: the CKKS lowering turns it into ckks.bootstrap
+    with a minimal target level (or drops it when the budget suffices).
+    """
+    return [_cipher(types, 0, "sihe.bootstrap_hint")]

@@ -1,0 +1,106 @@
+"""VECTOR IR dialect (paper Table 4).
+
+Tensors become 1-D packed vectors; the packing itself (the data-layout
+decision of §4.2) lives in value metadata set by the NN->VECTOR lowering.
+``vector.relu`` is carried through this level as an opaque nonlinearity
+and is only expanded into polynomial arithmetic at the SIHE level, where
+the approximation machinery lives (paper §4.3).
+"""
+
+from __future__ import annotations
+
+from repro.errors import IRTypeError
+from repro.ir.registry import OPS
+from repro.ir.types import VectorType
+
+
+def _vec(types, i, opcode):
+    t = types[i]
+    if not isinstance(t, VectorType):
+        raise IRTypeError(f"{opcode} operand {i} must be a vector, got {t}")
+    return t
+
+
+def _same_len(types, opcode):
+    a = _vec(types, 0, opcode)
+    b = _vec(types, 1, opcode)
+    if a.length != b.length:
+        raise IRTypeError(f"{opcode} length mismatch: {a.length} vs {b.length}")
+    return a
+
+
+@OPS.define("vector.constant", 0)
+def _v_constant(types, attrs):
+    """A packed cleartext constant (attr const_name, length)."""
+    return [VectorType(attrs["length"])]
+
+
+@OPS.define("vector.add", 2)
+def _v_add(types, attrs):
+    """add x y — elementwise."""
+    return [_same_len(types, "vector.add")]
+
+
+@OPS.define("vector.mul", 2)
+def _v_mul(types, attrs):
+    """mul x y — elementwise."""
+    return [_same_len(types, "vector.mul")]
+
+
+@OPS.define("vector.broadcast", 1)
+def _v_broadcast(types, attrs):
+    """broadcast x y — repeat a scalar/short vector to attr length."""
+    _vec(types, 0, "vector.broadcast")
+    return [VectorType(attrs["length"])]
+
+
+@OPS.define("vector.pad", 1)
+def _v_pad(types, attrs):
+    """pad x y — extend with zeros to attr length."""
+    x = _vec(types, 0, "vector.pad")
+    length = attrs["length"]
+    if length < x.length:
+        raise IRTypeError("vector.pad cannot shrink")
+    return [VectorType(length)]
+
+
+@OPS.define("vector.reshape", 1)
+def _v_reshape(types, attrs):
+    """reshape d s — metadata-only relabelling of the packed dims."""
+    return [_vec(types, 0, "vector.reshape")]
+
+
+@OPS.define("vector.roll", 1)
+def _v_roll(types, attrs):
+    """roll x y — cyclic left shift by attr steps."""
+    return [_vec(types, 0, "vector.roll")]
+
+
+@OPS.define("vector.slice", 1)
+def _v_slice(types, attrs):
+    """slice d i s — contiguous slice (attrs start, size)."""
+    x = _vec(types, 0, "vector.slice")
+    size = attrs["size"]
+    if attrs.get("start", 0) + size > x.length:
+        raise IRTypeError("vector.slice out of range")
+    return [VectorType(size)]
+
+
+@OPS.define("vector.tile", 1)
+def _v_tile(types, attrs):
+    """tile x y — repeat the vector attr count times."""
+    x = _vec(types, 0, "vector.tile")
+    return [VectorType(x.length * attrs["count"])]
+
+
+@OPS.define("vector.relu", 1)
+def _v_relu(types, attrs):
+    """Opaque nonlinearity, expanded at the SIHE level (attr bound)."""
+    return [_vec(types, 0, "vector.relu")]
+
+
+@OPS.define("vector.nonlinear", 1)
+def _v_nonlinear(types, attrs):
+    """Named smooth nonlinearity (attr kind: sigmoid/tanh/exp/...);
+    expanded into a Chebyshev polynomial at the SIHE level."""
+    return [_vec(types, 0, "vector.nonlinear")]

@@ -1,0 +1,191 @@
+"""Textual IR parser: the inverse of :mod:`repro.ir.printer`.
+
+Round-tripping IR through text makes dumps diffable and lets tests and
+tools construct IR fragments from readable strings.  Constant payloads
+live outside the text (as in the module's external storage); ``const_name``
+attributes must resolve against the module the text is parsed into.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import IRError
+from repro.ir.core import Function, Module, Op, Value
+from repro.ir.types import (
+    Cipher3Type,
+    CipherType,
+    IndexType,
+    PlainType,
+    PolyType,
+    ScalarType,
+    TensorType,
+    Type,
+    VectorType,
+)
+
+_FUNC_RE = re.compile(r"func @([\w.]+)\((.*)\)\s*\{")
+_OP_RE = re.compile(
+    r"(?:(?P<results>%[\w.]+(?:,\s*%[\w.]+)*)\s*=\s*)?"
+    r"(?P<opcode>[\w.]+)\((?P<operands>[^)]*)\)"
+    r"(?:\s*\{(?P<attrs>.*)\})?"
+    r"(?:\s*:\s*(?P<types>.+))?$"
+)
+_RETURN_RE = re.compile(r"return\s*(.*)$")
+
+
+def parse_type(text: str) -> Type:
+    """Parse one type from its printed form."""
+    text = text.strip()
+    if text == "index":
+        return IndexType()
+    match = re.fullmatch(r"(\w+)<([^>]*)>", text)
+    if not match:
+        raise IRError(f"cannot parse type {text!r}")
+    kind, body = match.group(1), match.group(2)
+    if kind == "tensor":
+        *dims, dtype = body.split("x")
+        return TensorType(tuple(int(d) for d in dims), dtype)
+    if kind == "vector":
+        *dims, dtype = body.split("x")
+        return VectorType(int(dims[0]), dtype)
+    if kind == "cipher":
+        return CipherType(int(body))
+    if kind == "cipher3":
+        return Cipher3Type(int(body))
+    if kind == "plain":
+        return PlainType(int(body))
+    if kind == "poly":
+        limbs, degree = body.split("x")
+        return PolyType(int(degree), int(limbs))
+    if kind == "scalar":
+        return ScalarType(body)
+    raise IRError(f"unknown type kind {kind!r}")
+
+
+def _parse_attr_value(text: str):
+    text = text.strip()
+    if text.startswith("[") and text.endswith("]"):
+        inner = text[1:-1].strip()
+        if not inner:
+            return []
+        return [_parse_attr_value(v) for v in _split_top(inner)]
+    if text.startswith(("'", '"')) and text[-1] == text[0]:
+        return text[1:-1]
+    if text in ("True", "False"):
+        return text == "True"
+    if text == "None":
+        return None
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError as exc:
+        raise IRError(f"cannot parse attribute value {text!r}") from exc
+
+
+def _split_top(text: str) -> list[str]:
+    """Split on commas not nested in brackets/quotes."""
+    parts = []
+    depth = 0
+    quote = None
+    current = []
+    for ch in text:
+        if quote:
+            current.append(ch)
+            if ch == quote:
+                quote = None
+            continue
+        if ch in "'\"":
+            quote = ch
+            current.append(ch)
+        elif ch == "[":
+            depth += 1
+            current.append(ch)
+        elif ch == "]":
+            depth -= 1
+            current.append(ch)
+        elif ch == "," and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(ch)
+    if current:
+        parts.append("".join(current))
+    return parts
+
+
+def _parse_attrs(text: str) -> dict:
+    attrs = {}
+    for entry in _split_top(text):
+        if not entry.strip():
+            continue
+        key, _, value = entry.partition("=")
+        if not value:
+            raise IRError(f"malformed attribute {entry!r}")
+        attrs[key.strip()] = _parse_attr_value(value)
+    return attrs
+
+
+def parse_function(text: str, module: Module | None = None) -> Function:
+    """Parse a printed function back into IR (and add it to ``module``)."""
+    module = module if module is not None else Module("parsed")
+    lines = [line.strip() for line in text.strip().splitlines()
+             if line.strip() and not line.strip().startswith("//")]
+    header = _FUNC_RE.match(lines[0])
+    if not header:
+        raise IRError(f"bad function header: {lines[0]!r}")
+    name = header.group(1)
+    params: list[Value] = []
+    env: dict[str, Value] = {}
+    if header.group(2).strip():
+        for param_text in _split_top(header.group(2)):
+            pname, _, ptype = param_text.partition(":")
+            pname = pname.strip().lstrip("%")
+            value = Value(parse_type(ptype), pname)
+            params.append(value)
+            env[pname] = value
+    fn = Function(name, params)
+    for line in lines[1:]:
+        if line == "}":
+            break
+        ret = _RETURN_RE.match(line)
+        if ret:
+            names = [v.strip().lstrip("%") for v in ret.group(1).split(",")
+                     if v.strip()]
+            fn.returns = [env[n] for n in names]
+            continue
+        match = _OP_RE.match(line)
+        if not match:
+            raise IRError(f"cannot parse op line {line!r}")
+        opcode = match.group("opcode")
+        operand_names = [o.strip().lstrip("%")
+                         for o in match.group("operands").split(",")
+                         if o.strip()]
+        try:
+            operands = [env[n] for n in operand_names]
+        except KeyError as exc:
+            raise IRError(f"undefined operand in {line!r}") from exc
+        attrs = _parse_attrs(match.group("attrs") or "")
+        result_names = [
+            r.strip().lstrip("%")
+            for r in (match.group("results") or "").split(",")
+            if r.strip()
+        ]
+        result_types = [
+            parse_type(t) for t in _split_top(match.group("types") or "")
+            if t.strip()
+        ]
+        if len(result_names) != len(result_types):
+            raise IRError(f"result/type arity mismatch in {line!r}")
+        results = []
+        for rname, rtype in zip(result_names, result_types):
+            value = Value(rtype, rname)
+            env[rname] = value
+            results.append(value)
+        fn.append(Op(opcode, operands, results, attrs))
+    module.functions.pop(fn.name, None)
+    module.add_function(fn)
+    return fn

@@ -1,0 +1,51 @@
+"""Textual IR printer (MLIR-flavoured) used by dumps, docs and tests."""
+
+from __future__ import annotations
+
+from repro.ir.core import Function, Module, Op
+
+
+def _fmt_attr(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    if isinstance(value, (list, tuple)):
+        return "[" + ", ".join(_fmt_attr(v) for v in value) + "]"
+    return repr(value) if isinstance(value, str) else str(value)
+
+
+def print_op(op: Op) -> str:
+    outs = ", ".join(f"%{r.name}" for r in op.results)
+    ins = ", ".join(f"%{o.name}" for o in op.operands)
+    attrs = ""
+    if op.attrs:
+        inner = ", ".join(
+            f"{k} = {_fmt_attr(v)}" for k, v in sorted(op.attrs.items())
+        )
+        attrs = f" {{{inner}}}"
+    types = ", ".join(str(r.type) for r in op.results)
+    prefix = f"{outs} = " if outs else ""
+    suffix = f" : {types}" if types else ""
+    return f"{prefix}{op.opcode}({ins}){attrs}{suffix}"
+
+
+def print_function(fn: Function) -> str:
+    params = ", ".join(f"%{p.name}: {p.type}" for p in fn.params)
+    lines = [f"func @{fn.name}({params}) {{"]
+    for op in fn.body:
+        lines.append("  " + print_op(op))
+    rets = ", ".join(f"%{v.name}" for v in fn.returns)
+    lines.append(f"  return {rets}")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def print_module(module: Module) -> str:
+    header = [f"// module @{module.name}"]
+    if module.constants:
+        total = module.constant_bytes()
+        header.append(
+            f"// external constants: {len(module.constants)} tensors, "
+            f"{total} bytes"
+        )
+    bodies = [print_function(fn) for fn in module.functions.values()]
+    return "\n".join(header + bodies)

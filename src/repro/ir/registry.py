@@ -1,0 +1,63 @@
+"""Central opcode registry.
+
+Each dialect registers an :class:`OpDef` per opcode: arity, a result-type
+inference callback and an optional extra verifier.  The builder uses type
+inference; the verifier re-checks whole functions after every pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.errors import IRError
+from repro.ir.types import Type
+
+
+@dataclass
+class OpDef:
+    opcode: str
+    #: operand count; -1 = variadic
+    arity: int
+    #: (operand_types, attrs) -> list of result types
+    infer: Callable[[list[Type], dict], list[Type]]
+    verify: Callable[["object"], None] | None = None
+    doc: str = ""
+
+
+class OpRegistry:
+    def __init__(self):
+        self._defs: dict[str, OpDef] = {}
+
+    def register(self, opdef: OpDef) -> OpDef:
+        if opdef.opcode in self._defs:
+            raise IRError(f"opcode {opdef.opcode} registered twice")
+        self._defs[opdef.opcode] = opdef
+        return opdef
+
+    def define(self, opcode: str, arity: int, doc: str = ""):
+        """Decorator: the function body is the type-inference rule."""
+
+        def wrap(fn):
+            self.register(OpDef(opcode, arity, fn, doc=doc or fn.__doc__ or ""))
+            return fn
+
+        return wrap
+
+    def get(self, opcode: str) -> OpDef:
+        try:
+            return self._defs[opcode]
+        except KeyError as exc:
+            raise IRError(f"unknown opcode {opcode}") from exc
+
+    def __contains__(self, opcode: str) -> bool:
+        return opcode in self._defs
+
+    def by_dialect(self, dialect: str) -> list[OpDef]:
+        prefix = dialect + "."
+        return [d for name, d in sorted(self._defs.items())
+                if name.startswith(prefix)]
+
+
+#: the global registry all dialects register into
+OPS = OpRegistry()

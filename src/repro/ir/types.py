@@ -1,0 +1,107 @@
+"""IR type system spanning all five abstraction levels.
+
+* NN level: :class:`TensorType` (shaped, f32/f64)
+* VECTOR level: :class:`VectorType` (1-D packed cleartext vector)
+* SIHE/CKKS level: :class:`CipherType`, :class:`Cipher3Type`,
+  :class:`PlainType` (slot counts tracked for layout checking)
+* POLY level: :class:`PolyType` (an RNS polynomial with a limb count)
+* scalars/indices for attributes that flow as operands
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class Type:
+    """Base class; all types are immutable and compared by value."""
+
+    def __eq__(self, other):
+        return type(self) is type(other) and self.__dict__ == other.__dict__
+
+    def __hash__(self):
+        return hash((type(self).__name__, tuple(sorted(self.__dict__.items()))))
+
+    def __repr__(self):
+        return str(self)
+
+
+@dataclass(frozen=True, eq=True)
+class TensorType(Type):
+    shape: tuple[int, ...]
+    dtype: str = "f32"
+
+    def __str__(self):
+        dims = "x".join(str(d) for d in self.shape)
+        return f"tensor<{dims}x{self.dtype}>"
+
+    @property
+    def num_elements(self) -> int:
+        out = 1
+        for d in self.shape:
+            out *= d
+        return out
+
+
+@dataclass(frozen=True, eq=True)
+class VectorType(Type):
+    length: int
+    dtype: str = "f64"
+
+    def __str__(self):
+        return f"vector<{self.length}x{self.dtype}>"
+
+
+@dataclass(frozen=True, eq=True)
+class CipherType(Type):
+    slots: int
+
+    def __str__(self):
+        return f"cipher<{self.slots}>"
+
+
+@dataclass(frozen=True, eq=True)
+class Cipher3Type(Type):
+    """Three-polynomial ciphertext produced by cipher-cipher mul."""
+
+    slots: int
+
+    def __str__(self):
+        return f"cipher3<{self.slots}>"
+
+
+@dataclass(frozen=True, eq=True)
+class PlainType(Type):
+    slots: int
+
+    def __str__(self):
+        return f"plain<{self.slots}>"
+
+
+@dataclass(frozen=True, eq=True)
+class PolyType(Type):
+    """An RNS polynomial: ``limbs`` residue polynomials of degree N."""
+
+    degree: int
+    limbs: int
+
+    def __str__(self):
+        return f"poly<{self.limbs}x{self.degree}>"
+
+
+@dataclass(frozen=True, eq=True)
+class ScalarType(Type):
+    dtype: str = "f64"
+
+    def __str__(self):
+        return f"scalar<{self.dtype}>"
+
+
+@dataclass(frozen=True, eq=True)
+class IndexType(Type):
+    def __str__(self):
+        return "index"
+
+
+def is_cipher_like(t: Type) -> bool:
+    return isinstance(t, (CipherType, Cipher3Type))

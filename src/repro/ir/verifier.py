@@ -1,0 +1,52 @@
+"""IR verifier: re-checks structural and typing invariants after passes."""
+
+from __future__ import annotations
+
+from repro.errors import IRError
+from repro.ir.core import Function, Module
+from repro.ir.registry import OPS
+
+
+def verify_function(fn: Function) -> None:
+    """Check SSA dominance (def-before-use), types and op contracts."""
+    defined = {p.id for p in fn.params}
+    for index, op in enumerate(fn.body):
+        opdef = OPS.get(op.opcode)
+        if opdef.arity >= 0 and len(op.operands) != opdef.arity:
+            raise IRError(
+                f"{fn.name}[{index}] {op.opcode}: arity "
+                f"{len(op.operands)} != {opdef.arity}"
+            )
+        for operand in op.operands:
+            if operand.id not in defined:
+                raise IRError(
+                    f"{fn.name}[{index}] {op.opcode}: operand %{operand.name} "
+                    f"used before definition"
+                )
+        expected = opdef.infer([o.type for o in op.operands], op.attrs)
+        actual = [r.type for r in op.results]
+        if expected != actual:
+            raise IRError(
+                f"{fn.name}[{index}] {op.opcode}: result types {actual} "
+                f"do not match inferred {expected}"
+            )
+        if opdef.verify:
+            opdef.verify(op)
+        for r in op.results:
+            if r.id in defined:
+                raise IRError(f"{fn.name}: value %{r.name} defined twice")
+            defined.add(r.id)
+    for ret in fn.returns:
+        if ret.id not in defined:
+            raise IRError(f"{fn.name}: returns undefined value %{ret.name}")
+
+
+def verify_module(module: Module) -> None:
+    for fn in module.functions.values():
+        verify_function(fn)
+    # every const_name must resolve
+    for fn in module.functions.values():
+        for op in fn.body:
+            name = op.attrs.get("const_name")
+            if name is not None and name not in module.constants:
+                raise IRError(f"{fn.name}: dangling constant {name!r}")

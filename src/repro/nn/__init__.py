@@ -1,0 +1,50 @@
+"""Plaintext neural-network substrate.
+
+Provides everything the paper's evaluation needs around the compiler:
+
+* :mod:`repro.nn.functional` — numpy reference kernels (conv2d via
+  im2col, gemm, pooling, relu) that double as the NN-IR interpreter's
+  backing ops and as the "unencrypted inference" baseline (paper §6 RQ2).
+* :mod:`repro.nn.layers` — layer classes with forward/backward, enough to
+  *train* models (the evaluation environment has no pretrained CIFAR
+  ResNets, so we train our own on a synthetic dataset — see DESIGN.md).
+* :mod:`repro.nn.resnet` — CIFAR-style ResNet-20/32/44/56/110 builders
+  plus laptop-scale "mini" variants for exact-backend end-to-end tests.
+* :mod:`repro.nn.datasets` — synthetic CIFAR-10/100-like data.
+* :mod:`repro.nn.export` — model -> ONNX conversion (the compiler's input).
+"""
+
+from repro.nn.layers import (
+    Affine,
+    AvgPool2d,
+    Conv2d,
+    Flatten,
+    GlobalAvgPool,
+    Linear,
+    ReLU,
+    Residual,
+    Sequential,
+)
+from repro.nn.resnet import build_resnet, resnet_mini
+from repro.nn.datasets import SyntheticCifar
+from repro.nn.export import model_to_onnx
+from repro.nn.training import SGD, train_classifier, evaluate_accuracy
+
+__all__ = [
+    "Affine",
+    "AvgPool2d",
+    "Conv2d",
+    "Flatten",
+    "GlobalAvgPool",
+    "Linear",
+    "ReLU",
+    "Residual",
+    "Sequential",
+    "build_resnet",
+    "resnet_mini",
+    "SyntheticCifar",
+    "model_to_onnx",
+    "SGD",
+    "train_classifier",
+    "evaluate_accuracy",
+]

@@ -1,0 +1,87 @@
+"""Synthetic CIFAR-like datasets.
+
+The offline environment has neither CIFAR-10/100 nor pretrained weights,
+so Table 11's experiments use a *synthetic* stand-in: each class is a
+smooth random template; samples are the template under random gain, shift
+and additive noise.  The dataset is easy enough that numpy-trained
+ResNets reach high accuracy quickly, which is what the experiment needs —
+Table 11 measures the encrypted-vs-unencrypted accuracy *gap*, a property
+of the compiler/scheme pipeline, not of the particular weights
+(substitution documented in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass
+class SyntheticCifar:
+    """Generator for CIFAR-shaped synthetic classification data."""
+
+    num_classes: int = 10
+    image_size: int = 32
+    channels: int = 3
+    noise: float = 0.35
+    seed: int = 0
+    #: when set, class templates are mixtures of this many shared basis
+    #: patterns, so the classes live on a low-dimensional manifold a
+    #: narrow network can separate (used for the CIFAR-100 stand-in,
+    #: whose 100 classes would otherwise exceed the information capacity
+    #: of a width-8 ResNet's 32-dim embedding)
+    latent_dim: int | None = None
+    #: maximum random translation applied per sample (augmentation)
+    max_shift: int = 2
+
+    def __post_init__(self) -> None:
+        rng = np.random.default_rng(self.seed)
+        shape = (self.num_classes, self.channels, self.image_size, self.image_size)
+        if self.latent_dim:
+            basis = rng.normal(
+                0.0, 1.0,
+                size=(self.latent_dim, self.channels, self.image_size,
+                      self.image_size),
+            )
+            # class codes on a sphere: 100 well-separated points in R^latent
+            codes = rng.normal(0.0, 1.0, size=(self.num_classes,
+                                               self.latent_dim))
+            codes /= np.linalg.norm(codes, axis=1, keepdims=True)
+            raw = np.tensordot(codes, basis, axes=1)
+        else:
+            raw = rng.normal(0.0, 1.0, size=shape)
+        # Smooth the templates so convolutions have local structure to use.
+        kernel = np.ones((3, 3)) / 9.0
+        smooth = np.empty_like(raw)
+        for c in range(self.num_classes):
+            for ch in range(self.channels):
+                smooth[c, ch] = _conv_same(raw[c, ch], kernel)
+        self.templates = smooth / np.abs(smooth).max()
+
+    def sample(self, count: int, seed: int = 1) -> tuple[np.ndarray, np.ndarray]:
+        """Return (images, labels); images in [-1, 1]-ish, NCHW float64."""
+        rng = np.random.default_rng(seed)
+        labels = rng.integers(0, self.num_classes, size=count)
+        gains = rng.uniform(0.7, 1.3, size=(count, 1, 1, 1))
+        images = self.templates[labels] * gains
+        if self.max_shift:
+            shifts = rng.integers(-self.max_shift, self.max_shift + 1,
+                                  size=(count, 2))
+            for i, (dy, dx) in enumerate(shifts):
+                images[i] = np.roll(images[i], (int(dy), int(dx)),
+                                    axis=(1, 2))
+        images = images + rng.normal(0.0, self.noise, size=images.shape)
+        return images, labels
+
+
+def _conv_same(image: np.ndarray, kernel: np.ndarray) -> np.ndarray:
+    kh, kw = kernel.shape
+    pad_h, pad_w = kh // 2, kw // 2
+    padded = np.pad(image, ((pad_h, pad_h), (pad_w, pad_w)), mode="wrap")
+    out = np.zeros_like(image)
+    for i in range(kh):
+        for j in range(kw):
+            out += kernel[i, j] * padded[i : i + image.shape[0],
+                                         j : j + image.shape[1]]
+    return out

@@ -1,0 +1,141 @@
+"""Export trained models to ONNX (the ANT-ACE compiler's input format).
+
+Affine (static batch-norm) layers are folded into the preceding
+convolution, producing the standard inference-time graph of Conv / Relu /
+Add / AveragePool / GlobalAveragePool / Flatten / Gemm nodes — exactly
+the operator subset of paper Table 3.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.nn.layers import (
+    Affine,
+    AvgPool2d,
+    Conv2d,
+    Flatten,
+    GlobalAvgPool,
+    Linear,
+    ReLU,
+    Residual,
+    Sequential,
+)
+from repro.onnx.builder import OnnxGraphBuilder
+from repro.onnx.protos import ModelProto
+
+
+def _fold_affines(layers: list) -> list:
+    """Fold every Conv2d+Affine pair into a single conv."""
+    out = []
+    i = 0
+    while i < len(layers):
+        layer = layers[i]
+        if (
+            isinstance(layer, Conv2d)
+            and i + 1 < len(layers)
+            and isinstance(layers[i + 1], Affine)
+        ):
+            affine = layers[i + 1]
+            folded = Conv2d.__new__(Conv2d)
+            folded.weight = layer.weight * affine.scale[:, None, None, None]
+            folded.bias = layer.bias * affine.scale + affine.shift
+            folded.stride = layer.stride
+            folded.pad = layer.pad
+            out.append(folded)
+            i += 2
+        elif isinstance(layer, Affine):
+            raise ParameterError("Affine without preceding Conv2d in export")
+        else:
+            out.append(layer)
+            i += 1
+    return out
+
+
+class _Exporter:
+    def __init__(self, builder: OnnxGraphBuilder):
+        self.b = builder
+        self._weight_idx = 0
+
+    def _weight_name(self, hint: str) -> str:
+        self._weight_idx += 1
+        return f"{hint}_{self._weight_idx}"
+
+    def emit(self, layer, current: str) -> str:
+        if isinstance(layer, Sequential):
+            for sub in _fold_affines(layer.layers):
+                current = self.emit(sub, current)
+            return current
+        if isinstance(layer, Conv2d):
+            w = self.b.add_initializer(
+                self._weight_name("conv_w"), layer.weight.astype(np.float32)
+            )
+            bias = self.b.add_initializer(
+                self._weight_name("conv_b"), layer.bias.astype(np.float32)
+            )
+            return self.b.add_node(
+                "Conv",
+                [current, w, bias],
+                strides=[layer.stride, layer.stride],
+                pads=[layer.pad] * 4,
+                kernel_shape=[layer.weight.shape[2], layer.weight.shape[3]],
+            )
+        if isinstance(layer, ReLU):
+            return self.b.add_node("Relu", [current])
+        if isinstance(layer, AvgPool2d):
+            return self.b.add_node(
+                "AveragePool",
+                [current],
+                kernel_shape=[layer.kernel, layer.kernel],
+                strides=[layer.stride, layer.stride],
+            )
+        if isinstance(layer, GlobalAvgPool):
+            return self.b.add_node("GlobalAveragePool", [current])
+        if isinstance(layer, Flatten):
+            return self.b.add_node("Flatten", [current], axis=1)
+        if isinstance(layer, Linear):
+            w = self.b.add_initializer(
+                self._weight_name("fc_w"), layer.weight.astype(np.float32)
+            )
+            bias = self.b.add_initializer(
+                self._weight_name("fc_b"), layer.bias.astype(np.float32)
+            )
+            return self.b.add_node("Gemm", [current, w, bias], transB=1)
+        if isinstance(layer, Residual):
+            main = current
+            for sub in _fold_affines(layer.main.layers):
+                main = self.emit(sub, main)
+            skip = current
+            if layer.shortcut is not None:
+                skip = self.emit(layer.shortcut, skip)
+            added = self.b.add_node("Add", [main, skip])
+            return self.b.add_node("Relu", [added])
+        raise ParameterError(f"cannot export layer type {type(layer).__name__}")
+
+
+def model_to_onnx(
+    model: Sequential,
+    input_shape: tuple[int, ...] | None = None,
+    name: str | None = None,
+) -> ModelProto:
+    """Convert a (trained) model into an ONNX ModelProto.
+
+    ``input_shape`` is (C, H, W); batch dimension is fixed to 1, matching
+    the paper's per-image encrypted inference.
+    """
+    meta = getattr(model, "meta", {})
+    if input_shape is None:
+        input_shape = meta.get("input_shape")
+    if input_shape is None:
+        raise ParameterError("input_shape required (model has no meta)")
+    builder = OnnxGraphBuilder(name or meta.get("name", "model"))
+    current = builder.add_input("image", [1, *input_shape])
+    exporter = _Exporter(builder)
+    current = exporter.emit(model, current)
+    num_classes = meta.get("num_classes")
+    out_shape = [1, num_classes] if num_classes else [1, -1]
+    # rename the final value to "output"
+    builder.graph.node[-1].output[0] = "output"
+    builder.add_output("output", out_shape)
+    return builder.build()

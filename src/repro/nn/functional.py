@@ -1,0 +1,105 @@
+"""Numpy reference kernels for the supported NN operators.
+
+These are the semantics the compiler must preserve; the NN-IR interpreter
+and the plaintext baseline both call into this module.  Layout is NCHW.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+
+def im2col(x: np.ndarray, kh: int, kw: int, stride: int, pad: int) -> np.ndarray:
+    """(N, C, H, W) -> (N, out_h*out_w, C*kh*kw) patch matrix."""
+    n, c, h, w = x.shape
+    out_h = (h + 2 * pad - kh) // stride + 1
+    out_w = (w + 2 * pad - kw) // stride + 1
+    if out_h <= 0 or out_w <= 0:
+        raise ParameterError("kernel larger than padded input")
+    xp = np.pad(x, ((0, 0), (0, 0), (pad, pad), (pad, pad)))
+    cols = np.empty((n, c, kh, kw, out_h, out_w), dtype=x.dtype)
+    for i in range(kh):
+        i_max = i + stride * out_h
+        for j in range(kw):
+            j_max = j + stride * out_w
+            cols[:, :, i, j, :, :] = xp[:, :, i:i_max:stride, j:j_max:stride]
+    return cols.transpose(0, 4, 5, 1, 2, 3).reshape(n, out_h * out_w, c * kh * kw)
+
+
+def col2im(cols: np.ndarray, x_shape, kh: int, kw: int, stride: int, pad: int) -> np.ndarray:
+    """Adjoint of :func:`im2col` (used by conv backward)."""
+    n, c, h, w = x_shape
+    out_h = (h + 2 * pad - kh) // stride + 1
+    out_w = (w + 2 * pad - kw) // stride + 1
+    cols = cols.reshape(n, out_h, out_w, c, kh, kw).transpose(0, 3, 4, 5, 1, 2)
+    xp = np.zeros((n, c, h + 2 * pad, w + 2 * pad), dtype=cols.dtype)
+    for i in range(kh):
+        i_max = i + stride * out_h
+        for j in range(kw):
+            j_max = j + stride * out_w
+            xp[:, :, i:i_max:stride, j:j_max:stride] += cols[:, :, i, j, :, :]
+    return xp[:, :, pad : pad + h, pad : pad + w]
+
+
+def conv2d(x: np.ndarray, weight: np.ndarray, bias: np.ndarray | None,
+           stride: int = 1, pad: int = 0) -> np.ndarray:
+    """2-D convolution, NCHW x (C_out, C_in, kh, kw)."""
+    n = x.shape[0]
+    c_out, c_in, kh, kw = weight.shape
+    if x.shape[1] != c_in:
+        raise ParameterError(
+            f"channel mismatch: input {x.shape[1]}, weight {c_in}"
+        )
+    cols = im2col(x, kh, kw, stride, pad)
+    out = cols @ weight.reshape(c_out, -1).T  # (N, oh*ow, C_out)
+    if bias is not None:
+        out = out + bias
+    out_h = (x.shape[2] + 2 * pad - kh) // stride + 1
+    out_w = (x.shape[3] + 2 * pad - kw) // stride + 1
+    return out.transpose(0, 2, 1).reshape(n, c_out, out_h, out_w)
+
+
+def gemm(a: np.ndarray, b: np.ndarray, c: np.ndarray | None = None,
+         trans_b: bool = False) -> np.ndarray:
+    """ONNX Gemm: a @ b (+ c)."""
+    out = a @ (b.T if trans_b else b)
+    if c is not None:
+        out = out + c
+    return out
+
+
+def relu(x: np.ndarray) -> np.ndarray:
+    return np.maximum(x, 0.0)
+
+
+def avg_pool2d(x: np.ndarray, kernel: int, stride: int | None = None) -> np.ndarray:
+    stride = stride or kernel
+    n, c, h, w = x.shape
+    out_h = (h - kernel) // stride + 1
+    out_w = (w - kernel) // stride + 1
+    out = np.zeros((n, c, out_h, out_w), dtype=x.dtype)
+    for i in range(kernel):
+        for j in range(kernel):
+            out += x[:, :, i : i + stride * out_h : stride,
+                     j : j + stride * out_w : stride]
+    return out / (kernel * kernel)
+
+
+def global_avg_pool(x: np.ndarray) -> np.ndarray:
+    """(N, C, H, W) -> (N, C, 1, 1)."""
+    return x.mean(axis=(2, 3), keepdims=True)
+
+
+def flatten(x: np.ndarray, axis: int = 1) -> np.ndarray:
+    lead = int(np.prod(x.shape[:axis])) if axis else 1
+    return x.reshape(lead, -1)
+
+
+def strided_slice(x: np.ndarray, starts, sizes, strides) -> np.ndarray:
+    """Paper Table 3 strided_slice: start/size/stride per dimension."""
+    slices = tuple(
+        slice(b, b + sz * st, st) for b, sz, st in zip(starts, sizes, strides)
+    )
+    return x[slices]

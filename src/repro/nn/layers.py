@@ -1,0 +1,254 @@
+"""Layer classes with forward *and* backward passes.
+
+A deliberately small "tiny-torch": enough to train CIFAR-style ResNets in
+numpy (the environment has no pretrained weights, so Table 11's models are
+trained here on synthetic data) and to export inference graphs to ONNX.
+
+Every layer implements ``forward(x, train)`` and ``backward(grad)``;
+parameters and their gradients live in ``params()`` as
+``(name, value, grad)`` triples updated in place by the optimiser.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.nn import functional as F
+
+
+class Layer:
+    """Base class: stateless by default."""
+
+    def forward(self, x: np.ndarray, train: bool = False) -> np.ndarray:
+        raise NotImplementedError
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def params(self) -> list[dict]:
+        return []
+
+    def __call__(self, x: np.ndarray, train: bool = False) -> np.ndarray:
+        return self.forward(x, train)
+
+
+class Conv2d(Layer):
+    """3x3/1x1 convolution with optional bias, NCHW."""
+
+    def __init__(self, in_channels: int, out_channels: int, kernel: int,
+                 stride: int = 1, pad: int | None = None,
+                 rng: np.random.Generator | None = None,
+                 weight_scale: float = 1.0):
+        rng = rng or np.random.default_rng()
+        fan_in = in_channels * kernel * kernel
+        std = weight_scale * np.sqrt(2.0 / fan_in)
+        self.weight = rng.normal(0.0, std, size=(out_channels, in_channels,
+                                                 kernel, kernel))
+        self.bias = np.zeros(out_channels)
+        self.stride = stride
+        self.pad = kernel // 2 if pad is None else pad
+        self.grad_weight = np.zeros_like(self.weight)
+        self.grad_bias = np.zeros_like(self.bias)
+        self._cache = None
+
+    def forward(self, x, train=False):
+        out = F.conv2d(x, self.weight, self.bias, self.stride, self.pad)
+        if train:
+            self._cache = (x, out.shape)
+        return out
+
+    def backward(self, grad):
+        x, out_shape = self._cache
+        n, c_out, oh, ow = out_shape
+        kh = kw = self.weight.shape[2]
+        grad_mat = grad.reshape(n, c_out, oh * ow).transpose(0, 2, 1)
+        cols = F.im2col(x, kh, kw, self.stride, self.pad)
+        # (C_out, C_in*kh*kw) accumulated over batch and positions
+        gw = np.einsum("npk,npc->ck", cols, grad_mat)
+        self.grad_weight += gw.reshape(self.weight.shape)
+        self.grad_bias += grad_mat.sum(axis=(0, 1))
+        grad_cols = grad_mat @ self.weight.reshape(c_out, -1)
+        return F.col2im(grad_cols, x.shape, kh, kw, self.stride, self.pad)
+
+    def params(self):
+        return [
+            {"value": self.weight, "grad": self.grad_weight},
+            {"value": self.bias, "grad": self.grad_bias},
+        ]
+
+
+class Affine(Layer):
+    """Per-channel scale and shift — a folded/static batch-norm stand-in.
+
+    At export time this folds into the preceding convolution, so the
+    compiled FHE graph sees plain convs (the paper's models are likewise
+    BN-folded for inference).
+    """
+
+    def __init__(self, channels: int, init_scale: float = 1.0):
+        self.scale = np.full(channels, init_scale)
+        self.shift = np.zeros(channels)
+        self.grad_scale = np.zeros_like(self.scale)
+        self.grad_shift = np.zeros_like(self.shift)
+        self._cache = None
+
+    def forward(self, x, train=False):
+        if train:
+            self._cache = x
+        return x * self.scale[:, None, None] + self.shift[:, None, None]
+
+    def backward(self, grad):
+        x = self._cache
+        self.grad_scale += (grad * x).sum(axis=(0, 2, 3))
+        self.grad_shift += grad.sum(axis=(0, 2, 3))
+        return grad * self.scale[:, None, None]
+
+    def params(self):
+        return [
+            {"value": self.scale, "grad": self.grad_scale},
+            {"value": self.shift, "grad": self.grad_shift},
+        ]
+
+
+class ReLU(Layer):
+    def __init__(self):
+        self._mask = None
+
+    def forward(self, x, train=False):
+        if train:
+            self._mask = x > 0
+        return F.relu(x)
+
+    def backward(self, grad):
+        return grad * self._mask
+
+
+class AvgPool2d(Layer):
+    def __init__(self, kernel: int, stride: int | None = None):
+        self.kernel = kernel
+        self.stride = stride or kernel
+        self._in_shape = None
+
+    def forward(self, x, train=False):
+        if train:
+            self._in_shape = x.shape
+        return F.avg_pool2d(x, self.kernel, self.stride)
+
+    def backward(self, grad):
+        n, c, h, w = self._in_shape
+        k, s = self.kernel, self.stride
+        out = np.zeros(self._in_shape)
+        oh, ow = grad.shape[2], grad.shape[3]
+        spread = grad / (k * k)
+        for i in range(k):
+            for j in range(k):
+                out[:, :, i : i + s * oh : s, j : j + s * ow : s] += spread
+        return out
+
+
+class GlobalAvgPool(Layer):
+    def __init__(self):
+        self._in_shape = None
+
+    def forward(self, x, train=False):
+        if train:
+            self._in_shape = x.shape
+        return F.global_avg_pool(x)
+
+    def backward(self, grad):
+        n, c, h, w = self._in_shape
+        return np.broadcast_to(grad / (h * w), self._in_shape).copy()
+
+
+class Flatten(Layer):
+    def __init__(self):
+        self._in_shape = None
+
+    def forward(self, x, train=False):
+        if train:
+            self._in_shape = x.shape
+        return F.flatten(x)
+
+    def backward(self, grad):
+        return grad.reshape(self._in_shape)
+
+
+class Linear(Layer):
+    def __init__(self, in_features: int, out_features: int,
+                 rng: np.random.Generator | None = None):
+        rng = rng or np.random.default_rng()
+        std = np.sqrt(2.0 / in_features)
+        self.weight = rng.normal(0.0, std, size=(out_features, in_features))
+        self.bias = np.zeros(out_features)
+        self.grad_weight = np.zeros_like(self.weight)
+        self.grad_bias = np.zeros_like(self.bias)
+        self._cache = None
+
+    def forward(self, x, train=False):
+        if train:
+            self._cache = x
+        return F.gemm(x, self.weight, self.bias, trans_b=True)
+
+    def backward(self, grad):
+        x = self._cache
+        self.grad_weight += grad.T @ x
+        self.grad_bias += grad.sum(axis=0)
+        return grad @ self.weight
+
+    def params(self):
+        return [
+            {"value": self.weight, "grad": self.grad_weight},
+            {"value": self.bias, "grad": self.grad_bias},
+        ]
+
+
+class Sequential(Layer):
+    def __init__(self, *layers: Layer):
+        self.layers = list(layers)
+
+    def forward(self, x, train=False):
+        for layer in self.layers:
+            x = layer.forward(x, train)
+        return x
+
+    def backward(self, grad):
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def params(self):
+        out = []
+        for layer in self.layers:
+            out.extend(layer.params())
+        return out
+
+
+class Residual(Layer):
+    """y = relu(main(x) + shortcut(x)) — the CIFAR ResNet basic block."""
+
+    def __init__(self, main: Sequential, shortcut: Layer | None = None):
+        self.main = main
+        self.shortcut = shortcut  # None = identity
+        self.relu = ReLU()
+
+    def forward(self, x, train=False):
+        main = self.main.forward(x, train)
+        skip = self.shortcut.forward(x, train) if self.shortcut else x
+        if main.shape != skip.shape:
+            raise ParameterError(
+                f"residual shape mismatch: {main.shape} vs {skip.shape}"
+            )
+        return self.relu.forward(main + skip, train)
+
+    def backward(self, grad):
+        grad = self.relu.backward(grad)
+        grad_main = self.main.backward(grad)
+        grad_skip = self.shortcut.backward(grad) if self.shortcut else grad
+        return grad_main + grad_skip
+
+    def params(self):
+        out = self.main.params()
+        if self.shortcut:
+            out.extend(self.shortcut.params())
+        return out

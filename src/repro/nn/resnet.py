@@ -1,0 +1,128 @@
+"""CIFAR-style ResNet builders (He et al. topology, as in the paper).
+
+A CIFAR ResNet-(6k+2) has a 3x3 stem conv (16 channels) and three stages
+of k basic blocks each at 16/32/64 channels, with stride-2 downsampling
+(and a 1x1 projection shortcut) entering stages 2 and 3, followed by
+global average pooling and a linear classifier.
+
+* ResNet-20/32/44/56/110 -> k = 3/5/7/9/18  (evaluation models)
+* :func:`resnet_mini` — a shrunken same-topology network (8x8 input, few
+  channels) small enough to run end-to-end on the *exact* CKKS backend.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.nn.layers import (
+    Affine,
+    Conv2d,
+    Flatten,
+    GlobalAvgPool,
+    Linear,
+    ReLU,
+    Residual,
+    Sequential,
+)
+
+#: model name -> (depth, blocks per stage)
+RESNET_DEPTHS = {20: 3, 32: 5, 44: 7, 56: 9, 110: 18}
+
+
+def _basic_block(in_ch: int, out_ch: int, stride: int,
+                 rng: np.random.Generator, depth_scale: float) -> Residual:
+    main = Sequential(
+        Conv2d(in_ch, out_ch, 3, stride=stride, rng=rng),
+        Affine(out_ch),
+        ReLU(),
+        Conv2d(out_ch, out_ch, 3, rng=rng, weight_scale=depth_scale),
+        Affine(out_ch, init_scale=depth_scale),
+    )
+    shortcut = None
+    if stride != 1 or in_ch != out_ch:
+        shortcut = Sequential(
+            Conv2d(in_ch, out_ch, 1, stride=stride, pad=0, rng=rng),
+            Affine(out_ch),
+        )
+    return Residual(main, shortcut)
+
+
+def build_resnet(
+    depth: int,
+    num_classes: int = 10,
+    in_channels: int = 3,
+    base_width: int = 16,
+    input_size: int = 32,
+    seed: int = 0,
+) -> Sequential:
+    """Build a CIFAR ResNet of the given depth.
+
+    ``base_width``/``input_size`` shrink the model for exact-backend runs
+    while preserving the exact topology family.
+    """
+    if depth not in RESNET_DEPTHS and (depth - 2) % 6 != 0:
+        raise ParameterError(f"depth must be 6k+2, got {depth}")
+    k = RESNET_DEPTHS.get(depth, (depth - 2) // 6)
+    rng = np.random.default_rng(seed)
+    # scale down residual branches for trainability at depth (fixup-style)
+    depth_scale = 1.0 / np.sqrt(3 * k)
+    widths = [base_width, 2 * base_width, 4 * base_width]
+    layers: list = [
+        Conv2d(in_channels, widths[0], 3, rng=rng),
+        Affine(widths[0]),
+        ReLU(),
+    ]
+    in_ch = widths[0]
+    for stage, width in enumerate(widths):
+        for block in range(k):
+            stride = 2 if (stage > 0 and block == 0) else 1
+            layers.append(_basic_block(in_ch, width, stride, rng, depth_scale))
+            in_ch = width
+    layers += [
+        GlobalAvgPool(),
+        Flatten(),
+        Linear(in_ch, num_classes, rng=rng),
+    ]
+    model = Sequential(*layers)
+    model.meta = {
+        "name": f"ResNet-{depth}",
+        "depth": depth,
+        "num_classes": num_classes,
+        "input_shape": (in_channels, input_size, input_size),
+    }
+    return model
+
+
+def resnet_mini(
+    num_classes: int = 4,
+    in_channels: int = 1,
+    base_width: int = 2,
+    input_size: int = 8,
+    blocks: int = 1,
+    seed: int = 0,
+) -> Sequential:
+    """A tiny same-shape ResNet for exact-backend end-to-end tests."""
+    rng = np.random.default_rng(seed)
+    width = base_width
+    layers: list = [
+        Conv2d(in_channels, width, 3, rng=rng),
+        Affine(width),
+        ReLU(),
+    ]
+    in_ch = width
+    for block in range(blocks):
+        layers.append(_basic_block(in_ch, width, 1, rng, 1.0))
+    layers += [
+        GlobalAvgPool(),
+        Flatten(),
+        Linear(in_ch, num_classes, rng=rng),
+    ]
+    model = Sequential(*layers)
+    model.meta = {
+        "name": f"ResNet-mini-{2 + 2 * blocks}",
+        "depth": 2 + 2 * blocks,
+        "num_classes": num_classes,
+        "input_shape": (in_channels, input_size, input_size),
+    }
+    return model

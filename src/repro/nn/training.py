@@ -1,0 +1,79 @@
+"""Minimal training loop: softmax cross-entropy + SGD with momentum."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def softmax(logits: np.ndarray) -> np.ndarray:
+    shifted = logits - logits.max(axis=1, keepdims=True)
+    e = np.exp(shifted)
+    return e / e.sum(axis=1, keepdims=True)
+
+
+def cross_entropy_grad(logits: np.ndarray, labels: np.ndarray):
+    """Return (loss, dlogits) for mean softmax cross-entropy."""
+    probs = softmax(logits)
+    n = logits.shape[0]
+    loss = -np.log(probs[np.arange(n), labels] + 1e-12).mean()
+    grad = probs
+    grad[np.arange(n), labels] -= 1.0
+    return loss, grad / n
+
+
+class SGD:
+    """SGD with momentum operating on layer param dicts in place."""
+
+    def __init__(self, params: list[dict], lr: float = 0.05,
+                 momentum: float = 0.9, weight_decay: float = 1e-4):
+        self.params = params
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p["value"]) for p in params]
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p["grad"][...] = 0.0
+
+    def step(self) -> None:
+        for p, v in zip(self.params, self._velocity):
+            grad = p["grad"] + self.weight_decay * p["value"]
+            v *= self.momentum
+            v -= self.lr * grad
+            p["value"] += v
+
+
+def train_classifier(
+    model,
+    dataset,
+    steps: int = 60,
+    batch_size: int = 32,
+    lr: float = 0.05,
+    seed: int = 0,
+    verbose: bool = False,
+) -> list[float]:
+    """Train in place; returns the per-step loss history."""
+    optimiser = SGD(model.params(), lr=lr)
+    losses = []
+    for step in range(steps):
+        images, labels = dataset.sample(batch_size, seed=seed * 100003 + step)
+        optimiser.zero_grad()
+        logits = model.forward(images, train=True)
+        loss, dlogits = cross_entropy_grad(logits, labels)
+        model.backward(dlogits)
+        optimiser.step()
+        losses.append(loss)
+        if verbose and step % 10 == 0:
+            print(f"step {step:4d}  loss {loss:.4f}")
+    return losses
+
+
+def evaluate_accuracy(model, images: np.ndarray, labels: np.ndarray,
+                      batch_size: int = 64) -> float:
+    correct = 0
+    for start in range(0, len(images), batch_size):
+        batch = images[start : start + batch_size]
+        preds = model.forward(batch).argmax(axis=1)
+        correct += int((preds == labels[start : start + batch_size]).sum())
+    return correct / len(images)

@@ -1,0 +1,36 @@
+"""ONNX substrate: read and write real ``.onnx`` files with no dependencies.
+
+The paper's front end consumes ONNX models.  The evaluation environment
+has no ``onnx``/``protobuf`` packages, so this package implements the
+protobuf *wire format* from scratch (:mod:`repro.onnx.wire`), a typed
+subset of the ONNX message schema (:mod:`repro.onnx.protos`), and
+higher-level load/save helpers.  Models we export here are valid ONNX
+protobuf payloads byte-compatible with the official tooling for the
+message subset used.
+"""
+
+from repro.onnx.protos import (
+    AttributeProto,
+    GraphProto,
+    ModelProto,
+    NodeProto,
+    TensorProto,
+    ValueInfoProto,
+)
+from repro.onnx.reader import load_model, load_model_bytes
+from repro.onnx.writer import save_model, model_to_bytes
+from repro.onnx.builder import OnnxGraphBuilder
+
+__all__ = [
+    "AttributeProto",
+    "GraphProto",
+    "ModelProto",
+    "NodeProto",
+    "TensorProto",
+    "ValueInfoProto",
+    "load_model",
+    "load_model_bytes",
+    "save_model",
+    "model_to_bytes",
+    "OnnxGraphBuilder",
+]

@@ -1,0 +1,83 @@
+"""Convenience builder for ONNX graphs.
+
+Mirrors the tiny part of the official ``onnx.helper`` API our examples
+and the NN exporter need: declare inputs/outputs, add initializers, chain
+nodes, and produce a :class:`ModelProto`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import OnnxParseError
+from repro.onnx.protos import (
+    FLOAT,
+    AttributeProto,
+    GraphProto,
+    ModelProto,
+    NodeProto,
+    TensorProto,
+    ValueInfoProto,
+)
+
+
+class OnnxGraphBuilder:
+    """Incrementally construct an ONNX model."""
+
+    def __init__(self, name: str = "graph"):
+        self.graph = GraphProto(name=name)
+        self._counter = 0
+        self._known_names: set[str] = set()
+
+    def fresh_name(self, hint: str = "t") -> str:
+        self._counter += 1
+        return f"{hint}_{self._counter}"
+
+    def add_input(self, name: str, shape: list[int]) -> str:
+        self._claim(name)
+        self.graph.input.append(
+            ValueInfoProto(name=name, elem_type=FLOAT, shape=list(shape))
+        )
+        return name
+
+    def add_output(self, name: str, shape: list[int]) -> str:
+        self.graph.output.append(
+            ValueInfoProto(name=name, elem_type=FLOAT, shape=list(shape))
+        )
+        return name
+
+    def add_initializer(self, name: str, array: np.ndarray) -> str:
+        self._claim(name)
+        self.graph.initializer.append(TensorProto.from_numpy(name, array))
+        return name
+
+    def add_node(
+        self,
+        op_type: str,
+        inputs: list[str],
+        outputs: list[str] | None = None,
+        name: str | None = None,
+        **attrs,
+    ) -> str:
+        """Append a node; returns its (single) output name."""
+        if outputs is None:
+            outputs = [self.fresh_name(op_type.lower())]
+        node = NodeProto(
+            op_type=op_type,
+            name=name or self.fresh_name(f"node_{op_type.lower()}"),
+            input=list(inputs),
+            output=list(outputs),
+            attribute=[AttributeProto.make(k, v) for k, v in attrs.items()],
+        )
+        self.graph.node.append(node)
+        return outputs[0]
+
+    def build(self, producer: str = "repro-ant-ace") -> ModelProto:
+        if not self.graph.output:
+            raise OnnxParseError("graph has no declared outputs")
+        return ModelProto(producer_name=producer, graph=self.graph)
+
+    def _claim(self, name: str) -> None:
+        if name in self._known_names:
+            raise OnnxParseError(f"duplicate graph name {name!r}")
+        self._known_names.add(name)

@@ -1,0 +1,402 @@
+"""Typed subset of the ONNX protobuf schema with serialise/parse methods.
+
+Field numbers follow the official ``onnx.proto3`` definition, so payloads
+produced here are readable by the official ONNX tooling (for the message
+subset implemented) and vice versa.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import OnnxParseError
+from repro.onnx import wire
+
+# TensorProto.DataType values
+FLOAT = 1
+INT32 = 6
+INT64 = 7
+DOUBLE = 11
+
+_NUMPY_TO_ONNX = {
+    np.dtype(np.float32): FLOAT,
+    np.dtype(np.float64): DOUBLE,
+    np.dtype(np.int32): INT32,
+    np.dtype(np.int64): INT64,
+}
+_ONNX_TO_NUMPY = {v: k for k, v in _NUMPY_TO_ONNX.items()}
+
+
+@dataclass
+class TensorProto:
+    """A constant tensor (weights, biases, shape operands)."""
+
+    name: str = ""
+    dims: list[int] = field(default_factory=list)
+    data_type: int = FLOAT
+    raw_data: bytes = b""
+
+    @classmethod
+    def from_numpy(cls, name: str, array: np.ndarray) -> "TensorProto":
+        array = np.asarray(array)
+        shape = list(array.shape)  # before ascontiguousarray 0-d promotion
+        array = np.ascontiguousarray(array)
+        if array.dtype not in _NUMPY_TO_ONNX:
+            array = array.astype(np.float32)
+        return cls(
+            name=name,
+            dims=shape,
+            data_type=_NUMPY_TO_ONNX[array.dtype],
+            raw_data=array.tobytes(),
+        )
+
+    def to_numpy(self) -> np.ndarray:
+        if self.data_type not in _ONNX_TO_NUMPY:
+            raise OnnxParseError(f"unsupported tensor data type {self.data_type}")
+        dtype = _ONNX_TO_NUMPY[self.data_type]
+        arr = np.frombuffer(self.raw_data, dtype=dtype)
+        return arr.reshape(self.dims) if self.dims else arr.reshape(())
+
+    def serialize(self) -> bytes:
+        out = bytearray()
+        if self.dims:
+            out += wire.encode_packed_varints(1, self.dims)
+        out += wire.encode_varint_field(2, self.data_type)
+        if self.name:
+            out += wire.encode_string_field(8, self.name)
+        if self.raw_data:
+            out += wire.encode_len_field(9, self.raw_data)
+        return bytes(out)
+
+    @classmethod
+    def parse(cls, data: bytes) -> "TensorProto":
+        t = cls()
+        float_data: list[float] = []
+        int_data: list[int] = []
+        for num, wt, val, _ in wire.iter_fields(data):
+            if num == 1:
+                if wt == wire.WIRE_LEN:
+                    t.dims.extend(wire.decode_packed_varints(val))
+                else:
+                    t.dims.append(wire.to_signed64(val))
+            elif num == 2:
+                t.data_type = val
+            elif num == 4:
+                if wt == wire.WIRE_LEN:
+                    float_data.extend(wire.decode_packed_floats(val))
+                else:
+                    float_data.append(wire.decode_fixed32_float(val))
+            elif num in (5, 7):
+                if wt == wire.WIRE_LEN:
+                    int_data.extend(wire.decode_packed_varints(val))
+                else:
+                    int_data.append(wire.to_signed64(val))
+            elif num == 8:
+                t.name = val.decode("utf-8")
+            elif num == 9:
+                t.raw_data = bytes(val)
+        if not t.raw_data and float_data:
+            t.raw_data = np.asarray(float_data, dtype=np.float32).tobytes()
+        if not t.raw_data and int_data:
+            dtype = np.int64 if t.data_type == INT64 else np.int32
+            t.raw_data = np.asarray(int_data, dtype=dtype).tobytes()
+        return t
+
+
+# AttributeProto.AttributeType values
+ATTR_FLOAT = 1
+ATTR_INT = 2
+ATTR_STRING = 3
+ATTR_TENSOR = 4
+ATTR_FLOATS = 6
+ATTR_INTS = 7
+ATTR_STRINGS = 8
+
+
+@dataclass
+class AttributeProto:
+    name: str = ""
+    type: int = 0
+    f: float = 0.0
+    i: int = 0
+    s: bytes = b""
+    t: TensorProto | None = None
+    floats: list[float] = field(default_factory=list)
+    ints: list[int] = field(default_factory=list)
+    strings: list[bytes] = field(default_factory=list)
+
+    @classmethod
+    def make(cls, name: str, value) -> "AttributeProto":
+        """Infer the attribute type from a Python value."""
+        attr = cls(name=name)
+        if isinstance(value, bool):
+            attr.type, attr.i = ATTR_INT, int(value)
+        elif isinstance(value, int):
+            attr.type, attr.i = ATTR_INT, value
+        elif isinstance(value, float):
+            attr.type, attr.f = ATTR_FLOAT, value
+        elif isinstance(value, str):
+            attr.type, attr.s = ATTR_STRING, value.encode("utf-8")
+        elif isinstance(value, TensorProto):
+            attr.type, attr.t = ATTR_TENSOR, value
+        elif isinstance(value, (list, tuple)):
+            if all(isinstance(v, int) for v in value):
+                attr.type, attr.ints = ATTR_INTS, list(value)
+            elif all(isinstance(v, (int, float)) for v in value):
+                attr.type, attr.floats = ATTR_FLOATS, [float(v) for v in value]
+            elif all(isinstance(v, str) for v in value):
+                attr.type = ATTR_STRINGS
+                attr.strings = [v.encode("utf-8") for v in value]
+            else:
+                raise OnnxParseError(f"cannot infer attribute type for {value!r}")
+        else:
+            raise OnnxParseError(f"cannot infer attribute type for {value!r}")
+        return attr
+
+    def value(self):
+        """The attribute payload as a plain Python object."""
+        if self.type == ATTR_FLOAT:
+            return self.f
+        if self.type == ATTR_INT:
+            return self.i
+        if self.type == ATTR_STRING:
+            return self.s.decode("utf-8")
+        if self.type == ATTR_TENSOR:
+            return self.t
+        if self.type == ATTR_FLOATS:
+            return list(self.floats)
+        if self.type == ATTR_INTS:
+            return list(self.ints)
+        if self.type == ATTR_STRINGS:
+            return [s.decode("utf-8") for s in self.strings]
+        raise OnnxParseError(f"unsupported attribute type {self.type}")
+
+    def serialize(self) -> bytes:
+        out = bytearray()
+        out += wire.encode_string_field(1, self.name)
+        if self.type == ATTR_FLOAT:
+            out += wire.encode_float_field(2, self.f)
+        elif self.type == ATTR_INT:
+            out += wire.encode_varint_field(3, self.i)
+        elif self.type == ATTR_STRING:
+            out += wire.encode_len_field(4, self.s)
+        elif self.type == ATTR_TENSOR:
+            out += wire.encode_len_field(5, self.t.serialize())
+        elif self.type == ATTR_FLOATS:
+            out += wire.encode_packed_floats(7, self.floats)
+        elif self.type == ATTR_INTS:
+            out += wire.encode_packed_varints(8, self.ints)
+        elif self.type == ATTR_STRINGS:
+            for s in self.strings:
+                out += wire.encode_len_field(9, s)
+        out += wire.encode_varint_field(20, self.type)
+        return bytes(out)
+
+    @classmethod
+    def parse(cls, data: bytes) -> "AttributeProto":
+        a = cls()
+        for num, wt, val, _ in wire.iter_fields(data):
+            if num == 1:
+                a.name = val.decode("utf-8")
+            elif num == 2:
+                a.f = wire.decode_fixed32_float(val)
+            elif num == 3:
+                a.i = wire.to_signed64(val)
+            elif num == 4:
+                a.s = bytes(val)
+            elif num == 5:
+                a.t = TensorProto.parse(val)
+            elif num == 7:
+                if wt == wire.WIRE_LEN:
+                    a.floats.extend(wire.decode_packed_floats(val))
+                else:
+                    a.floats.append(wire.decode_fixed32_float(val))
+            elif num == 8:
+                if wt == wire.WIRE_LEN:
+                    a.ints.extend(wire.decode_packed_varints(val))
+                else:
+                    a.ints.append(wire.to_signed64(val))
+            elif num == 9:
+                a.strings.append(bytes(val))
+            elif num == 20:
+                a.type = val
+        if not a.type:
+            a.type = cls._infer_type(a)
+        return a
+
+    @staticmethod
+    def _infer_type(a: "AttributeProto") -> int:
+        if a.ints:
+            return ATTR_INTS
+        if a.floats:
+            return ATTR_FLOATS
+        if a.t is not None:
+            return ATTR_TENSOR
+        if a.s:
+            return ATTR_STRING
+        return ATTR_INT
+
+
+@dataclass
+class NodeProto:
+    op_type: str = ""
+    name: str = ""
+    input: list[str] = field(default_factory=list)
+    output: list[str] = field(default_factory=list)
+    attribute: list[AttributeProto] = field(default_factory=list)
+
+    def attr(self, name: str, default=None):
+        for a in self.attribute:
+            if a.name == name:
+                return a.value()
+        return default
+
+    def serialize(self) -> bytes:
+        out = bytearray()
+        for s in self.input:
+            out += wire.encode_string_field(1, s)
+        for s in self.output:
+            out += wire.encode_string_field(2, s)
+        if self.name:
+            out += wire.encode_string_field(3, self.name)
+        out += wire.encode_string_field(4, self.op_type)
+        for a in self.attribute:
+            out += wire.encode_len_field(5, a.serialize())
+        return bytes(out)
+
+    @classmethod
+    def parse(cls, data: bytes) -> "NodeProto":
+        n = cls()
+        for num, _, val, _ in wire.iter_fields(data):
+            if num == 1:
+                n.input.append(val.decode("utf-8"))
+            elif num == 2:
+                n.output.append(val.decode("utf-8"))
+            elif num == 3:
+                n.name = val.decode("utf-8")
+            elif num == 4:
+                n.op_type = val.decode("utf-8")
+            elif num == 5:
+                n.attribute.append(AttributeProto.parse(val))
+        return n
+
+
+@dataclass
+class ValueInfoProto:
+    """Graph input/output declaration: name + element type + shape."""
+
+    name: str = ""
+    elem_type: int = FLOAT
+    shape: list[int] = field(default_factory=list)
+
+    def serialize(self) -> bytes:
+        dims = bytearray()
+        for d in self.shape:
+            dim = wire.encode_varint_field(1, d)
+            dims += wire.encode_len_field(1, dim)
+        shape_msg = bytes(dims)
+        tensor_type = (
+            wire.encode_varint_field(1, self.elem_type)
+            + wire.encode_len_field(2, shape_msg)
+        )
+        type_proto = wire.encode_len_field(1, tensor_type)
+        return (
+            wire.encode_string_field(1, self.name)
+            + wire.encode_len_field(2, type_proto)
+        )
+
+    @classmethod
+    def parse(cls, data: bytes) -> "ValueInfoProto":
+        v = cls()
+        for num, _, val, _ in wire.iter_fields(data):
+            if num == 1:
+                v.name = val.decode("utf-8")
+            elif num == 2:
+                v._parse_type(val)
+        return v
+
+    def _parse_type(self, data: bytes) -> None:
+        for num, _, val, _ in wire.iter_fields(data):
+            if num == 1:  # tensor_type
+                for n2, _, v2, _ in wire.iter_fields(val):
+                    if n2 == 1:
+                        self.elem_type = v2
+                    elif n2 == 2:  # shape
+                        for n3, _, v3, _ in wire.iter_fields(v2):
+                            if n3 == 1:  # dim
+                                for n4, _, v4, _ in wire.iter_fields(v3):
+                                    if n4 == 1:
+                                        self.shape.append(wire.to_signed64(v4))
+
+
+@dataclass
+class GraphProto:
+    name: str = "graph"
+    node: list[NodeProto] = field(default_factory=list)
+    initializer: list[TensorProto] = field(default_factory=list)
+    input: list[ValueInfoProto] = field(default_factory=list)
+    output: list[ValueInfoProto] = field(default_factory=list)
+
+    def serialize(self) -> bytes:
+        out = bytearray()
+        for n in self.node:
+            out += wire.encode_len_field(1, n.serialize())
+        out += wire.encode_string_field(2, self.name)
+        for t in self.initializer:
+            out += wire.encode_len_field(5, t.serialize())
+        for v in self.input:
+            out += wire.encode_len_field(11, v.serialize())
+        for v in self.output:
+            out += wire.encode_len_field(12, v.serialize())
+        return bytes(out)
+
+    @classmethod
+    def parse(cls, data: bytes) -> "GraphProto":
+        g = cls()
+        for num, _, val, _ in wire.iter_fields(data):
+            if num == 1:
+                g.node.append(NodeProto.parse(val))
+            elif num == 2:
+                g.name = val.decode("utf-8")
+            elif num == 5:
+                g.initializer.append(TensorProto.parse(val))
+            elif num == 11:
+                g.input.append(ValueInfoProto.parse(val))
+            elif num == 12:
+                g.output.append(ValueInfoProto.parse(val))
+        return g
+
+
+@dataclass
+class ModelProto:
+    ir_version: int = 8
+    producer_name: str = "repro-ant-ace"
+    opset_version: int = 17
+    graph: GraphProto = field(default_factory=GraphProto)
+
+    def serialize(self) -> bytes:
+        opset = wire.encode_varint_field(2, self.opset_version)
+        out = bytearray()
+        out += wire.encode_varint_field(1, self.ir_version)
+        out += wire.encode_string_field(2, self.producer_name)
+        out += wire.encode_len_field(7, self.graph.serialize())
+        out += wire.encode_len_field(8, opset)
+        return bytes(out)
+
+    @classmethod
+    def parse(cls, data: bytes) -> "ModelProto":
+        m = cls()
+        for num, _, val, _ in wire.iter_fields(data):
+            if num == 1:
+                m.ir_version = val
+            elif num == 2:
+                m.producer_name = val.decode("utf-8")
+            elif num == 7:
+                m.graph = GraphProto.parse(val)
+            elif num == 8:
+                for n2, _, v2, _ in wire.iter_fields(val):
+                    if n2 == 2:
+                        m.opset_version = wire.to_signed64(v2)
+        return m

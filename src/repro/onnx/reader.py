@@ -1,0 +1,23 @@
+"""Load ONNX models from disk/bytes."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.errors import OnnxParseError
+from repro.onnx.protos import ModelProto
+
+
+def load_model_bytes(data: bytes) -> ModelProto:
+    """Parse an ONNX protobuf payload."""
+    if not data:
+        raise OnnxParseError("empty ONNX payload")
+    model = ModelProto.parse(data)
+    if not model.graph.node and not model.graph.input:
+        raise OnnxParseError("payload did not contain an ONNX graph")
+    return model
+
+
+def load_model(path: str | Path) -> ModelProto:
+    """Load an ``.onnx`` file."""
+    return load_model_bytes(Path(path).read_bytes())

@@ -1,0 +1,150 @@
+"""Protobuf wire-format primitives (encode/decode).
+
+Implements the subset of the protobuf encoding ONNX uses: varints,
+length-delimited fields, 32/64-bit fixed fields, and packed repeated
+scalars.  See https://protobuf.dev/programming-guides/encoding/.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator
+
+from repro.errors import OnnxParseError
+
+WIRE_VARINT = 0
+WIRE_FIXED64 = 1
+WIRE_LEN = 2
+WIRE_FIXED32 = 5
+
+
+def encode_varint(value: int) -> bytes:
+    """Encode a non-negative integer as a base-128 varint."""
+    if value < 0:
+        # protobuf encodes negative int64 as 10-byte two's complement
+        value += 1 << 64
+    out = bytearray()
+    while True:
+        byte = value & 0x7F
+        value >>= 7
+        if value:
+            out.append(byte | 0x80)
+        else:
+            out.append(byte)
+            return bytes(out)
+
+
+def decode_varint(data: bytes, pos: int) -> tuple[int, int]:
+    """Decode a varint at ``pos``; returns (value, new_pos)."""
+    result = 0
+    shift = 0
+    while True:
+        if pos >= len(data):
+            raise OnnxParseError("truncated varint")
+        byte = data[pos]
+        pos += 1
+        result |= (byte & 0x7F) << shift
+        if not byte & 0x80:
+            return result, pos
+        shift += 7
+        if shift > 70:
+            raise OnnxParseError("varint too long")
+
+
+def to_signed64(value: int) -> int:
+    """Interpret an unsigned varint value as a two's-complement int64."""
+    return value - (1 << 64) if value >= (1 << 63) else value
+
+
+def tag(field_number: int, wire_type: int) -> bytes:
+    return encode_varint((field_number << 3) | wire_type)
+
+
+def encode_len_field(field_number: int, payload: bytes) -> bytes:
+    return tag(field_number, WIRE_LEN) + encode_varint(len(payload)) + payload
+
+
+def encode_string_field(field_number: int, value: str) -> bytes:
+    return encode_len_field(field_number, value.encode("utf-8"))
+
+
+def encode_varint_field(field_number: int, value: int) -> bytes:
+    return tag(field_number, WIRE_VARINT) + encode_varint(value)
+
+
+def encode_packed_varints(field_number: int, values) -> bytes:
+    payload = b"".join(encode_varint(v) for v in values)
+    return encode_len_field(field_number, payload)
+
+
+def encode_packed_floats(field_number: int, values) -> bytes:
+    payload = struct.pack(f"<{len(values)}f", *values)
+    return encode_len_field(field_number, payload)
+
+
+def encode_packed_doubles(field_number: int, values) -> bytes:
+    payload = struct.pack(f"<{len(values)}d", *values)
+    return encode_len_field(field_number, payload)
+
+
+def encode_float_field(field_number: int, value: float) -> bytes:
+    return tag(field_number, WIRE_FIXED32) + struct.pack("<f", value)
+
+
+def iter_fields(data: bytes) -> Iterator[tuple[int, int, object, int]]:
+    """Yield (field_number, wire_type, value, end_pos) for each field.
+
+    For LEN fields the value is the raw payload bytes; for VARINT it is the
+    unsigned integer; for fixed fields the raw 4/8 bytes.
+    """
+    pos = 0
+    while pos < len(data):
+        key, pos = decode_varint(data, pos)
+        field_number = key >> 3
+        wire_type = key & 0x7
+        if wire_type == WIRE_VARINT:
+            value, pos = decode_varint(data, pos)
+        elif wire_type == WIRE_LEN:
+            length, pos = decode_varint(data, pos)
+            if pos + length > len(data):
+                raise OnnxParseError("truncated length-delimited field")
+            value = data[pos : pos + length]
+            pos += length
+        elif wire_type == WIRE_FIXED32:
+            if pos + 4 > len(data):
+                raise OnnxParseError("truncated fixed32 field")
+            value = data[pos : pos + 4]
+            pos += 4
+        elif wire_type == WIRE_FIXED64:
+            if pos + 8 > len(data):
+                raise OnnxParseError("truncated fixed64 field")
+            value = data[pos : pos + 8]
+            pos += 8
+        else:
+            raise OnnxParseError(f"unsupported wire type {wire_type}")
+        yield field_number, wire_type, value, pos
+
+
+def decode_packed_varints(payload: bytes) -> list[int]:
+    out = []
+    pos = 0
+    while pos < len(payload):
+        v, pos = decode_varint(payload, pos)
+        out.append(to_signed64(v))
+    return out
+
+
+def decode_packed_floats(payload: bytes) -> list[float]:
+    if len(payload) % 4:
+        raise OnnxParseError("packed float payload not a multiple of 4")
+    return list(struct.unpack(f"<{len(payload) // 4}f", payload))
+
+
+def decode_packed_doubles(payload: bytes) -> list[float]:
+    if len(payload) % 8:
+        raise OnnxParseError("packed double payload not a multiple of 8")
+    return list(struct.unpack(f"<{len(payload) // 8}d", payload))
+
+
+def decode_fixed32_float(raw: bytes) -> float:
+    return struct.unpack("<f", raw)[0]

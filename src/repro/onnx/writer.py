@@ -1,0 +1,15 @@
+"""Serialise ONNX models to disk/bytes."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.onnx.protos import ModelProto
+
+
+def model_to_bytes(model: ModelProto) -> bytes:
+    return model.serialize()
+
+
+def save_model(model: ModelProto, path: str | Path) -> None:
+    Path(path).write_bytes(model.serialize())

@@ -1,0 +1,11 @@
+"""Automatic security-parameter selection (paper §4.4, Table 10)."""
+
+from repro.params.security import max_log_qp_for_degree, min_degree_for_log_qp
+from repro.params.selector import ParameterSelector, SelectedParameters
+
+__all__ = [
+    "max_log_qp_for_degree",
+    "min_degree_for_log_qp",
+    "ParameterSelector",
+    "SelectedParameters",
+]

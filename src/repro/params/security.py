@@ -1,0 +1,49 @@
+"""Security tables from the Homomorphic Encryption Standard.
+
+Maps ring degree N to the maximum permitted ``log2(Q*P)`` for a given
+security level with ternary secrets (Albrecht et al., "Homomorphic
+Encryption Standard", 2019 — the same reference [7] the paper uses for
+automatic parameter selection).
+"""
+
+from __future__ import annotations
+
+from repro.errors import SecurityError
+
+# log2(N) -> {security_bits: max log2(QP)} (ternary secret, classical).
+_HE_STANDARD_TABLE: dict[int, dict[int, int]] = {
+    10: {128: 27, 192: 19, 256: 14},
+    11: {128: 54, 192: 37, 256: 29},
+    12: {128: 109, 192: 75, 256: 58},
+    13: {128: 218, 192: 152, 256: 118},
+    14: {128: 438, 192: 305, 256: 237},
+    15: {128: 881, 192: 611, 256: 476},
+    16: {128: 1772, 192: 1229, 256: 959},
+    17: {128: 3544, 192: 2458, 256: 1918},
+}
+
+
+def max_log_qp_for_degree(degree: int, security_bits: int = 128) -> int:
+    """Largest log2(QP) admissible at ``security_bits`` for ring degree N."""
+    log_n = degree.bit_length() - 1
+    if log_n not in _HE_STANDARD_TABLE:
+        raise SecurityError(f"no security estimate for N=2^{log_n}")
+    table = _HE_STANDARD_TABLE[log_n]
+    if security_bits not in table:
+        raise SecurityError(
+            f"unsupported security level {security_bits} "
+            f"(choose from {sorted(table)})"
+        )
+    return table[security_bits]
+
+
+def min_degree_for_log_qp(log_qp: int, security_bits: int = 128) -> int:
+    """Smallest power-of-two N whose budget covers ``log_qp`` bits of QP."""
+    for log_n in sorted(_HE_STANDARD_TABLE):
+        budget = _HE_STANDARD_TABLE[log_n].get(security_bits)
+        if budget is not None and budget >= log_qp:
+            return 1 << log_n
+    raise SecurityError(
+        f"log2(QP)={log_qp} cannot reach {security_bits}-bit security "
+        f"with any tabulated ring degree"
+    )

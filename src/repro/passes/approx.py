@@ -1,0 +1,108 @@
+"""Polynomial approximation of nonlinear functions (paper §2.3, §4.3).
+
+Encrypted inference cannot evaluate ``exp``, ``tanh``, ``sigmoid`` or
+``relu`` directly; the SIHE level replaces them with polynomials.  Two
+engines:
+
+* :func:`chebyshev_coefficients` — least-deviation Chebyshev interpolation
+  on an interval, used for *smooth* functions (sigmoid/tanh/exp/softplus/
+  gelu).  Depth = ceil(log2 degree)+1 via the power-cache evaluator.
+* the minimax-composite *sign* machinery in
+  :mod:`repro.passes.lowering.vector_to_sihe` for the discontinuous
+  ReLU (Lee et al. [36]).
+
+The precision/depth trade-off the paper discusses is explicit here:
+:func:`approximation_error` reports the max deviation so callers (and
+tests) can pick the degree that meets their accuracy budget.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.errors import LoweringError
+
+
+def chebyshev_coefficients(fn: Callable[[np.ndarray], np.ndarray],
+                           degree: int,
+                           interval: tuple[float, float]) -> list[float]:
+    """Monomial-basis coefficients of the Chebyshev interpolant of ``fn``.
+
+    Interpolates at Chebyshev nodes on ``interval`` (near-minimax for
+    smooth functions) and converts to the monomial basis, ascending order.
+    """
+    lo, hi = interval
+    if not lo < hi:
+        raise LoweringError(f"bad interval [{lo}, {hi}]")
+    if degree < 1 or degree > 48:
+        raise LoweringError("degree must be in [1, 48]")
+    k = np.arange(degree + 1)
+    nodes = np.cos((2 * k + 1) * np.pi / (2 * (degree + 1)))
+    x = 0.5 * (hi - lo) * nodes + 0.5 * (hi + lo)
+    cheb = np.polynomial.chebyshev.Chebyshev.fit(
+        x, fn(x), deg=degree, domain=[lo, hi]
+    )
+    poly = cheb.convert(kind=np.polynomial.Polynomial)
+    return [float(c) for c in poly.coef]
+
+
+def approximation_error(fn, coeffs: list[float],
+                        interval: tuple[float, float],
+                        samples: int = 2001) -> float:
+    """Max |fn - poly| over the interval."""
+    xs = np.linspace(interval[0], interval[1], samples)
+    approx = np.polynomial.polynomial.polyval(xs, coeffs)
+    return float(np.abs(fn(xs) - approx).max())
+
+
+@dataclass(frozen=True)
+class ApproxSpec:
+    """A nonlinearity the SIHE level can expand."""
+
+    name: str
+    fn: Callable
+    default_degree: int
+    #: is the function odd? (halves the live coefficients)
+    odd: bool = False
+
+
+def _sigmoid(x):
+    return 1.0 / (1.0 + np.exp(-x))
+
+
+def _gelu(x):
+    return 0.5 * x * (1.0 + np.tanh(
+        math.sqrt(2.0 / math.pi) * (x + 0.044715 * x**3)))
+
+
+#: functions the compiler can approximate out of the box (paper §2.3
+#: names exp/log/tanh; sigmoid and gelu are the common inference cases)
+APPROXIMATIONS: dict[str, ApproxSpec] = {
+    "sigmoid": ApproxSpec("sigmoid", _sigmoid, default_degree=9),
+    "tanh": ApproxSpec("tanh", np.tanh, default_degree=9, odd=True),
+    "exp": ApproxSpec("exp", np.exp, default_degree=8),
+    "softplus": ApproxSpec("softplus", lambda x: np.logaddexp(0.0, x),
+                           default_degree=9),
+    "gelu": ApproxSpec("gelu", _gelu, default_degree=10),
+}
+
+
+def coefficients_for(name: str, bound: float,
+                     degree: int | None = None) -> list[float]:
+    """Approximation coefficients for a named nonlinearity on [-B, B]."""
+    try:
+        spec = APPROXIMATIONS[name]
+    except KeyError as exc:
+        raise LoweringError(
+            f"no polynomial approximation registered for {name!r}; "
+            f"available: {sorted(APPROXIMATIONS)}"
+        ) from exc
+    degree = degree or spec.default_degree
+    coeffs = chebyshev_coefficients(spec.fn, degree, (-bound, bound))
+    if spec.odd:
+        coeffs = [c if i % 2 == 1 else 0.0 for i, c in enumerate(coeffs)]
+    return coeffs

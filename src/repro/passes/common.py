@@ -1,0 +1,78 @@
+"""Dialect-independent cleanups: CSE, DCE and constant garbage collection.
+
+CSE doubles as the rotation-hoisting optimisation the paper illustrates
+in Listing 4: two identical ``ckks.rotate``/``sihe.rotate`` ops on the
+same operand collapse into one, so shared rotations are computed once.
+"""
+
+from __future__ import annotations
+
+from repro.ir.core import Function, Module
+
+
+def _attr_key(value):
+    if isinstance(value, (list, tuple)):
+        return tuple(_attr_key(v) for v in value)
+    if isinstance(value, dict):
+        return tuple(sorted((k, _attr_key(v)) for k, v in value.items()))
+    return value
+
+
+def cse_function(fn: Function) -> int:
+    """Common-subexpression elimination; returns ops removed."""
+    seen: dict[tuple, list] = {}
+    replace: dict[int, object] = {}
+    new_body = []
+    removed = 0
+    for op in fn.body:
+        operands = [replace.get(o.id, o) for o in op.operands]
+        op.operands = operands
+        key = (
+            op.opcode,
+            tuple(o.id for o in operands),
+            _attr_key({k: v for k, v in op.attrs.items() if k != "region"}),
+        )
+        if op.opcode.endswith(".constant"):
+            # constants keyed purely by payload name + attrs
+            key = (op.opcode, (), _attr_key(op.attrs.get("const_name")))
+        prior = seen.get(key)
+        if prior is not None:
+            for old_r, new_r in zip(op.results, prior):
+                replace[old_r.id] = new_r
+            removed += 1
+            continue
+        seen[key] = op.results
+        new_body.append(op)
+    fn.body = new_body
+    fn.returns = [replace.get(v.id, v) for v in fn.returns]
+    return removed
+
+
+def dce_function(fn: Function) -> int:
+    return fn.dce()
+
+
+def collect_constants(module: Module) -> int:
+    """Drop module constants no remaining op references."""
+    live: set[str] = set()
+    for fn in module.functions.values():
+        for op in fn.body:
+            for key in ("const_name", "mask_const"):
+                name = op.attrs.get(key)
+                if name:
+                    live.add(name)
+    dead = [name for name in module.constants if name not in live]
+    for name in dead:
+        del module.constants[name]
+    return len(dead)
+
+
+def run_cleanups(module: Module, context: dict | None = None) -> dict:
+    stats = {"cse": 0, "dce": 0, "const_gc": 0}
+    for fn in module.functions.values():
+        stats["cse"] += cse_function(fn)
+        stats["dce"] += dce_function(fn)
+    stats["const_gc"] = collect_constants(module)
+    if context is not None:
+        context.setdefault("cleanup_stats", []).append(stats)
+    return stats

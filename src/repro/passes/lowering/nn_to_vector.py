@@ -1,0 +1,540 @@
+"""NN IR -> VECTOR IR lowering (paper §4.2).
+
+Every tensor op becomes a sequence of ``vector.roll`` / ``vector.mul`` /
+``vector.add`` ops on full-width packed vectors.  The workhorse is a
+*generic linear-map lowering*: any linear tensor operator (convolution,
+GEMM, pooling, repacking between layouts) is a set of contributions
+``out[p] += coeff * in[q]``; grouping contributions by rotation offset
+``r = q - p`` yields one rotation + one plaintext multiply per distinct
+offset, with the channel mixing, boundary masking and layout multiplexing
+all folded into the per-offset weight vectors.  The grouping doubles as
+rotation deduplication — the optimisation the paper illustrates by
+hoisting ``CKKS.rotate`` in Listing 4.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.errors import LoweringError
+from repro.ir import IRBuilder, Module, VectorType
+from repro.ir.core import Function, Value
+from repro.passes.layout import PackedLayout, conv_output_layout
+from repro.utils.bits import next_power_of_two
+
+
+def lower_linear_map(
+    builder: IRBuilder,
+    x: Value,
+    out_positions: np.ndarray,
+    triples: tuple[np.ndarray, np.ndarray, np.ndarray],
+    bias: tuple[np.ndarray, np.ndarray] | None = None,
+    hint: str = "lin",
+    batch: int = 1,
+) -> Value:
+    """Emit rolls/muls/adds computing a linear map of the packed vector.
+
+    Args:
+        x: input vector value (full slot width).
+        out_positions: slot index per output element (for bias placement).
+        triples: (q, p, coeff) flat arrays — contribution coeff * in[q]
+            into out[p].
+        bias: optional (positions, values) added at the end.
+        batch: SIMD batching factor — positions refer to one image's block
+            (slots/batch wide); weight vectors are tiled across the batch
+            blocks, so B images ride the same homomorphic ops (paper §2.2).
+    """
+    slots = x.type.length
+    block = slots // batch
+    q, p, coeff = triples
+    if not (len(q) == len(p) == len(coeff)):
+        raise LoweringError("mismatched contribution arrays")
+    if batch > 1 and (q.size and max(int(q.max()), int(p.max())) >= block):
+        raise LoweringError("positions exceed the per-image batch block")
+    offsets = (q - p) % slots
+    acc: Value | None = None
+    order = np.argsort(offsets, kind="stable")
+    offsets, p_s, coeff_s = offsets[order], p[order], coeff[order]
+    boundaries = np.flatnonzero(np.diff(offsets)) + 1
+    starts = np.concatenate(([0], boundaries))
+    ends = np.concatenate((boundaries, [len(offsets)]))
+    for s, e in zip(starts, ends):
+        r = int(offsets[s])
+        weight_vec = np.zeros(block)
+        np.add.at(weight_vec, p_s[s:e], coeff_s[s:e])
+        if not np.any(weight_vec):
+            continue
+        if batch > 1:
+            weight_vec = np.tile(weight_vec, batch)
+        rotated = (
+            x if r == 0 else builder.emit(
+                "vector.roll", [x], {"steps": r}, name_hint=f"{hint}_roll"
+            )
+        )
+        # float32 storage halves the (dominant) packed-weight memory; the
+        # CKKS encoding noise floor is far above float32 precision anyway
+        weight = builder.constant(
+            "vector.constant", weight_vec.astype(np.float32),
+            hint=f"{hint}_w", extra_attrs={"length": slots},
+        )
+        term = builder.emit("vector.mul", [rotated, weight],
+                            name_hint=f"{hint}_t")
+        acc = term if acc is None else builder.emit(
+            "vector.add", [acc, term], name_hint=f"{hint}_acc"
+        )
+    if acc is None:
+        raise LoweringError("linear map with no nonzero contributions")
+    if bias is not None:
+        positions, values = bias
+        bias_vec = np.zeros(block)
+        bias_vec[positions] = values
+        if batch > 1:
+            bias_vec = np.tile(bias_vec, batch)
+        bias_const = builder.constant(
+            "vector.constant", bias_vec.astype(np.float32),
+            hint=f"{hint}_b", extra_attrs={"length": slots},
+        )
+        acc = builder.emit("vector.add", [acc, bias_const],
+                           name_hint=f"{hint}_biased")
+    return acc
+
+
+def conv_triples(
+    in_layout: PackedLayout,
+    out_layout: PackedLayout,
+    weight: np.ndarray,
+    stride: int,
+    pad: int,
+):
+    """Contribution triples for a 2-D convolution between two layouts."""
+    c_in, h, w = in_layout.shape
+    c_out, _, kh, kw = weight.shape
+    _, oh, ow = out_layout.shape
+    qs, ps, cs = [], [], []
+    i_idx, j_idx = np.meshgrid(np.arange(oh), np.arange(ow), indexing="ij")
+    p_all = out_layout.positions  # (c_out, oh, ow)
+    for ci in range(c_in):
+        for di in range(kh):
+            src_i = stride * i_idx + di - pad
+            for dj in range(kw):
+                src_j = stride * j_idx + dj - pad
+                valid = (
+                    (src_i >= 0) & (src_i < h) & (src_j >= 0) & (src_j < w)
+                )
+                if not valid.any():
+                    continue
+                q_valid = in_layout.positions[ci, src_i[valid], src_j[valid]]
+                nv = q_valid.size
+                w_slice = weight[:, ci, di, dj]  # (c_out,)
+                nonzero = np.flatnonzero(w_slice)
+                if nonzero.size == 0:
+                    continue
+                qs.append(np.broadcast_to(q_valid, (nonzero.size, nv)).ravel())
+                ps.append(p_all[nonzero][:, valid].reshape(-1))
+                cs.append(np.repeat(w_slice[nonzero], nv))
+    return (
+        np.concatenate(qs),
+        np.concatenate(ps),
+        np.concatenate(cs),
+    )
+
+
+def matmul_triples(in_positions: np.ndarray, out_positions: np.ndarray,
+                   weight: np.ndarray):
+    """Triples for out[o] = sum_f weight[o, f] * in[f]."""
+    o_count, f_count = weight.shape
+    o_idx, f_idx = np.nonzero(weight)
+    return (
+        in_positions[f_idx],
+        out_positions[o_idx],
+        weight[o_idx, f_idx],
+    )
+
+
+def average_triples(in_layout: PackedLayout, out_positions: np.ndarray):
+    """Triples for global average pooling: mean over (i, j) per channel."""
+    c, h, w = in_layout.shape
+    q = in_layout.positions.reshape(c, h * w)
+    p = np.repeat(out_positions[:, None], h * w, axis=1)
+    coeff = np.full_like(q, 1.0 / (h * w), dtype=np.float64)
+    return q.ravel(), p.ravel(), coeff.ravel()
+
+
+def pool_triples(in_layout: PackedLayout, out_layout: PackedLayout,
+                 kernel: int, stride: int):
+    """Triples for average pooling with a kernel window."""
+    c, h, w = in_layout.shape
+    _, oh, ow = out_layout.shape
+    qs, ps, cs = [], [], []
+    coeff = 1.0 / (kernel * kernel)
+    i_idx, j_idx = np.meshgrid(np.arange(oh), np.arange(ow), indexing="ij")
+    for ci in range(c):
+        p_grid = out_layout.positions[ci]
+        for di in range(kernel):
+            for dj in range(kernel):
+                src_i = stride * i_idx + di
+                src_j = stride * j_idx + dj
+                q_grid = in_layout.positions[ci, src_i, src_j]
+                qs.append(q_grid.ravel())
+                ps.append(p_grid.ravel())
+                cs.append(np.full(q_grid.size, coeff))
+    return np.concatenate(qs), np.concatenate(ps), np.concatenate(cs)
+
+
+def lower_matmul_bsgs(
+    builder: IRBuilder,
+    x: Value,
+    weight: np.ndarray,
+    slots: int,
+    hint: str = "bsgs",
+) -> Value:
+    """Baby-step/giant-step GEMV on a head-compact input vector.
+
+    Classic Halevi-Shoup diagonals with BSGS: ~2*sqrt(n) rotations instead
+    of one per distinct offset.  Requires the features at slots [0, F) and
+    3*n <= slots (the input is replicated once so rotations act cyclically
+    within the n-window).
+    """
+    o_count, f_count = weight.shape
+    n = int(next_power_of_two(max(o_count, f_count)))
+    if 3 * n > slots:
+        raise LoweringError(f"BSGS window 3*{n} exceeds {slots} slots")
+    matrix = np.zeros((n, n))
+    matrix[:o_count, :f_count] = weight
+    # replicate the window so roll(x2, j)[k] == x[(k+j) mod n] for k < n+g
+    copy = builder.emit("vector.roll", [x], {"steps": slots - n},
+                        name_hint=f"{hint}_dup")
+    x2 = builder.emit("vector.add", [x, copy], name_hint=f"{hint}_win")
+    giant = int(math.isqrt(n)) or 1
+    baby_count = (n + giant - 1) // giant
+    babies = {0: x2}
+    for j in range(1, giant):
+        babies[j] = builder.emit("vector.roll", [x2], {"steps": j},
+                                 name_hint=f"{hint}_baby")
+    acc: Value | None = None
+    k_idx = np.arange(slots)
+    for i in range(baby_count):
+        shift = i * giant
+        inner: Value | None = None
+        for j in range(giant):
+            d = shift + j
+            if d >= n:
+                break
+            diag = np.zeros(slots)
+            rows = np.arange(o_count)           # output row o
+            k = rows + shift                    # position in inner vector
+            diag[k] = matrix[rows, (k + j) % n]
+            if not np.any(diag):
+                continue
+            const = builder.constant(
+                "vector.constant", diag.astype(np.float32),
+                hint=f"{hint}_d", extra_attrs={"length": slots},
+            )
+            term = builder.emit("vector.mul", [babies[j], const],
+                                name_hint=f"{hint}_t")
+            inner = term if inner is None else builder.emit(
+                "vector.add", [inner, term], name_hint=f"{hint}_i")
+        if inner is None:
+            continue
+        if shift:
+            inner = builder.emit("vector.roll", [inner], {"steps": shift},
+                                 name_hint=f"{hint}_giant")
+        acc = inner if acc is None else builder.emit(
+            "vector.add", [acc, inner], name_hint=f"{hint}_acc")
+    if acc is None:
+        raise LoweringError("BSGS matmul over a zero matrix")
+    return acc
+
+
+class NnToVectorLowering:
+    """The lowering pass object (layout selection + op-by-op rewrite)."""
+
+    def __init__(self, slots: int, gemm_strategy: str = "auto",
+                 batch: int = 1):
+        self.slots = slots
+        if gemm_strategy not in ("auto", "dedup", "bsgs"):
+            raise LoweringError(f"unknown gemm strategy {gemm_strategy!r}")
+        self.gemm_strategy = gemm_strategy
+        if batch < 1 or slots % batch:
+            raise LoweringError(f"batch {batch} must divide {slots} slots")
+        self.batch = batch
+        #: per-image block width; layouts are built within one block
+        self.block = slots // batch
+
+    def run(self, module: Module, context: dict) -> None:
+        old = module.main()
+        new_module_fn = Function(
+            "main_vector",
+            [Value(VectorType(self.slots), p.name) for p in old.params],
+        )
+        builder = IRBuilder(module, new_module_fn)
+        layouts: dict[int, PackedLayout] = {}
+        env: dict[int, Value] = {}
+        input_layouts = []
+        for old_p, new_p in zip(old.params, new_module_fn.params):
+            full = old_p.type.shape
+            if len(full) == 4:       # (1, C, H, W) -> (C, H, W)
+                shape = tuple(full[1:])
+            elif len(full) == 2:     # (1, F) -> (F,)
+                shape = (full[1],)
+            else:
+                shape = tuple(full)
+            layout = PackedLayout.dense(shape, self.block)
+            layouts[new_p.id] = layout
+            env[old_p.id] = new_p
+            input_layouts.append(layout)
+        for op in old.body:
+            self._lower_op(op, builder, module, env, layouts)
+        new_module_fn.returns = [env[v.id] for v in old.returns]
+        module.functions.pop(old.name)
+        module.functions.pop(new_module_fn.name, None)
+        new_module_fn.name = "main"
+        module.add_function(new_module_fn)
+        context["input_layouts"] = input_layouts
+        context["output_layouts"] = [
+            layouts[env[v.id].id] for v in old.returns
+        ]
+        context["slots"] = self.slots
+
+    # -- per-op lowering -------------------------------------------------
+
+    #: Figure-6 cost-attribution region per NN opcode
+    _REGIONS = {
+        "conv": "Conv", "gemm": "Conv", "average_pool": "Conv",
+        "global_average_pool": "Conv", "add": "Conv", "relu": "ReLU",
+        "sigmoid": "ReLU", "tanh": "ReLU", "exp": "ReLU", "gelu": "ReLU",
+    }
+
+    def _lower_op(self, op, builder, module, env, layouts) -> None:
+        kind = op.opcode.split(".")[1]
+        handler = getattr(self, "_lower_" + kind, None)
+        if handler is None:
+            raise LoweringError(f"no VECTOR lowering for {op.opcode}")
+        before = len(builder.function.body)
+        handler(op, builder, module, env, layouts)
+        region = self._REGIONS.get(kind)
+        if region:
+            for emitted in builder.function.body[before:]:
+                emitted.attrs.setdefault("region", region)
+
+    def _lower_constant(self, op, builder, module, env, layouts) -> None:
+        # Weight constants are consumed directly by conv/gemm lowerings.
+        env[op.result.id] = None
+
+    def _const_array(self, op_value, module) -> np.ndarray:
+        producer = op_value.producer
+        if producer is None or "const_name" not in producer.attrs:
+            raise LoweringError("expected a constant operand")
+        return module.constants[producer.attrs["const_name"]]
+
+    def _lower_conv(self, op, builder, module, env, layouts) -> None:
+        x = env[op.operands[0].id]
+        weight = self._const_array(op.operands[1], module)
+        bias = self._const_array(op.operands[2], module)
+        in_layout = layouts[x.id]
+        stride = op.attrs.get("stride", 1)
+        pad = op.attrs.get("pad", weight.shape[2] // 2)
+        out_layout = conv_output_layout(in_layout, weight.shape[0], stride)
+        triples = conv_triples(in_layout, out_layout, weight, stride, pad)
+        out_pos_flat = out_layout.positions[:, 0, 0]
+        bias_spec = None
+        if np.any(bias):
+            all_pos = out_layout.positions.reshape(weight.shape[0], -1)
+            bias_vals = np.repeat(bias, all_pos.shape[1])
+            bias_spec = (all_pos.ravel(), bias_vals)
+        result = lower_linear_map(
+            builder, x, out_pos_flat, triples, bias_spec, hint="conv",
+            batch=self.batch
+        )
+        env[op.result.id] = result
+        layouts[result.id] = out_layout
+
+    def _lower_gemm(self, op, builder, module, env, layouts) -> None:
+        x = env[op.operands[0].id]
+        weight = self._const_array(op.operands[1], module)
+        bias = self._const_array(op.operands[2], module)
+        if not op.attrs.get("trans_b", False):
+            weight = weight.T
+        in_layout = layouts[x.id]
+        in_positions = in_layout.positions.ravel()
+        if not in_layout.is_dense():
+            # compact the features to the head of the vector first: that
+            # costs one rotation per feature but makes the matmul itself
+            # diagonal-structured (|F| + |O| offsets instead of |F|*|O|)
+            compact = np.arange(in_positions.size)
+            triples = (in_positions, compact, np.ones(in_positions.size))
+            x = lower_linear_map(builder, x, compact, triples, hint="repack",
+                                 batch=self.batch)
+            in_positions = compact
+        o_count, f_count = weight.shape
+        out_positions = np.arange(o_count)
+        use_bsgs = self.batch == 1 and (
+            self.gemm_strategy == "bsgs"
+            or (
+                self.gemm_strategy == "auto"
+                and f_count >= 64
+                and 3 * next_power_of_two(max(o_count, f_count)) <= self.slots
+            )
+        )
+        if use_bsgs:
+            result = lower_matmul_bsgs(builder, x, weight, self.slots)
+            if np.any(bias):
+                bias_vec = np.zeros(self.slots)
+                bias_vec[out_positions] = bias
+                const = builder.constant(
+                    "vector.constant", bias_vec.astype(np.float32),
+                    hint="gemm_b", extra_attrs={"length": self.slots},
+                )
+                result = builder.emit("vector.add", [result, const],
+                                      name_hint="gemm_biased")
+        else:
+            triples = matmul_triples(in_positions, out_positions, weight)
+            bias_spec = (out_positions, bias) if np.any(bias) else None
+            result = lower_linear_map(
+                builder, x, out_positions, triples, bias_spec, hint="gemm",
+                batch=self.batch
+            )
+        env[op.result.id] = result
+        layouts[result.id] = PackedLayout((o_count,), out_positions,
+                                          self.block)
+
+    def _lower_relu(self, op, builder, module, env, layouts) -> None:
+        x = env[op.operands[0].id]
+        attrs = {}
+        if "bound" in op.attrs:
+            attrs["bound"] = op.attrs["bound"]
+        # A validity mask over the layout's live slots: the SIHE lowering
+        # folds it into the sign-approximation input so that noise in
+        # unused slots cannot diverge through the amplifying polynomial
+        # (it would eventually overflow the ciphertext modulus).
+        layout = layouts[x.id]
+        mask = np.zeros(self.block, dtype=np.float32)
+        mask[layout.positions.ravel()] = 1.0
+        if self.batch > 1:
+            mask = np.tile(mask, self.batch)
+        attrs["mask_const"] = module.add_constant("relu_mask", mask)
+        result = builder.emit("vector.relu", [x], attrs, name_hint="relu")
+        env[op.result.id] = result
+        layouts[result.id] = layouts[x.id]
+
+    def _lower_nonlinear(self, op, builder, module, env, layouts) -> None:
+        """Smooth nonlinearities: marked for Chebyshev expansion at SIHE."""
+        x = env[op.operands[0].id]
+        layout = layouts[x.id]
+        mask = np.zeros(self.block, dtype=np.float32)
+        mask[layout.positions.ravel()] = 1.0
+        if self.batch > 1:
+            mask = np.tile(mask, self.batch)
+        attrs = {
+            "kind": op.opcode.split(".")[1],
+            "mask_const": module.add_constant("nl_mask", mask),
+        }
+        if "bound" in op.attrs:
+            attrs["bound"] = op.attrs["bound"]
+        result = builder.emit("vector.nonlinear", [x], attrs, name_hint="nl")
+        env[op.result.id] = result
+        layouts[result.id] = layout
+
+    _lower_sigmoid = _lower_nonlinear
+    _lower_tanh = _lower_nonlinear
+    _lower_exp = _lower_nonlinear
+    _lower_gelu = _lower_nonlinear
+
+    def _lower_add(self, op, builder, module, env, layouts) -> None:
+        a = env[op.operands[0].id]
+        b = env[op.operands[1].id]
+        la, lb = layouts[a.id], layouts[b.id]
+        if not np.array_equal(la.positions, lb.positions):
+            # realign b to a's layout with an identity linear map
+            triples = (
+                lb.positions.ravel(),
+                la.positions.ravel(),
+                np.ones(la.positions.size),
+            )
+            b = lower_linear_map(builder, b, la.positions.ravel(), triples,
+                                 hint="repack", batch=self.batch)
+            layouts[b.id] = la
+        result = builder.emit("vector.add", [a, b], name_hint="resadd")
+        env[op.result.id] = result
+        layouts[result.id] = la
+
+    def _lower_average_pool(self, op, builder, module, env, layouts) -> None:
+        x = env[op.operands[0].id]
+        in_layout = layouts[x.id]
+        kernel = op.attrs["kernel"]
+        stride = op.attrs.get("stride", kernel)
+        out_layout = conv_output_layout(
+            in_layout, in_layout.shape[0], stride
+        )
+        triples = pool_triples(in_layout, out_layout, kernel, stride)
+        result = lower_linear_map(
+            builder, x, out_layout.positions[:, 0, 0], triples, hint="pool",
+            batch=self.batch
+        )
+        env[op.result.id] = result
+        layouts[result.id] = out_layout
+
+    def _lower_global_average_pool(self, op, builder, module, env, layouts):
+        x = env[op.operands[0].id]
+        in_layout = layouts[x.id]
+        c = in_layout.shape[0]
+        # Pool *in place* (channel c's mean lands on its own (0,0) slot):
+        # the rotation offsets are then purely spatial and shared across
+        # channels, instead of one offset family per channel.
+        out_positions = in_layout.positions[:, 0, 0].copy()
+        triples = average_triples(in_layout, out_positions)
+        result = lower_linear_map(builder, x, out_positions, triples,
+                                  hint="gap", batch=self.batch)
+        env[op.result.id] = result
+        layouts[result.id] = PackedLayout((c,), out_positions, self.block)
+
+    def _lower_strided_slice(self, op, builder, module, env, layouts) -> None:
+        """Table 3 strided_slice: gather the selected elements.
+
+        Lowered as an identity-coefficient linear map from the source
+        positions of the selected elements to a fresh dense layout.
+        """
+        x = env[op.operands[0].id]
+        in_layout = layouts[x.id]
+        starts = op.attrs["starts"]
+        sizes = op.attrs["sizes"]
+        strides_a = op.attrs["strides"]
+        # the NN-level tensor may carry a leading batch-1 dim the packed
+        # layout dropped; align the slice spec to the layout's rank
+        offset = len(starts) - len(in_layout.shape)
+        if offset < 0:
+            raise LoweringError("strided_slice rank below layout rank")
+        slicer = tuple(
+            slice(starts[offset + d],
+                  starts[offset + d]
+                  + sizes[offset + d] * strides_a[offset + d],
+                  strides_a[offset + d])
+            for d in range(len(in_layout.shape))
+        )
+        src = in_layout.positions[slicer]
+        out_shape = src.shape
+        out_positions = np.arange(src.size).reshape(out_shape)
+        triples = (src.ravel(), out_positions.ravel(), np.ones(src.size))
+        result = lower_linear_map(builder, x, out_positions.ravel(), triples,
+                                  hint="slice", batch=self.batch)
+        env[op.result.id] = result
+        layouts[result.id] = PackedLayout(out_shape, out_positions,
+                                          self.block)
+
+    def _lower_flatten(self, op, builder, module, env, layouts) -> None:
+        self._lower_shape_only(op, builder, env, layouts)
+
+    def _lower_reshape(self, op, builder, module, env, layouts) -> None:
+        self._lower_shape_only(op, builder, env, layouts)
+
+    def _lower_shape_only(self, op, builder, env, layouts) -> None:
+        x = env[op.operands[0].id]
+        result = builder.emit("vector.reshape", [x], name_hint="reshape")
+        old_layout = layouts[x.id]
+        shape = tuple(d for d in op.result.type.shape if d != 1) or (1,)
+        env[op.result.id] = result
+        layouts[result.id] = PackedLayout(
+            shape, old_layout.positions.reshape(shape), self.block
+        )

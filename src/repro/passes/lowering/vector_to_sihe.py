@@ -1,0 +1,228 @@
+"""VECTOR IR -> SIHE IR lowering (paper §4.3).
+
+Two jobs:
+
+* **FHE computation recognition** — forward type inference from the
+  encrypted inputs: every value data-dependent on a ciphertext becomes a
+  Cipher; cleartext vectors feeding cipher ops gain ``sihe.encode`` ops
+  (exactly the Listing 2 -> Listing 3 transformation of the paper).
+* **Nonlinear function approximation** — ``vector.relu`` expands into
+  ``relu(x) = 0.5 * x * (1 + sign(x))`` with ``sign`` approximated by a
+  composite of odd polynomials ``g(t) = (3t - t^3)/2`` (Lee et al. [36]
+  style), preceded by a ``sihe.bootstrap_hint`` marking where the CKKS
+  lowering should consider a refresh.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import LoweringError
+from repro.ir import CipherType, IRBuilder, Module
+from repro.ir.core import Function, Value
+
+
+class VectorToSiheLowering:
+    """Rewrites the module's main function into mixed SIHE+VECTOR IR."""
+
+    def __init__(self, sign_iterations: int = 4, default_bound: float = 16.0):
+        self.sign_iterations = sign_iterations
+        self.default_bound = default_bound
+
+    def run(self, module: Module, context: dict) -> None:
+        old = module.main()
+        slots = old.params[0].type.length
+        new_fn = Function(
+            "main", [Value(CipherType(slots), p.name) for p in old.params]
+        )
+        builder = IRBuilder(module, new_fn)
+        env: dict[int, Value] = {}
+        for old_p, new_p in zip(old.params, new_fn.params):
+            env[old_p.id] = new_p
+        for op in old.body:
+            region = op.attrs.get("region")
+            before = len(new_fn.body)
+            env[op.results[0].id] = self._lower_op(op, builder, env, slots)
+            if region:
+                for emitted in new_fn.body[before:]:
+                    emitted.attrs.setdefault("region", region)
+        new_fn.returns = [env[v.id] for v in old.returns]
+        module.functions.pop(old.name)
+        module.add_function(new_fn)
+        context["sign_iterations"] = self.sign_iterations
+
+    # ------------------------------------------------------------------
+
+    def _is_cipher(self, value: Value) -> bool:
+        return isinstance(value.type, CipherType)
+
+    def _encode(self, builder: IRBuilder, value: Value) -> Value:
+        return builder.emit("sihe.encode", [value],
+                            {"slots": value.type.length}, name_hint="enc")
+
+    def _const_vector(self, builder: IRBuilder, fill: float, slots: int,
+                      hint: str) -> Value:
+        vec = np.full(slots, fill)
+        return builder.constant(
+            "vector.constant", vec, hint=hint, extra_attrs={"length": slots}
+        )
+
+    def _lower_op(self, op, builder: IRBuilder, env: dict, slots: int) -> Value:
+        code = op.opcode
+        args = [env[o.id] for o in op.operands]
+        if code == "vector.constant":
+            return builder.emit(code, [], dict(op.attrs))
+        if code == "vector.reshape":
+            return args[0]  # pure metadata at this level
+        if code in ("vector.add", "vector.mul"):
+            a, b = args
+            if not self._is_cipher(a) and not self._is_cipher(b):
+                return builder.emit(code, [a, b], dict(op.attrs))
+            if not self._is_cipher(a):
+                a, b = b, a  # cipher operand first (Table 5 signature)
+            if not self._is_cipher(b):
+                b = self._encode(builder, b)
+            sihe_code = "sihe.add" if code == "vector.add" else "sihe.mul"
+            return builder.emit(sihe_code, [a, b])
+        if code == "vector.roll":
+            if not self._is_cipher(args[0]):
+                return builder.emit(code, args, dict(op.attrs))
+            return builder.emit("sihe.rotate", [args[0]],
+                                {"steps": op.attrs["steps"]})
+        if code == "vector.relu":
+            if not self._is_cipher(args[0]):
+                return builder.emit(code, args, dict(op.attrs))
+            return self._lower_relu(builder, args[0], op, slots)
+        if code == "vector.nonlinear":
+            if not self._is_cipher(args[0]):
+                return builder.emit(code, args, dict(op.attrs))
+            return self._lower_smooth(builder, args[0], op, slots)
+        if code in ("vector.slice", "vector.pad", "vector.tile",
+                    "vector.broadcast"):
+            if self._is_cipher(args[0]):
+                raise LoweringError(f"{code} on ciphertext is not supported")
+            return builder.emit(code, args, dict(op.attrs))
+        raise LoweringError(f"no SIHE lowering for {code}")
+
+    def _emit_polynomial(self, builder: IRBuilder, y: Value,
+                         coeffs: list[float], slots: int) -> Value:
+        """Power-cache polynomial evaluation as SIHE IR (depth ~log2 deg)."""
+        degree = len(coeffs) - 1
+        while degree > 0 and coeffs[degree] == 0.0:
+            degree -= 1
+        powers: dict[int, Value] = {1: y}
+        for j in range(2, degree + 1):
+            half = j // 2
+            powers[j] = builder.emit(
+                "sihe.mul", [powers[half], powers[j - half]],
+                name_hint=f"pw{j}",
+            )
+        acc: Value | None = None
+        for k in range(1, degree + 1):
+            if coeffs[k] == 0.0:
+                continue
+            c = self._const_vector(builder, coeffs[k], slots, "nlc")
+            term = builder.emit(
+                "sihe.mul", [powers[k], self._encode(builder, c)],
+                name_hint="nlt",
+            )
+            acc = term if acc is None else builder.emit(
+                "sihe.add", [acc, term], name_hint="nls"
+            )
+        if coeffs[0] != 0.0:
+            c0 = self._const_vector(builder, coeffs[0], slots, "nl0")
+            acc = builder.emit(
+                "sihe.add", [acc, self._encode(builder, c0)],
+                name_hint="nlo",
+            )
+        return acc
+
+    def _lower_smooth(self, builder: IRBuilder, x: Value, op,
+                      slots: int) -> Value:
+        """Smooth nonlinearity: Chebyshev interpolation on [-B, B].
+
+        The argument is normalised to [-1, 1] first (folding in the dead-
+        slot mask), so intermediate cipher values stay bounded.
+        """
+        from repro.passes.approx import APPROXIMATIONS, chebyshev_coefficients
+
+        kind = op.attrs["kind"]
+        spec = APPROXIMATIONS[kind]
+        bound = float(op.attrs.get("bound", self.default_bound))
+        degree = int(op.attrs.get("degree", spec.default_degree))
+        coeffs = chebyshev_coefficients(
+            lambda t: spec.fn(bound * t), degree, (-1.0, 1.0)
+        )
+        if spec.odd:
+            coeffs = [c if i % 2 == 1 else 0.0 for i, c in enumerate(coeffs)]
+        x = builder.emit("sihe.bootstrap_hint", [x], name_hint="refresh")
+        mask_name = op.attrs.get("mask_const")
+        if mask_name is not None:
+            mask = builder.module.constants[mask_name].astype(np.float64)
+            norm_vec = mask / bound
+            norm = builder.constant(
+                "vector.constant", norm_vec, hint="nl_norm",
+                extra_attrs={"length": slots},
+            )
+        else:
+            norm = self._const_vector(builder, 1.0 / bound, slots, "nl_norm")
+        y = builder.emit("sihe.mul", [x, self._encode(builder, norm)],
+                         name_hint="nl_y")
+        return self._emit_polynomial(builder, y, coeffs, slots)
+
+    #: odd minimax polynomial f3 of Lee et al. [36]: coefficients of
+    #: t, t^3, t^5, t^7.  |f3| <= 1 on [-1, 1], f3(t) ~ 2.1875 t near 0,
+    #: and it converges cubically to sign(t) near +-1.
+    F3_COEFFS = (35.0 / 16, -35.0 / 16, 21.0 / 16, -5.0 / 16)
+
+    def _sign_stage(self, builder: IRBuilder, t: Value, slots: int) -> Value:
+        """One f3 composition stage (multiplicative depth 3 + 1)."""
+        a1, a3, a5, a7 = self.F3_COEFFS
+        t2 = builder.emit("sihe.mul", [t, t], name_hint="sg2")
+        t3 = builder.emit("sihe.mul", [t2, t], name_hint="sg3")
+        t4 = builder.emit("sihe.mul", [t2, t2], name_hint="sg4")
+        t5 = builder.emit("sihe.mul", [t4, t], name_hint="sg5")
+        t7 = builder.emit("sihe.mul", [t4, t3], name_hint="sg7")
+        terms = []
+        for power, coeff in ((t, a1), (t3, a3), (t5, a5), (t7, a7)):
+            const = self._const_vector(builder, coeff, slots, "sgc")
+            terms.append(builder.emit(
+                "sihe.mul", [power, self._encode(builder, const)],
+                name_hint="sgt",
+            ))
+        acc = terms[0]
+        for term in terms[1:]:
+            acc = builder.emit("sihe.add", [acc, term], name_hint="sgs")
+        return acc
+
+    def _lower_relu(self, builder: IRBuilder, x: Value, op, slots: int) -> Value:
+        """relu(x) = 0.5 * x * (1 + sign(x/B)); B = activation bound.
+
+        sign is approximated by composing ``sign_iterations`` stages of
+        the odd degree-7 minimax polynomial f3 (Lee et al. [36]); each
+        stage amplifies small arguments by ~2.19x and saturates at +-1,
+        so k stages resolve |x/B| >= ~2.19^-k.
+        """
+        bound = op.attrs.get("bound", self.default_bound)
+        x = builder.emit("sihe.bootstrap_hint", [x], name_hint="refresh")
+        mask_name = op.attrs.get("mask_const")
+        if mask_name is not None:
+            mask = builder.module.constants[mask_name].astype(np.float64)
+            inv_vec = mask / bound
+            inv_bound = builder.constant(
+                "vector.constant", inv_vec, hint="inv_bound",
+                extra_attrs={"length": slots},
+            )
+        else:
+            inv_bound = self._const_vector(builder, 1.0 / bound, slots,
+                                           "inv_bound")
+        s = builder.emit("sihe.mul", [x, self._encode(builder, inv_bound)],
+                         name_hint="relu_norm")
+        for _ in range(self.sign_iterations):
+            s = self._sign_stage(builder, s, slots)
+        half = self._const_vector(builder, 0.5, slots, "c05")
+        hs = builder.emit("sihe.mul", [s, self._encode(builder, half)],
+                          name_hint="relu_hs")
+        gate = builder.emit("sihe.add", [hs, self._encode(builder, half)],
+                            name_hint="relu_gate")
+        return builder.emit("sihe.mul", [x, gate], name_hint="relu_out")

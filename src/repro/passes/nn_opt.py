@@ -1,0 +1,38 @@
+"""NN-level optimisations (paper Table 2: NN operator fusion).
+
+ONNX models exported from inference pipelines are usually pre-fused, so
+the wins here mirror what the paper notes for PyTorch inputs: folding
+shape-only operator chains and eliminating identity reshapes.
+"""
+
+from __future__ import annotations
+
+from repro.ir.core import Module
+
+_SHAPE_ONLY = ("nn.reshape", "nn.flatten")
+
+
+def nn_operator_fusion(module: Module, context: dict) -> None:
+    fn = module.main()
+    replaced: dict[int, object] = {}
+    new_body = []
+    fused = 0
+    for op in fn.body:
+        op.operands = [replaced.get(o.id, o) for o in op.operands]
+        if op.opcode in _SHAPE_ONLY:
+            src = op.operands[0]
+            producer = src.producer
+            # fuse chains of shape-only ops: keep only the last one
+            if producer is not None and producer.opcode in _SHAPE_ONLY:
+                op.operands = [producer.operands[0]]
+                fused += 1
+            if op.opcode == "nn.reshape" and tuple(op.attrs["shape"]) == \
+                    op.operands[0].type.shape:
+                replaced[op.results[0].id] = op.operands[0]
+                fused += 1
+                continue
+        new_body.append(op)
+    fn.body = new_body
+    fn.returns = [replaced.get(v.id, v) for v in fn.returns]
+    fn.dce()
+    context["nn_fusions"] = fused

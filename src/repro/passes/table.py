@@ -1,0 +1,28 @@
+"""Registry of analyses/optimisations per IR level (paper Table 2)."""
+
+from __future__ import annotations
+
+#: (IR level, pass name, focus) — the rows of Table 2
+PASS_TABLE: list[tuple[str, str, str]] = [
+    ("NN", "NN Operator Fusion", "Performance"),
+    ("VECTOR", "Data Layout Selection", "Performance"),
+    ("VECTOR", "Batching", "Performance"),
+    ("VECTOR", "Matrix Multiplication Optimization", "Performance"),
+    ("VECTOR", "Convolution Optimization", "Performance"),
+    ("SIHE", "FHE Computation Recognition", "Translation"),
+    ("SIHE", "Nonlinear Function Approximation", "Translation"),
+    ("CKKS", "Parameter Selection", "Performance+Translation"),
+    ("CKKS", "Rescaling Placement", "Performance"),
+    ("CKKS", "Multiplication Depth Reduction", "Performance"),
+    ("CKKS", "Bootstrapping Placement", "Performance"),
+    ("CKKS", "Relinearization Placement", "Performance"),
+    ("CKKS", "Rotation Optimization", "Performance"),
+    ("CKKS", "CKKS Operator Fusion", "Performance"),
+    ("CKKS", "Key Generation", "Performance"),
+    ("POLY", "Polynomial Operator Fusion", "Performance"),
+    ("POLY", "Loop Fusion", "Performance"),
+]
+
+
+def passes_for_level(level: str) -> list[str]:
+    return [name for lvl, name, _ in PASS_TABLE if lvl == level]

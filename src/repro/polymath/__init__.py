@@ -1,0 +1,43 @@
+"""Polynomial arithmetic substrate for RNS-CKKS.
+
+Layers (bottom-up):
+
+* :mod:`repro.polymath.modmath` — vectorised modular arithmetic on numpy
+  ``uint64`` arrays for primes up to ~50 bits (float-reciprocal Barrett).
+* :mod:`repro.polymath.ntt` — negacyclic number-theoretic transform over
+  ``Z_q[X]/(X^N+1)``.
+* :mod:`repro.polymath.poly` — single-modulus polynomial helpers.
+* :mod:`repro.polymath.rns` — RNS polynomials: a stack of residue
+  polynomials sharing one :class:`RnsBasis`, with base extension
+  (mod-up / mod-down), rescaling and automorphisms.
+* :mod:`repro.polymath.crt` — CRT reconstruction to arbitrary-precision
+  integers (used by decryption and by tests).
+"""
+
+from repro.polymath.modmath import (
+    MAX_MODULUS_BITS,
+    add_mod,
+    sub_mod,
+    neg_mod,
+    mul_mod,
+    pow_mod,
+    inv_mod,
+)
+from repro.polymath.ntt import NttContext
+from repro.polymath.rns import RnsBasis, RnsPoly
+from repro.polymath.crt import crt_reconstruct, to_signed
+
+__all__ = [
+    "MAX_MODULUS_BITS",
+    "add_mod",
+    "sub_mod",
+    "neg_mod",
+    "mul_mod",
+    "pow_mod",
+    "inv_mod",
+    "NttContext",
+    "RnsBasis",
+    "RnsPoly",
+    "crt_reconstruct",
+    "to_signed",
+]

@@ -1,0 +1,45 @@
+"""CRT reconstruction from RNS residues to arbitrary-precision integers.
+
+Used once per decryption (to recover signed coefficients before decoding)
+and heavily in tests as the ground-truth interpretation of RNS data.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def crt_reconstruct(residue_rows: np.ndarray, moduli: list[int]) -> list[int]:
+    """Reconstruct integer coefficients in ``[0, Q)`` from residue rows.
+
+    ``residue_rows`` has shape (len(moduli), N).
+    """
+    big_q = 1
+    for q in moduli:
+        big_q *= q
+    # Precompute CRT basis elements as Python ints.
+    basis = []
+    for q in moduli:
+        q_hat = big_q // q
+        basis.append(q_hat * pow(q_hat % q, -1, q))
+    n = residue_rows.shape[1]
+    out = [0] * n
+    for row, element in zip(residue_rows, basis):
+        row_list = row.tolist()
+        for i in range(n):
+            out[i] += row_list[i] * element
+    return [v % big_q for v in out]
+
+
+def to_signed(values: list[int], modulus: int) -> list[int]:
+    """Map [0, Q) representatives to the centred range (-Q/2, Q/2]."""
+    half = modulus // 2
+    return [v - modulus if v > half else v for v in values]
+
+
+def signed_coeffs(residue_rows: np.ndarray, moduli: list[int]) -> list[int]:
+    """Convenience: CRT-reconstruct then centre."""
+    big_q = 1
+    for q in moduli:
+        big_q *= q
+    return to_signed(crt_reconstruct(residue_rows, moduli), big_q)

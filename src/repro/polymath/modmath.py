@@ -1,0 +1,114 @@
+"""Vectorised modular arithmetic on numpy uint64 arrays.
+
+The core primitive is :func:`mul_mod`, a Barrett-style reduction that uses
+double-precision floats to estimate the quotient ``floor(a*b/q)`` and then
+corrects it exactly in wrap-around uint64 arithmetic.  The estimate is
+within ±1 of the true quotient provided ``a*b/q < 2**52``, which holds for
+all moduli up to :data:`MAX_MODULUS_BITS` bits.  This is the standard
+technique used by NTT libraries to avoid 128-bit arithmetic.
+
+All functions accept scalars or arrays and always return ``uint64`` numpy
+values reduced to ``[0, q)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+#: Largest supported modulus width, in bits.  The float-reciprocal quotient
+#: estimate needs a*b/q < 2**52, i.e. q < 2**52 when a, b < q.
+MAX_MODULUS_BITS = 50
+
+_U64 = np.uint64
+_TWO63 = np.uint64(1) << np.uint64(63)
+
+
+def check_modulus(q: int) -> None:
+    """Validate that ``q`` is usable by this arithmetic layer."""
+    if q < 2 or q.bit_length() > MAX_MODULUS_BITS:
+        raise ParameterError(
+            f"modulus {q} outside supported range (2..2^{MAX_MODULUS_BITS})"
+        )
+
+
+def _as_u64(x) -> np.ndarray:
+    return np.asarray(x, dtype=_U64)
+
+
+def add_mod(a, b, q: int) -> np.ndarray:
+    """Element-wise ``(a + b) mod q`` for operands already in [0, q)."""
+    qq = _U64(q)
+    s = _as_u64(a) + _as_u64(b)
+    return np.where(s >= qq, s - qq, s)
+
+
+def sub_mod(a, b, q: int) -> np.ndarray:
+    """Element-wise ``(a - b) mod q`` for operands already in [0, q)."""
+    qq = _U64(q)
+    a = _as_u64(a)
+    b = _as_u64(b)
+    return np.where(a >= b, a - b, a + qq - b)
+
+
+def neg_mod(a, q: int) -> np.ndarray:
+    """Element-wise ``(-a) mod q`` for operands already in [0, q)."""
+    qq = _U64(q)
+    a = _as_u64(a)
+    return np.where(a == 0, a, qq - a)
+
+
+def mul_mod(a, b, q: int) -> np.ndarray:
+    """Element-wise ``(a * b) mod q`` via float-reciprocal Barrett reduction.
+
+    Operands must already be reduced to ``[0, q)`` and ``q`` must fit in
+    :data:`MAX_MODULUS_BITS` bits.
+    """
+    qq = _U64(q)
+    a = _as_u64(a)
+    b = _as_u64(b)
+    af = a.astype(np.float64)
+    bf = b.astype(np.float64)
+    quot = np.floor(af * bf / float(q)).astype(_U64)
+    with np.errstate(over="ignore"):
+        r = a * b - quot * qq  # exact mod 2**64; true value in (-q, 2q)
+    # A wrapped (>= 2**63) value means the quotient was overestimated by one.
+    r = np.where(r >= _TWO63, r + qq, r)
+    r = np.where(r >= qq, r - qq, r)
+    return r
+
+
+def mul_mod_scalar(a, s: int, q: int) -> np.ndarray:
+    """``(a * s) mod q`` with a Python-int scalar ``s`` (reduced first)."""
+    return mul_mod(a, _U64(s % q), q)
+
+
+def pow_mod(base: int, exponent: int, q: int) -> int:
+    """Scalar modular exponentiation (delegates to Python's pow)."""
+    return pow(base % q, exponent, q)
+
+
+def inv_mod(a: int, q: int) -> int:
+    """Scalar modular inverse; raises ParameterError when not invertible."""
+    try:
+        return pow(a % q, -1, q)
+    except ValueError as exc:
+        raise ParameterError(f"{a} is not invertible mod {q}") from exc
+
+
+def reduce_signed(values, q: int) -> np.ndarray:
+    """Map arbitrary Python/NumPy integers (possibly negative) into [0, q).
+
+    Accepts object arrays of big ints; returns uint64.
+    """
+    arr = np.asarray(values)
+    if arr.dtype == object:
+        reduced = np.array([int(v) % q for v in arr.ravel()], dtype=np.uint64)
+        return reduced.reshape(arr.shape)
+    return np.mod(arr.astype(np.int64), np.int64(q)).astype(_U64)
+
+
+def random_uniform(shape, q: int, rng: np.random.Generator) -> np.ndarray:
+    """Uniform samples in [0, q) as uint64."""
+    return rng.integers(0, q, size=shape, dtype=np.uint64)

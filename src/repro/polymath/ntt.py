@@ -1,0 +1,98 @@
+"""Negacyclic number-theoretic transform over Z_q[X]/(X^N + 1).
+
+Implements the Longa–Naehrig iterative NTT: the forward transform is a
+Cooley–Tukey decimation-in-time with the powers of the 2N-th root of unity
+``psi`` merged into the twiddle factors (so no separate pre-multiplication
+is needed for negacyclic convolution), and the inverse is the matching
+Gentleman–Sande decimation-in-frequency.  Each stage is fully vectorised
+with numpy, so a transform costs ``log2(N)`` vector passes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.polymath import modmath
+from repro.utils.bits import bit_reverse_indices, is_power_of_two
+from repro.utils.primes import primitive_root_of_unity
+
+
+class NttContext:
+    """Precomputed tables for NTTs modulo one prime ``q`` at degree ``N``.
+
+    Requires ``q ≡ 1 (mod 2N)`` so a primitive 2N-th root of unity exists.
+    """
+
+    def __init__(self, modulus: int, degree: int):
+        if not is_power_of_two(degree):
+            raise ParameterError(f"ring degree must be a power of two: {degree}")
+        if (modulus - 1) % (2 * degree) != 0:
+            raise ParameterError(
+                f"modulus {modulus} is not NTT-friendly for degree {degree}"
+            )
+        modmath.check_modulus(modulus)
+        self.modulus = modulus
+        self.degree = degree
+        psi = primitive_root_of_unity(2 * degree, modulus)
+        psi_inv = modmath.inv_mod(psi, modulus)
+        powers = np.empty(degree, dtype=np.uint64)
+        powers_inv = np.empty(degree, dtype=np.uint64)
+        acc = acc_inv = 1
+        for i in range(degree):
+            powers[i] = acc
+            powers_inv[i] = acc_inv
+            acc = (acc * psi) % modulus
+            acc_inv = (acc_inv * psi_inv) % modulus
+        rev = bit_reverse_indices(degree)
+        self._psi_rev = powers[rev]
+        self._psi_inv_rev = powers_inv[rev]
+        self._n_inv = np.uint64(modmath.inv_mod(degree, modulus))
+
+    def forward(self, coeffs: np.ndarray) -> np.ndarray:
+        """Coefficient form -> evaluation (NTT) form, bit-reversed order."""
+        q = self.modulus
+        n = self.degree
+        a = np.array(coeffs, dtype=np.uint64, copy=True)
+        if a.shape != (n,):
+            raise ParameterError(f"expected shape ({n},), got {a.shape}")
+        t = n
+        m = 1
+        while m < n:
+            t //= 2
+            s = self._psi_rev[m : 2 * m]
+            blocks = a.reshape(m, 2, t)
+            u = blocks[:, 0, :].copy()
+            v = modmath.mul_mod(blocks[:, 1, :], s[:, None], q)
+            blocks[:, 0, :] = modmath.add_mod(u, v, q)
+            blocks[:, 1, :] = modmath.sub_mod(u, v, q)
+            m *= 2
+        return a
+
+    def inverse(self, values: np.ndarray) -> np.ndarray:
+        """Evaluation (NTT) form, bit-reversed order -> coefficient form."""
+        q = self.modulus
+        n = self.degree
+        a = np.array(values, dtype=np.uint64, copy=True)
+        if a.shape != (n,):
+            raise ParameterError(f"expected shape ({n},), got {a.shape}")
+        t = 1
+        m = n
+        while m > 1:
+            h = m // 2
+            s = self._psi_inv_rev[h : 2 * h]
+            blocks = a.reshape(h, 2, t)
+            u = blocks[:, 0, :].copy()
+            v = blocks[:, 1, :].copy()
+            blocks[:, 0, :] = modmath.add_mod(u, v, q)
+            diff = modmath.sub_mod(u, v, q)
+            blocks[:, 1, :] = modmath.mul_mod(diff, s[:, None], q)
+            t *= 2
+            m = h
+        return modmath.mul_mod(a, self._n_inv, q)
+
+    def negacyclic_multiply(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Multiply two coefficient-form polynomials mod (X^N + 1, q)."""
+        fa = self.forward(a)
+        fb = self.forward(b)
+        return self.inverse(modmath.mul_mod(fa, fb, self.modulus))

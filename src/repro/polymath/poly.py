@@ -1,0 +1,82 @@
+"""Single-modulus polynomial helpers.
+
+These are the reference ("schoolbook") implementations used to validate
+the NTT fast paths, plus the coefficient-index automorphism shared by all
+rotation machinery.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.polymath import modmath
+
+
+def schoolbook_negacyclic_multiply(
+    a: np.ndarray, b: np.ndarray, q: int
+) -> np.ndarray:
+    """O(N^2) negacyclic convolution mod (X^N + 1, q) — test oracle only."""
+    a = np.asarray(a, dtype=object)
+    b = np.asarray(b, dtype=object)
+    n = len(a)
+    if len(b) != n:
+        raise ParameterError("operand length mismatch")
+    out = [0] * n
+    for i in range(n):
+        ai = int(a[i])
+        if ai == 0:
+            continue
+        for j in range(n):
+            k = i + j
+            term = ai * int(b[j])
+            if k < n:
+                out[k] = (out[k] + term) % q
+            else:
+                out[k - n] = (out[k - n] - term) % q
+    return np.array([v % q for v in out], dtype=np.uint64)
+
+
+@lru_cache(maxsize=None)
+def automorphism_index_map(degree: int, galois: int) -> tuple[np.ndarray, np.ndarray]:
+    """Index/sign tables for the map ``a(X) -> a(X^galois) mod X^N + 1``.
+
+    Returns ``(dst_index, negate)``: coefficient ``i`` of the input lands at
+    ``dst_index[i]``, negated where ``negate[i]`` is True.  ``galois`` must
+    be odd (units of Z_{2N}).
+    """
+    if galois % 2 == 0:
+        raise ParameterError(f"Galois element must be odd, got {galois}")
+    two_n = 2 * degree
+    idx = (np.arange(degree, dtype=np.int64) * (galois % two_n)) % two_n
+    negate = idx >= degree
+    dst = np.where(negate, idx - degree, idx)
+    return dst, negate
+
+
+def apply_automorphism(coeffs: np.ndarray, galois: int, q: int) -> np.ndarray:
+    """Apply ``X -> X^galois`` to a coefficient-form polynomial mod q."""
+    n = len(coeffs)
+    dst, negate = automorphism_index_map(n, galois)
+    out = np.zeros(n, dtype=np.uint64)
+    values = np.where(negate, modmath.neg_mod(coeffs, q), np.asarray(coeffs, dtype=np.uint64))
+    out[dst] = values
+    return out
+
+
+def rotation_galois_element(steps: int, degree: int) -> int:
+    """Galois element realising a rotation by ``steps`` slots in CKKS.
+
+    CKKS slot rotations correspond to the automorphism ``X -> X^(5^steps)``
+    over Z_{2N}; negative steps use the inverse of 5.
+    """
+    two_n = 2 * degree
+    steps = steps % (degree // 2)
+    return pow(5, steps, two_n)
+
+
+def conjugation_galois_element(degree: int) -> int:
+    """Galois element for complex conjugation of the slots (X -> X^{2N-1})."""
+    return 2 * degree - 1

@@ -1,0 +1,339 @@
+"""RNS (residue number system) polynomials.
+
+An :class:`RnsPoly` represents an element of ``Z_Q[X]/(X^N+1)`` where
+``Q = q_0 * q_1 * ... * q_l`` is a product of NTT-friendly primes.  It is
+stored as a ``(l+1, N)`` uint64 matrix of residue polynomials, either in
+coefficient form or in NTT (evaluation) form.
+
+The :class:`RnsBasis` owns the prime chain, one :class:`NttContext` per
+prime, and the cross-prime precomputations needed for rescaling and for
+the digit-decomposition key switching used by the CKKS evaluator.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.polymath import modmath
+from repro.polymath.ntt import NttContext
+from repro.polymath.poly import apply_automorphism
+
+
+class RnsBasis:
+    """An ordered chain of NTT-friendly primes for ring degree N.
+
+    The full chain is ``moduli``; ciphertexts at level ``l`` use the prefix
+    ``moduli[: l + 1]``.  A separate *special* prime (for key switching) is
+    simply the last element of an extended basis built with
+    :meth:`extended`.
+    """
+
+    def __init__(self, moduli: list[int], degree: int):
+        if not moduli:
+            raise ParameterError("empty modulus chain")
+        if len(set(moduli)) != len(moduli):
+            raise ParameterError("modulus chain contains duplicates")
+        self.moduli = list(moduli)
+        self.degree = degree
+        self.ntts = [NttContext(q, degree) for q in self.moduli]
+        # inv_last[k][i] = (moduli[k])^{-1} mod moduli[i], for i < k;
+        # used when dropping modulus k during rescale/mod-down.
+        self._inv_last: dict[int, np.ndarray] = {}
+
+    def __len__(self) -> int:
+        return len(self.moduli)
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, RnsBasis)
+            and self.moduli == other.moduli
+            and self.degree == other.degree
+        )
+
+    def __hash__(self) -> int:
+        return hash((tuple(self.moduli), self.degree))
+
+    def product(self, count: int | None = None) -> int:
+        """Product of the first ``count`` moduli (all when None)."""
+        ms = self.moduli if count is None else self.moduli[:count]
+        out = 1
+        for q in ms:
+            out *= q
+        return out
+
+    def prefix(self, count: int) -> "RnsBasis":
+        """Basis using only the first ``count`` moduli (shares NTT tables)."""
+        sub = RnsBasis.__new__(RnsBasis)
+        sub.moduli = self.moduli[:count]
+        sub.degree = self.degree
+        sub.ntts = self.ntts[:count]
+        sub._inv_last = {}
+        return sub
+
+    def extended(self, extra_moduli: list[int]) -> "RnsBasis":
+        """Basis with ``extra_moduli`` appended (for the special prime)."""
+        return RnsBasis(self.moduli + list(extra_moduli), self.degree)
+
+    def inverses_of(self, k: int) -> np.ndarray:
+        """``moduli[k]^{-1} mod moduli[i]`` for every i < k (uint64 array)."""
+        if k not in self._inv_last:
+            qk = self.moduli[k]
+            self._inv_last[k] = np.array(
+                [modmath.inv_mod(qk, self.moduli[i]) for i in range(k)],
+                dtype=np.uint64,
+            )
+        return self._inv_last[k]
+
+
+class RnsPoly:
+    """A polynomial in RNS representation over a prefix of a basis."""
+
+    __slots__ = ("basis", "residues", "is_ntt")
+
+    def __init__(self, basis: RnsBasis, residues: np.ndarray, is_ntt: bool):
+        if residues.shape != (len(basis), basis.degree):
+            raise ParameterError(
+                f"residue matrix shape {residues.shape} does not match basis "
+                f"({len(basis)} x {basis.degree})"
+            )
+        self.basis = basis
+        self.residues = residues
+        self.is_ntt = is_ntt
+
+    # -- constructors -------------------------------------------------
+
+    @classmethod
+    def zero(cls, basis: RnsBasis, is_ntt: bool = True) -> "RnsPoly":
+        return cls(
+            basis,
+            np.zeros((len(basis), basis.degree), dtype=np.uint64),
+            is_ntt,
+        )
+
+    @classmethod
+    def from_int_coeffs(cls, basis: RnsBasis, coeffs, to_ntt: bool = True) -> "RnsPoly":
+        """Build from (possibly big/negative) integer coefficients."""
+        rows = np.stack(
+            [modmath.reduce_signed(coeffs, q) for q in basis.moduli]
+        )
+        poly = cls(basis, rows, is_ntt=False)
+        return poly.to_ntt() if to_ntt else poly
+
+    @classmethod
+    def uniform_random(
+        cls, basis: RnsBasis, rng: np.random.Generator, is_ntt: bool = True
+    ) -> "RnsPoly":
+        """Uniform element of R_Q (sampled independently per residue).
+
+        Sampling residues independently per prime is exactly uniform over
+        Z_Q by the CRT.
+        """
+        rows = np.stack(
+            [modmath.random_uniform(basis.degree, q, rng) for q in basis.moduli]
+        )
+        return cls(basis, rows, is_ntt)
+
+    def copy(self) -> "RnsPoly":
+        return RnsPoly(self.basis, self.residues.copy(), self.is_ntt)
+
+    # -- representation changes ----------------------------------------
+
+    def to_ntt(self) -> "RnsPoly":
+        if self.is_ntt:
+            return self
+        rows = np.stack(
+            [ctx.forward(row) for ctx, row in zip(self.basis.ntts, self.residues)]
+        )
+        return RnsPoly(self.basis, rows, is_ntt=True)
+
+    def to_coeff(self) -> "RnsPoly":
+        if not self.is_ntt:
+            return self
+        rows = np.stack(
+            [ctx.inverse(row) for ctx, row in zip(self.basis.ntts, self.residues)]
+        )
+        return RnsPoly(self.basis, rows, is_ntt=False)
+
+    # -- arithmetic ------------------------------------------------------
+
+    def _check_compatible(self, other: "RnsPoly") -> None:
+        if self.basis.moduli != other.basis.moduli:
+            raise ParameterError("RNS bases differ")
+        if self.is_ntt != other.is_ntt:
+            raise ParameterError("operands in different domains (NTT vs coeff)")
+
+    def __add__(self, other: "RnsPoly") -> "RnsPoly":
+        self._check_compatible(other)
+        rows = np.stack(
+            [
+                modmath.add_mod(a, b, q)
+                for a, b, q in zip(self.residues, other.residues, self.basis.moduli)
+            ]
+        )
+        return RnsPoly(self.basis, rows, self.is_ntt)
+
+    def __sub__(self, other: "RnsPoly") -> "RnsPoly":
+        self._check_compatible(other)
+        rows = np.stack(
+            [
+                modmath.sub_mod(a, b, q)
+                for a, b, q in zip(self.residues, other.residues, self.basis.moduli)
+            ]
+        )
+        return RnsPoly(self.basis, rows, self.is_ntt)
+
+    def __neg__(self) -> "RnsPoly":
+        rows = np.stack(
+            [modmath.neg_mod(a, q) for a, q in zip(self.residues, self.basis.moduli)]
+        )
+        return RnsPoly(self.basis, rows, self.is_ntt)
+
+    def __mul__(self, other: "RnsPoly") -> "RnsPoly":
+        """Pointwise ring multiplication; both operands must be in NTT form."""
+        self._check_compatible(other)
+        if not self.is_ntt:
+            raise ParameterError("ring multiplication requires NTT form")
+        rows = np.stack(
+            [
+                modmath.mul_mod(a, b, q)
+                for a, b, q in zip(self.residues, other.residues, self.basis.moduli)
+            ]
+        )
+        return RnsPoly(self.basis, rows, True)
+
+    def scalar_mul(self, scalar: int) -> "RnsPoly":
+        """Multiply by a Python-int scalar (reduced per modulus)."""
+        rows = np.stack(
+            [
+                modmath.mul_mod_scalar(a, scalar, q)
+                for a, q in zip(self.residues, self.basis.moduli)
+            ]
+        )
+        return RnsPoly(self.basis, rows, self.is_ntt)
+
+    # -- level / modulus management --------------------------------------
+
+    def drop_last(self, count: int = 1) -> "RnsPoly":
+        """Discard the last ``count`` residues (modulus switching).
+
+        Valid when the represented value is small compared to the reduced
+        modulus, which CKKS guarantees for well-managed ciphertexts.
+        """
+        if count >= len(self.basis):
+            raise ParameterError("cannot drop all residues")
+        new_basis = self.basis.prefix(len(self.basis) - count)
+        return RnsPoly(new_basis, self.residues[:-count].copy(), self.is_ntt)
+
+    def rescale_last(self) -> "RnsPoly":
+        """Exact division (with centred rounding) by the last modulus.
+
+        Implements the RNS "DivideAndRound" used by CKKS rescaling and by
+        key-switch mod-down: with x the represented value and q_k the last
+        modulus, returns round(x / q_k) over the remaining basis.
+        """
+        k = len(self.basis) - 1
+        if k == 0:
+            raise ParameterError("cannot rescale a single-modulus polynomial")
+        poly = self.to_coeff()
+        q_last = self.basis.moduli[k]
+        last = poly.residues[k]
+        # Centre the last residue so the division rounds instead of floors.
+        half = q_last // 2
+        inv = self.basis.inverses_of(k)
+        new_rows = []
+        for i in range(k):
+            qi = self.basis.moduli[i]
+            # delta = centred(last) mod qi, computed without leaving uint64:
+            # centred(x) = x - q_last * (x > half); mod qi that is
+            # x mod qi - q_last mod qi when x > half.
+            last_mod = np.mod(last, np.uint64(qi))
+            correction = np.uint64(q_last % qi)
+            delta = np.where(
+                last > half,
+                modmath.sub_mod(last_mod, correction, qi),
+                last_mod,
+            )
+            diff = modmath.sub_mod(poly.residues[i], delta, qi)
+            new_rows.append(modmath.mul_mod(diff, inv[i], qi))
+        new_basis = self.basis.prefix(k)
+        out = RnsPoly(new_basis, np.stack(new_rows), is_ntt=False)
+        return out.to_ntt() if self.is_ntt else out
+
+    def mod_down(self, special_count: int) -> "RnsPoly":
+        """Divide by the product of the ``special_count`` trailing moduli."""
+        out = self
+        for _ in range(special_count):
+            out = out.rescale_last()
+        return out
+
+    # -- key-switch digit decomposition -----------------------------------
+
+    def decompose_digit(self, j: int, target_basis: RnsBasis) -> "RnsPoly":
+        """Digit ``[self]_{q_j}`` lifted (exactly) into ``target_basis``.
+
+        The digit is the j-th residue polynomial interpreted as an integer
+        polynomial with coefficients in ``[0, q_j)``; since every coefficient
+        is small it reduces directly modulo each target prime.
+        """
+        poly = self.to_coeff()
+        digit = poly.residues[j]
+        rows = np.stack(
+            [np.mod(digit, np.uint64(q)) for q in target_basis.moduli]
+        )
+        return RnsPoly(target_basis, rows, is_ntt=False).to_ntt()
+
+    def extend_zero_pad(self, target_basis: RnsBasis) -> "RnsPoly":
+        """Re-express in a larger basis assuming the value is tiny.
+
+        Only valid for polynomials whose integer coefficients are already
+        reduced (< min modulus), e.g. fresh digits; used in tests.
+        """
+        poly = self.to_coeff()
+        base = poly.residues[0]
+        rows = np.stack([np.mod(base, np.uint64(q)) for q in target_basis.moduli])
+        return RnsPoly(target_basis, rows, is_ntt=False)
+
+    # -- automorphisms -----------------------------------------------------
+
+    def automorphism(self, galois: int) -> "RnsPoly":
+        """Apply ``X -> X^galois`` (computed in coefficient form)."""
+        poly = self.to_coeff()
+        rows = np.stack(
+            [
+                apply_automorphism(row, galois, q)
+                for row, q in zip(poly.residues, self.basis.moduli)
+            ]
+        )
+        out = RnsPoly(self.basis, rows, is_ntt=False)
+        return out.to_ntt() if self.is_ntt else out
+
+    # -- introspection ------------------------------------------------------
+
+    def byte_size(self) -> int:
+        """Storage footprint of the residue matrix in bytes."""
+        return int(self.residues.nbytes)
+
+    def __repr__(self) -> str:
+        domain = "ntt" if self.is_ntt else "coeff"
+        return (
+            f"RnsPoly(limbs={len(self.basis)}, N={self.basis.degree}, {domain})"
+        )
+
+
+@lru_cache(maxsize=None)
+def gadget_factors(moduli: tuple[int, ...]) -> tuple[int, ...]:
+    """CRT gadget ``g_j = (Q/q_j) * [(Q/q_j)^{-1}]_{q_j}`` for each j.
+
+    Σ_j [x]_{q_j} * g_j ≡ x (mod Q); used to build key-switch keys.
+    """
+    big_q = 1
+    for q in moduli:
+        big_q *= q
+    out = []
+    for q in moduli:
+        q_hat = big_q // q
+        out.append(q_hat * pow(q_hat % q, -1, q))
+    return tuple(out)

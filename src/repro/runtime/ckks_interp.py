@@ -1,0 +1,142 @@
+"""CKKS IR interpreter: strict execution of fully scheduled programs.
+
+Unlike the SIHE interpreter, nothing here is managed on the fly: every
+rescale/modswitch/relin/bootstrap was placed by the compiler, and this
+interpreter simply issues the ops.  When the compiler annotated values
+with expected scales/levels (``Value.meta``), the interpreter verifies
+the runtime state matches the plan — a strong check on the
+scale-management pass.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.backend.interface import HEBackend
+from repro.errors import RuntimeBackendError
+from repro.ir.core import Function, Module
+from repro.ir.types import CipherType
+from repro.runtime.vector_interp import _eval as eval_vector_op
+
+
+def run_ckks_function(
+    module: Module,
+    fn: Function,
+    backend: HEBackend,
+    inputs: list,
+    check_plan: bool = True,
+    region_tags: dict[int, str] | None = None,
+) -> list:
+    """Execute a CKKS-IR function.
+
+    Args:
+        region_tags: optional map op-index -> tag; ops are recorded under
+            that tag in the backend trace (feeds Figure 6's breakdown).
+    """
+    be = backend
+    env: dict[int, object] = {}
+    for param, value in zip(fn.params, inputs):
+        if isinstance(param.type, CipherType):
+            if isinstance(value, np.ndarray) or np.isscalar(value):
+                handle = be.encrypt(value)
+            else:
+                handle = value  # already a ciphertext (Figure-2 protocol)
+        else:
+            handle = np.asarray(value, dtype=np.float64)
+        env[param.id] = handle
+    # liveness: drop intermediates after their last use (an encrypted
+    # ResNet otherwise accumulates gigabytes of dead ciphertexts)
+    last_use: dict[int, int] = {}
+    for index, op in enumerate(fn.body):
+        for operand in op.operands:
+            last_use[operand.id] = index
+    keep = {v.id for v in fn.returns}
+    trace = getattr(be, "trace", None)
+    for index, op in enumerate(fn.body):
+        args = [env[o.id] for o in op.operands]
+        tag = (region_tags or {}).get(index) or op.attrs.get("region")
+        if trace is not None and tag:
+            with trace.region(tag):
+                result = _eval(module, op, args, be)
+        else:
+            result = _eval(module, op, args, be)
+        env[op.results[0].id] = result
+        if check_plan and op.results[0].meta.get("scale") is not None:
+            _check(op, result, be)
+        for operand in op.operands:
+            if last_use.get(operand.id) == index and operand.id not in keep:
+                env.pop(operand.id, None)
+    return [env[v.id] for v in fn.returns]
+
+
+def _check(op, result, be) -> None:
+    meta = op.results[0].meta
+    if isinstance(result, np.ndarray):
+        return
+    got_scale = be.scale_of(result)
+    want_scale = meta["scale"]
+    if not math.isclose(got_scale, want_scale, rel_tol=1e-5):
+        raise RuntimeBackendError(
+            f"{op.opcode}: runtime scale 2^{math.log2(got_scale):.3f} != "
+            f"planned 2^{math.log2(want_scale):.3f}"
+        )
+    want_level = meta.get("level")
+    if want_level is not None and be.level_of(result) != want_level:
+        raise RuntimeBackendError(
+            f"{op.opcode}: runtime level {be.level_of(result)} != planned "
+            f"{want_level}"
+        )
+
+
+def _eval(module: Module, op, args, be: HEBackend):
+    code = op.opcode
+    if code.startswith("vector."):
+        return eval_vector_op(module, op, args)
+    if code == "ckks.rotate":
+        return be.rotate(args[0], op.attrs["steps"])
+    if code == "ckks.conjugate":
+        return be.conjugate(args[0])
+    if code == "ckks.add":
+        if isinstance(args[1], np.ndarray) or _is_plain(op, 1):
+            return be.add_plain(args[0], args[1])
+        return be.add(args[0], args[1])
+    if code == "ckks.sub":
+        if _is_plain(op, 1):
+            return be.sub_plain(args[0], args[1])
+        return be.sub(args[0], args[1])
+    if code == "ckks.neg":
+        return be.negate(args[0])
+    if code == "ckks.mul":
+        if _is_plain(op, 1):
+            return be.mul_plain(args[0], args[1])
+        return be.mul(args[0], args[1])
+    if code == "ckks.relin":
+        return be.relinearize(args[0])
+    if code == "ckks.rescale":
+        return be.rescale(args[0])
+    if code == "ckks.modswitch":
+        return be.mod_switch(args[0], op.attrs.get("levels", 1))
+    if code == "ckks.upscale":
+        return be.upscale(args[0], op.attrs["bits"])
+    if code == "ckks.downscale":
+        target = op.attrs["target_scale"]
+        out = args[0]
+        while be.scale_of(out) > target * (1 + 1e-6) and be.level_of(out) > 0:
+            out = be.rescale(out)
+        return out
+    if code == "ckks.bootstrap":
+        return be.bootstrap(args[0], op.attrs.get("target_level"))
+    if code == "ckks.encode":
+        return be.encode(args[0], scale=op.attrs["scale"],
+                         level=op.attrs["level"])
+    if code == "ckks.decode":
+        return args[0]
+    raise RuntimeBackendError(f"CKKS interpreter: unsupported op {code}")
+
+
+def _is_plain(op, index: int) -> bool:
+    from repro.ir.types import PlainType
+
+    return isinstance(op.operands[index].type, PlainType)

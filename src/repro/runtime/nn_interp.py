@@ -1,0 +1,65 @@
+"""NN IR interpreter: executes tensor ops with the numpy reference kernels.
+
+This is also how ANT-ACE's instrumentation supports *unencrypted*
+inference for debugging (paper §5).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import RuntimeBackendError
+from repro.ir.core import Function, Module
+from repro.nn import functional as F
+
+
+def run_nn_function(module: Module, fn: Function, inputs: list[np.ndarray],
+                    observer=None):
+    """Execute; ``observer(op, args, result)`` is called per op when given
+    (used by the compiler's range-calibration pass)."""
+    env: dict[int, np.ndarray] = {}
+    for param, value in zip(fn.params, inputs):
+        env[param.id] = np.asarray(value, dtype=np.float64).reshape(
+            param.type.shape
+        )
+    for op in fn.body:
+        args = [env[o.id] for o in op.operands]
+        result = _eval(module, op, args)
+        env[op.results[0].id] = result
+        if observer is not None:
+            observer(op, args, result)
+    return [env[v.id] for v in fn.returns]
+
+
+def _eval(module: Module, op, args):
+    code = op.opcode
+    if code == "nn.constant":
+        return module.constants[op.attrs["const_name"]]
+    if code == "nn.conv":
+        return F.conv2d(args[0], args[1], args[2],
+                        op.attrs.get("stride", 1),
+                        op.attrs.get("pad", args[1].shape[2] // 2))
+    if code == "nn.gemm":
+        return F.gemm(args[0], args[1], args[2],
+                      trans_b=op.attrs.get("trans_b", False))
+    if code == "nn.relu":
+        return F.relu(args[0])
+    if code in ("nn.sigmoid", "nn.tanh", "nn.exp", "nn.gelu"):
+        from repro.passes.approx import APPROXIMATIONS
+
+        return APPROXIMATIONS[code.split(".")[1]].fn(args[0])
+    if code == "nn.add":
+        return args[0] + args[1]
+    if code == "nn.average_pool":
+        return F.avg_pool2d(args[0], op.attrs["kernel"],
+                            op.attrs.get("stride"))
+    if code == "nn.global_average_pool":
+        return F.global_avg_pool(args[0])
+    if code == "nn.flatten":
+        return F.flatten(args[0], op.attrs.get("axis", 1))
+    if code == "nn.reshape":
+        return args[0].reshape(op.attrs["shape"])
+    if code == "nn.strided_slice":
+        return F.strided_slice(args[0], op.attrs["starts"],
+                               op.attrs["sizes"], op.attrs["strides"])
+    raise RuntimeBackendError(f"NN interpreter: unsupported op {code}")

@@ -1,0 +1,134 @@
+"""SIHE IR interpreter: scheme-independent execution on any backend.
+
+The SIHE level has no scale/level management (that is CKKS IR's job), so
+this interpreter manages scales *greedily*: every multiplication is
+followed by relinearise+rescale, operands are aligned on demand, and a
+bootstrap fires automatically when the level budget runs dry.  It exists
+for differential testing of the SIHE lowering before the CKKS passes run.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.backend.interface import HEBackend
+from repro.errors import RuntimeBackendError
+from repro.ir.core import Function, Module
+from repro.ir.types import CipherType
+from repro.runtime.vector_interp import _eval as eval_vector_op
+
+
+class SiheInterpreter:
+    def __init__(self, backend: HEBackend, auto_bootstrap: bool = True):
+        self.backend = backend
+        self.auto_bootstrap = auto_bootstrap
+
+    def run(self, module: Module, fn: Function, inputs: list) -> list:
+        be = self.backend
+        env: dict[int, object] = {}
+        for param, value in zip(fn.params, inputs):
+            if isinstance(param.type, CipherType):
+                env[param.id] = be.encrypt(value)
+            else:
+                env[param.id] = np.asarray(value, dtype=np.float64)
+        last_use: dict[int, int] = {}
+        for index, op in enumerate(fn.body):
+            for operand in op.operands:
+                last_use[operand.id] = index
+        keep = {v.id for v in fn.returns}
+        for index, op in enumerate(fn.body):
+            args = [env[o.id] for o in op.operands]
+            env[op.results[0].id] = self._eval(module, op, args)
+            for operand in op.operands:
+                if (last_use.get(operand.id) == index
+                        and operand.id not in keep):
+                    env.pop(operand.id, None)
+        return [env[v.id] for v in fn.returns]
+
+    # -- helpers ----------------------------------------------------------
+
+    def _ensure_budget(self, c, needed: int = 1):
+        be = self.backend
+        if be.level_of(c) < needed and self.auto_bootstrap:
+            return be.bootstrap(c)
+        return c
+
+    def _encode_for(self, raw: np.ndarray, c):
+        be = self.backend
+        return be.encode(raw, scale=be.config.scale, level=be.level_of(c))
+
+    def _mul_plain_rescaled(self, c, raw):
+        be = self.backend
+        c = self._ensure_budget(c)
+        prod = be.mul_plain(c, self._encode_for(raw, c))
+        return be.rescale(prod)
+
+    def _align_pair(self, a, b):
+        """Bring two ciphertexts to a common level and equal scale."""
+        be = self.backend
+        level = min(be.level_of(a), be.level_of(b))
+        a = be.mod_switch_to(a, level)
+        b = be.mod_switch_to(b, level)
+        sa, sb = be.scale_of(a), be.scale_of(b)
+        if math.isclose(sa, sb, rel_tol=1e-6):
+            return a, b
+        # multiply the lower-scaled operand by ones at a compensating
+        # scale, then rescale both to land on a common value
+        target = max(sa, sb)
+        low, high = (a, b) if sa < sb else (b, a)
+        prime = be.prime_at(be.level_of(low))
+        ones_scale = target * prime / be.scale_of(low)
+        ones = be.encode(
+            np.ones(be.config.num_slots), scale=ones_scale,
+            level=be.level_of(low),
+        )
+        low = be.rescale(be.mul_plain(low, ones))
+        high = be.mod_switch_to(high, be.level_of(low))
+        # after the rescale low's scale == target * prime / prime == target
+        if sa < sb:
+            return low, high
+        return high, low
+
+    # -- op dispatch ----------------------------------------------------------
+
+    def _eval(self, module: Module, op, args):
+        code = op.opcode
+        be = self.backend
+        if code.startswith("vector."):
+            return eval_vector_op(module, op, args)
+        if code == "sihe.rotate":
+            return be.rotate(args[0], op.attrs["steps"])
+        if code == "sihe.neg":
+            return be.negate(args[0])
+        if code == "sihe.encode":
+            return np.asarray(args[0])  # stays raw until consumed
+        if code == "sihe.decode":
+            return np.asarray(args[0])
+        if code == "sihe.bootstrap_hint":
+            return be.bootstrap(args[0]) if self.auto_bootstrap else args[0]
+        if code in ("sihe.add", "sihe.sub", "sihe.mul"):
+            a, b = args
+            cipher_b = not isinstance(b, np.ndarray)
+            if code == "sihe.mul":
+                if cipher_b:
+                    a, b = self._align_pair(self._ensure_budget(a),
+                                            self._ensure_budget(b))
+                    return be.rescale(be.relinearize(be.mul(a, b)))
+                return self._mul_plain_rescaled(a, b)
+            if cipher_b:
+                a, b = self._align_pair(a, b)
+                return be.add(a, b) if code == "sihe.add" else be.sub(a, b)
+            plain = be.encode(b, scale=be.scale_of(a), level=be.level_of(a))
+            return (
+                be.add_plain(a, plain)
+                if code == "sihe.add"
+                else be.sub_plain(a, plain)
+            )
+        raise RuntimeBackendError(f"SIHE interpreter: unsupported op {code}")
+
+
+def run_sihe_function(module: Module, fn: Function, backend: HEBackend,
+                      inputs: list) -> list:
+    return SiheInterpreter(backend).run(module, fn, inputs)

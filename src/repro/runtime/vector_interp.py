@@ -1,0 +1,67 @@
+"""VECTOR IR interpreter: packed cleartext execution with numpy."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import RuntimeBackendError
+from repro.ir.core import Function, Module
+
+
+def run_vector_function(module: Module, fn: Function,
+                        inputs: list[np.ndarray]):
+    env: dict[int, np.ndarray] = {}
+    for param, value in zip(fn.params, inputs):
+        vec = np.zeros(param.type.length)
+        flat = np.asarray(value, dtype=np.float64).ravel()
+        vec[: flat.size] = flat
+        env[param.id] = vec
+    last_use: dict[int, int] = {}
+    for index, op in enumerate(fn.body):
+        for operand in op.operands:
+            last_use[operand.id] = index
+    keep = {v.id for v in fn.returns}
+    for index, op in enumerate(fn.body):
+        args = [env[o.id] for o in op.operands]
+        env[op.results[0].id] = _eval(module, op, args)
+        for operand in op.operands:
+            if last_use.get(operand.id) == index and operand.id not in keep:
+                env.pop(operand.id, None)
+    return [env[v.id] for v in fn.returns]
+
+
+def _eval(module: Module, op, args):
+    code = op.opcode
+    if code == "vector.constant":
+        const = module.constants[op.attrs["const_name"]]
+        vec = np.zeros(op.results[0].type.length)
+        vec[: const.size] = const.ravel()
+        return vec
+    if code == "vector.add":
+        return args[0] + args[1]
+    if code == "vector.mul":
+        return args[0] * args[1]
+    if code == "vector.roll":
+        return np.roll(args[0], -op.attrs["steps"])
+    if code == "vector.slice":
+        start = op.attrs.get("start", 0)
+        return args[0][start : start + op.attrs["size"]].copy()
+    if code == "vector.pad":
+        out = np.zeros(op.attrs["length"])
+        out[: args[0].size] = args[0]
+        return out
+    if code == "vector.tile":
+        return np.tile(args[0], op.attrs["count"])
+    if code == "vector.broadcast":
+        out = np.empty(op.attrs["length"])
+        out[:] = np.resize(args[0], op.attrs["length"])
+        return out
+    if code == "vector.reshape":
+        return args[0]
+    if code == "vector.relu":
+        return np.maximum(args[0], 0.0)
+    if code == "vector.nonlinear":
+        from repro.passes.approx import APPROXIMATIONS
+
+        return APPROXIMATIONS[op.attrs["kind"]].fn(args[0])
+    raise RuntimeBackendError(f"VECTOR interpreter: unsupported op {code}")

@@ -1,0 +1,32 @@
+"""Shared utilities: primality, bit tricks, timing, LoC counting."""
+
+from repro.utils.primes import (
+    is_prime,
+    next_ntt_prime,
+    previous_ntt_prime,
+    generate_prime_chain,
+    primitive_root_of_unity,
+)
+from repro.utils.bits import (
+    is_power_of_two,
+    next_power_of_two,
+    bit_reverse,
+    bit_reverse_indices,
+    ceil_log2,
+)
+from repro.utils.timing import Stopwatch, TimerRegistry
+
+__all__ = [
+    "is_prime",
+    "next_ntt_prime",
+    "previous_ntt_prime",
+    "generate_prime_chain",
+    "primitive_root_of_unity",
+    "is_power_of_two",
+    "next_power_of_two",
+    "bit_reverse",
+    "bit_reverse_indices",
+    "ceil_log2",
+    "Stopwatch",
+    "TimerRegistry",
+]

@@ -1,0 +1,46 @@
+"""Small bit-manipulation helpers used throughout the polynomial kernels."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def is_power_of_two(n: int) -> bool:
+    """Return True if ``n`` is a positive power of two."""
+    return n > 0 and (n & (n - 1)) == 0
+
+
+def next_power_of_two(n: int) -> int:
+    """Return the smallest power of two >= ``n`` (n must be positive)."""
+    if n <= 0:
+        raise ValueError("next_power_of_two requires a positive integer")
+    return 1 << (n - 1).bit_length()
+
+
+def ceil_log2(n: int) -> int:
+    """Return ceil(log2(n)) for positive ``n``."""
+    if n <= 0:
+        raise ValueError("ceil_log2 requires a positive integer")
+    return (n - 1).bit_length()
+
+
+def bit_reverse(value: int, width: int) -> int:
+    """Reverse the lowest ``width`` bits of ``value``."""
+    result = 0
+    for _ in range(width):
+        result = (result << 1) | (value & 1)
+        value >>= 1
+    return result
+
+
+def bit_reverse_indices(n: int) -> np.ndarray:
+    """Return the bit-reversal permutation of ``range(n)`` (n power of two)."""
+    if not is_power_of_two(n):
+        raise ValueError(f"n must be a power of two, got {n}")
+    width = n.bit_length() - 1
+    indices = np.arange(n, dtype=np.int64)
+    result = np.zeros(n, dtype=np.int64)
+    for _ in range(width):
+        result = (result << 1) | (indices & 1)
+        indices >>= 1
+    return result

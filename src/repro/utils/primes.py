@@ -1,0 +1,124 @@
+"""Prime generation for NTT-friendly RNS moduli.
+
+RNS-CKKS needs chains of distinct primes ``q ≡ 1 (mod 2N)`` so that the
+ring ``Z_q[X]/(X^N+1)`` supports a negacyclic NTT.  The helpers here find
+such primes near requested bit sizes and locate 2N-th roots of unity.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParameterError
+
+_SMALL_PRIMES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+
+
+def is_prime(n: int) -> bool:
+    """Deterministic Miller-Rabin for 64-bit-ish integers."""
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n % p == 0:
+            return n == p
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    # This witness set is deterministic for n < 3.3e24.
+    for a in (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37):
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = (x * x) % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def next_ntt_prime(bits: int, two_n: int, above: int = 0) -> int:
+    """Smallest prime with ``bits`` bits, ``p ≡ 1 (mod two_n)``, ``p > above``.
+
+    Searches upward from ``max(2**(bits-1), above)``; raises
+    :class:`ParameterError` when no such prime exists below ``2**bits``.
+    """
+    start = max(1 << (bits - 1), above + 1)
+    # Round up to the next value congruent to 1 mod two_n.
+    candidate = ((start - 1 + two_n - 1) // two_n) * two_n + 1
+    limit = 1 << bits
+    while candidate < limit:
+        if is_prime(candidate):
+            return candidate
+        candidate += two_n
+    raise ParameterError(
+        f"no NTT prime with {bits} bits congruent 1 mod {two_n} above {above}"
+    )
+
+
+def previous_ntt_prime(bits: int, two_n: int, below: int = 0) -> int:
+    """Largest prime with ``bits`` bits, ``p ≡ 1 (mod two_n)``, ``p < below``.
+
+    ``below == 0`` means "no upper restriction other than 2**bits".
+    """
+    upper = (1 << bits) - 1
+    if below:
+        upper = min(upper, below - 1)
+    candidate = (upper - 1) // two_n * two_n + 1
+    lower = 1 << (bits - 1)
+    while candidate >= lower:
+        if is_prime(candidate):
+            return candidate
+        candidate -= two_n
+    raise ParameterError(
+        f"no NTT prime with {bits} bits congruent 1 mod {two_n} below {below}"
+    )
+
+
+def generate_prime_chain(bit_sizes: list[int], ring_degree: int) -> list[int]:
+    """Generate distinct NTT primes, one per requested bit size.
+
+    Primes of equal bit size are distinct (we walk downward from the top of
+    the bit range).  ``ring_degree`` is N; primes satisfy q ≡ 1 mod 2N.
+    """
+    two_n = 2 * ring_degree
+    chain: list[int] = []
+    last_by_bits: dict[int, int] = {}
+    for bits in bit_sizes:
+        below = last_by_bits.get(bits, 0)
+        prime = previous_ntt_prime(bits, two_n, below=below)
+        while prime in chain:
+            prime = previous_ntt_prime(bits, two_n, below=prime)
+        chain.append(prime)
+        last_by_bits[bits] = prime
+    return chain
+
+
+def primitive_root_of_unity(order: int, modulus: int) -> int:
+    """Find a primitive ``order``-th root of unity modulo a prime."""
+    if (modulus - 1) % order != 0:
+        raise ParameterError(f"{order} does not divide {modulus}-1")
+    cofactor = (modulus - 1) // order
+    # Factor `order` (a power of two times small factors in our usage).
+    factors = _prime_factors(order)
+    for base in range(2, 1000):
+        candidate = pow(base, cofactor, modulus)
+        if candidate == 1:
+            continue
+        if all(pow(candidate, order // f, modulus) != 1 for f in factors):
+            return candidate
+    raise ParameterError(f"no primitive {order}-th root of unity mod {modulus}")
+
+
+def _prime_factors(n: int) -> set[int]:
+    factors: set[int] = set()
+    d = 2
+    while d * d <= n:
+        while n % d == 0:
+            factors.add(d)
+            n //= d
+        d += 1
+    if n > 1:
+        factors.add(n)
+    return factors

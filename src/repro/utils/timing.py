@@ -1,0 +1,80 @@
+"""Wall-clock instrumentation used by the pass manager and benchmarks.
+
+Figure 5 of the paper reports per-IR compile-time breakdowns; the
+:class:`TimerRegistry` here is what the pass manager feeds so the
+evaluation harness can regenerate that figure from real measurements.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import defaultdict
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+
+@dataclass
+class Stopwatch:
+    """A simple accumulating stopwatch."""
+
+    elapsed: float = 0.0
+    _started_at: float | None = None
+
+    def start(self) -> None:
+        if self._started_at is not None:
+            raise RuntimeError("stopwatch already running")
+        self._started_at = time.perf_counter()
+
+    def stop(self) -> float:
+        if self._started_at is None:
+            raise RuntimeError("stopwatch not running")
+        delta = time.perf_counter() - self._started_at
+        self.elapsed += delta
+        self._started_at = None
+        return delta
+
+    @contextmanager
+    def timing(self):
+        self.start()
+        try:
+            yield self
+        finally:
+            self.stop()
+
+
+@dataclass
+class TimerRegistry:
+    """Accumulates named timings grouped by category (e.g. IR level)."""
+
+    totals: dict[str, float] = field(default_factory=lambda: defaultdict(float))
+    counts: dict[str, int] = field(default_factory=lambda: defaultdict(int))
+
+    @contextmanager
+    def measure(self, name: str):
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.totals[name] += time.perf_counter() - started
+            self.counts[name] += 1
+
+    def add(self, name: str, seconds: float) -> None:
+        self.totals[name] += seconds
+        self.counts[name] += 1
+
+    def total(self) -> float:
+        return sum(self.totals.values())
+
+    def breakdown(self) -> dict[str, float]:
+        """Return fraction of total time per name (empty if nothing timed)."""
+        total = self.total()
+        if total == 0.0:
+            return {}
+        return {name: t / total for name, t in self.totals.items()}
+
+    def merged(self, mapping: dict[str, str]) -> dict[str, float]:
+        """Re-bucket totals through ``mapping`` (unmapped names -> 'Others')."""
+        merged: dict[str, float] = defaultdict(float)
+        for name, t in self.totals.items():
+            merged[mapping.get(name, "Others")] += t
+        return dict(merged)

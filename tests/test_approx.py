@@ -1,0 +1,102 @@
+"""Nonlinear-approximation tests: Chebyshev engine + end-to-end sigmoid/
+tanh through the compiler (paper §2.3, §4.3)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import LoweringError
+from repro.passes.approx import (
+    APPROXIMATIONS,
+    approximation_error,
+    chebyshev_coefficients,
+    coefficients_for,
+)
+
+
+def test_chebyshev_reproduces_polynomial_exactly():
+    fn = lambda x: 1.0 - 2.0 * x + 0.5 * x**3
+    coeffs = chebyshev_coefficients(fn, 3, (-2, 2))
+    assert np.allclose(coeffs, [1.0, -2.0, 0.0, 0.5], atol=1e-9)
+
+
+@pytest.mark.parametrize("name", sorted(APPROXIMATIONS))
+def test_default_degrees_are_accurate(name):
+    spec = APPROXIMATIONS[name]
+    bound = 4.0
+    coeffs = coefficients_for(name, bound)
+    err = approximation_error(spec.fn, coeffs, (-bound, bound))
+    scale = max(1.0, float(np.abs(spec.fn(np.array([bound]))).max()))
+    assert err / scale < 0.03, f"{name}: relative error {err / scale}"
+
+
+def test_odd_function_gets_odd_coefficients():
+    coeffs = coefficients_for("tanh", 3.0)
+    assert all(c == 0.0 for c in coeffs[0::2])
+
+
+def test_higher_degree_improves_accuracy():
+    errs = []
+    for degree in (3, 7, 13):
+        coeffs = chebyshev_coefficients(np.tanh, degree, (-3, 3))
+        errs.append(approximation_error(np.tanh, coeffs, (-3, 3)))
+    assert errs[0] > errs[1] > errs[2]
+
+
+def test_unknown_function_rejected():
+    with pytest.raises(LoweringError):
+        coefficients_for("swishish", 2.0)
+    with pytest.raises(LoweringError):
+        chebyshev_coefficients(np.tanh, 0, (-1, 1))
+    with pytest.raises(LoweringError):
+        chebyshev_coefficients(np.tanh, 3, (2, -2))
+
+
+@settings(max_examples=20, deadline=None)
+@given(bound=st.floats(min_value=0.5, max_value=8.0))
+def test_sigmoid_accuracy_property(bound):
+    coeffs = coefficients_for("sigmoid", bound)
+    err = approximation_error(
+        APPROXIMATIONS["sigmoid"].fn, coeffs, (-bound, bound)
+    )
+    assert err < 0.05
+
+
+def _compile_unary(op_type, values, degree_hint=None):
+    from repro.compiler import ACECompiler, CompileOptions
+    from repro.onnx import OnnxGraphBuilder, load_model_bytes, model_to_bytes
+
+    n = len(values)
+    builder = OnnxGraphBuilder("unary")
+    builder.add_input("x", [1, n])
+    builder.add_node(op_type, ["x"], outputs=["output"])
+    builder.add_output("output", [1, n])
+    model = load_model_bytes(model_to_bytes(builder.build()))
+    calib = [np.asarray(values).reshape(1, n)]
+    program = ACECompiler(model, CompileOptions(
+        poly_mode="off", calibration_inputs=calib)).compile()
+    backend = program.make_sim_backend(seed=0)
+    return program.run(backend, np.asarray(values).reshape(1, n))[0]
+
+
+def test_sigmoid_end_to_end_encrypted():
+    rng = np.random.default_rng(0)
+    x = rng.uniform(-3, 3, size=24)
+    got = _compile_unary("Sigmoid", x)
+    expected = 1.0 / (1.0 + np.exp(-x))
+    assert np.allclose(got, expected, atol=0.03)
+
+
+def test_tanh_end_to_end_encrypted():
+    rng = np.random.default_rng(1)
+    x = rng.uniform(-2, 2, size=24)
+    got = _compile_unary("Tanh", x)
+    assert np.allclose(got, np.tanh(x), atol=0.05)
+
+
+def test_exp_end_to_end_encrypted():
+    rng = np.random.default_rng(2)
+    x = rng.uniform(-1, 1, size=16)
+    got = _compile_unary("Exp", x)
+    assert np.allclose(got, np.exp(x), atol=0.05)

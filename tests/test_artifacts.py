@@ -1,0 +1,59 @@
+"""Generated encryptor/decryptor tests (paper §3, Figure 2 protocol)."""
+
+import importlib.util
+
+import numpy as np
+import pytest
+
+from repro.compiler import ACECompiler, CompileOptions
+from repro.compiler.artifacts import client_tools, write_client_tools
+from repro.onnx import OnnxGraphBuilder, load_model_bytes, model_to_bytes
+
+
+@pytest.fixture(scope="module")
+def program():
+    rng = np.random.default_rng(0)
+    builder = OnnxGraphBuilder("m")
+    builder.add_input("image", [1, 30])
+    builder.add_initializer(
+        "w", (rng.normal(size=(5, 30)) * 0.3).astype(np.float32))
+    builder.add_initializer("b", rng.normal(size=(5,)).astype(np.float32))
+    builder.add_node("Gemm", ["image", "w", "b"], outputs=["output"],
+                     transB=1)
+    builder.add_output("output", [1, 5])
+    model = load_model_bytes(model_to_bytes(builder.build()))
+    return ACECompiler(model, CompileOptions(poly_mode="off")).compile(), model
+
+
+def test_client_tools_roundtrip(program):
+    prog, model = program
+    encryptor, decryptor = client_tools(prog)
+    backend = prog.make_sim_backend(seed=1)
+    x = np.linspace(-1, 1, 30).reshape(1, 30)
+    ct = encryptor(backend, x)
+    # Figure-2 protocol: the server only sees the ciphertext
+    from repro.runtime import run_ckks_function
+
+    outs = run_ckks_function(prog.module, prog.module.main(), backend,
+                             [encryptor.pack(x)])
+    result = decryptor(backend, outs[0])
+    weights = {t.name: t.to_numpy() for t in model.graph.initializer}
+    expected = (x @ weights["w"].T + weights["b"]).ravel()
+    assert np.allclose(result.ravel(), expected, atol=1e-3)
+
+
+def test_written_client_module_is_standalone(program, tmp_path):
+    prog, model = program
+    path = write_client_tools(prog, tmp_path)
+    spec = importlib.util.spec_from_file_location("client_tools", path)
+    client = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(client)
+    backend = prog.make_sim_backend(seed=2)
+    x = np.linspace(-1, 1, 30).reshape(1, 30)
+    ct = client.encrypt_input(backend, x)
+    # identity check: decrypting the fresh input recovers the tensor
+    vec = backend.decrypt(ct, num_values=client.SLOTS)
+    recovered = vec[client.INPUT_POSITIONS.ravel()].reshape(1, 30)
+    assert np.allclose(recovered, x, atol=1e-4)
+    # and the output decoder has the right shape tables
+    assert client.OUTPUT_SHAPE == tuple(prog.output_layouts[0].shape)

@@ -1,0 +1,76 @@
+"""BSGS matrix-multiplication lowering (Table 2's GEMM optimisation)."""
+
+import numpy as np
+import pytest
+
+from repro.compiler import ACECompiler, CompileOptions
+from repro.errors import LoweringError
+from repro.onnx import OnnxGraphBuilder, load_model_bytes, model_to_bytes
+
+
+def _gemm_model(o_count, f_count, seed=0):
+    rng = np.random.default_rng(seed)
+    builder = OnnxGraphBuilder("gemm")
+    builder.add_input("x", [1, f_count])
+    builder.add_initializer(
+        "w", (rng.normal(size=(o_count, f_count)) * 0.3).astype(np.float32))
+    builder.add_initializer(
+        "b", rng.normal(size=(o_count,)).astype(np.float32))
+    builder.add_node("Gemm", ["x", "w", "b"], outputs=["output"], transB=1)
+    builder.add_output("output", [1, o_count])
+    model = load_model_bytes(model_to_bytes(builder.build()))
+    weights = {t.name: t.to_numpy() for t in model.graph.initializer}
+    return model, weights
+
+
+def _run(model, strategy, x, slots=512):
+    program = ACECompiler(model, CompileOptions(
+        poly_mode="off", gemm_strategy=strategy, slots=slots)).compile()
+    backend = program.make_sim_backend(seed=0)
+    return program.run(backend, x)[0], program
+
+
+@pytest.mark.parametrize("o_count,f_count", [(10, 64), (64, 64), (3, 100)])
+def test_bsgs_matches_dedup(o_count, f_count):
+    model, weights = _gemm_model(o_count, f_count)
+    rng = np.random.default_rng(1)
+    x = rng.normal(size=(1, f_count))
+    expected = (x @ weights["w"].T + weights["b"]).ravel()
+    got_dedup, _ = _run(model, "dedup", x)
+    got_bsgs, _ = _run(model, "bsgs", x)
+    assert np.allclose(got_dedup, expected, atol=1e-3)
+    assert np.allclose(got_bsgs, expected, atol=1e-3)
+
+
+def test_bsgs_uses_fewer_rotation_keys():
+    model, weights = _gemm_model(64, 64)
+    x = np.ones((1, 64))
+    _, prog_dedup = _run(model, "dedup", x)
+    _, prog_bsgs = _run(model, "bsgs", x)
+    assert len(prog_bsgs.rotation_steps) < len(prog_dedup.rotation_steps)
+    # ~2*sqrt(64)+2 keys for BSGS
+    assert len(prog_bsgs.rotation_steps) <= 20
+
+
+def test_auto_strategy_picks_bsgs_for_wide_gemm():
+    model, _ = _gemm_model(64, 128)
+    x = np.ones((1, 128))
+    _, prog = _run(model, "auto", x, slots=1024)
+    assert len(prog.rotation_steps) <= 40
+
+
+def test_bsgs_window_overflow_rejected():
+    from repro.ir import IRBuilder, Module, VectorType
+    from repro.passes.lowering.nn_to_vector import lower_matmul_bsgs
+
+    module = Module("m")
+    b = IRBuilder.make_function(module, "main", [VectorType(64)], ["x"])
+    with pytest.raises(LoweringError):
+        lower_matmul_bsgs(b, b.function.params[0], np.ones((64, 64)), 64)
+
+
+def test_unknown_strategy_rejected():
+    from repro.passes.lowering.nn_to_vector import NnToVectorLowering
+
+    with pytest.raises(LoweringError):
+        NnToVectorLowering(64, "fancy")

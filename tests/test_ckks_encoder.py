@@ -1,0 +1,131 @@
+"""Encoder tests: round-trips, slot semantics, automorphism-rotation duality."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ckks.encoder import CkksEncoder
+from repro.errors import EncodingError
+from repro.polymath.poly import apply_automorphism, rotation_galois_element
+
+
+N = 64
+SCALE = float(1 << 30)
+
+
+@pytest.fixture(scope="module")
+def enc():
+    return CkksEncoder(N)
+
+
+def test_roundtrip_real(enc):
+    rng = np.random.default_rng(0)
+    msg = rng.uniform(-10, 10, size=N // 2)
+    coeffs = enc.encode(msg, SCALE)
+    out = enc.decode_real(coeffs, SCALE)
+    assert np.allclose(out, msg, atol=1e-6)
+
+
+def test_roundtrip_complex(enc):
+    rng = np.random.default_rng(1)
+    msg = rng.uniform(-1, 1, size=N // 2) + 1j * rng.uniform(-1, 1, size=N // 2)
+    coeffs = enc.encode(msg, SCALE)
+    out = enc.decode(coeffs, SCALE)
+    assert np.allclose(out, msg, atol=1e-6)
+
+
+def test_short_message_zero_padded(enc):
+    msg = [1.5, -2.5, 3.0]
+    coeffs = enc.encode(msg, SCALE)
+    out = enc.decode_real(coeffs, SCALE)
+    assert np.allclose(out[:3], msg, atol=1e-6)
+    assert np.allclose(out[3:], 0.0, atol=1e-6)
+
+
+def test_scalar_broadcast(enc):
+    coeffs = enc.encode(2.25, SCALE)
+    out = enc.decode_real(coeffs, SCALE)
+    assert np.allclose(out, 2.25, atol=1e-6)
+
+
+def test_coefficientwise_add_is_slotwise_add(enc):
+    rng = np.random.default_rng(2)
+    x = rng.uniform(-5, 5, size=N // 2)
+    y = rng.uniform(-5, 5, size=N // 2)
+    cx = np.array(enc.encode(x, SCALE))
+    cy = np.array(enc.encode(y, SCALE))
+    out = enc.decode_real(cx + cy, SCALE)
+    assert np.allclose(out, x + y, atol=1e-5)
+
+
+def test_negacyclic_multiply_is_slotwise_multiply(enc):
+    """The defining CKKS property: ring mult == element-wise slot mult."""
+    rng = np.random.default_rng(3)
+    x = rng.uniform(-2, 2, size=N // 2)
+    y = rng.uniform(-2, 2, size=N // 2)
+    cx = enc.encode(x, SCALE)
+    cy = enc.encode(y, SCALE)
+    # schoolbook negacyclic product over plain integers
+    prod = [0] * N
+    for i in range(N):
+        for j in range(N):
+            k = i + j
+            t = cx[i] * cy[j]
+            if k < N:
+                prod[k] += t
+            else:
+                prod[k - N] -= t
+    out = enc.decode_real(prod, SCALE * SCALE)
+    assert np.allclose(out, x * y, atol=1e-5)
+
+
+def test_automorphism_rotates_slots_left(enc):
+    """X -> X^(5^k) rotates the decoded slot vector left by k."""
+    rng = np.random.default_rng(4)
+    msg = rng.uniform(-3, 3, size=N // 2)
+    coeffs = np.array(enc.encode(msg, SCALE), dtype=object)
+    q = 1 << 61  # plenty of headroom: work mod a big power of two
+    pos = np.array([int(c) % q for c in coeffs], dtype=object)
+    for k in (1, 3, N // 4):
+        galois = rotation_galois_element(k, N)
+        rotated = _apply_auto_object(pos, galois, q)
+        signed = [int(v) - q if int(v) > q // 2 else int(v) for v in rotated]
+        out = enc.decode_real(signed, SCALE)
+        assert np.allclose(out, np.roll(msg, -k), atol=1e-5), f"k={k}"
+
+
+def _apply_auto_object(coeffs, galois, q):
+    from repro.polymath.poly import automorphism_index_map
+
+    n = len(coeffs)
+    dst, negate = automorphism_index_map(n, galois)
+    out = [0] * n
+    for i in range(n):
+        v = int(coeffs[i])
+        out[int(dst[i])] = (q - v) % q if negate[i] else v
+    return out
+
+
+def test_bad_inputs_rejected(enc):
+    with pytest.raises(EncodingError):
+        enc.encode([1.0] * (N // 2 + 1), SCALE)
+    with pytest.raises(EncodingError):
+        enc.encode([1.0], -1.0)
+    with pytest.raises(EncodingError):
+        enc.decode([0] * (N - 1), SCALE)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    values=st.lists(
+        st.floats(min_value=-100, max_value=100, allow_nan=False),
+        min_size=1,
+        max_size=N // 2,
+    )
+)
+def test_roundtrip_property(values):
+    enc = CkksEncoder(N)
+    coeffs = enc.encode(values, SCALE)
+    out = enc.decode_real(coeffs, SCALE, num_values=len(values))
+    assert np.allclose(out, values, atol=1e-4)

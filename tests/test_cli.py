@@ -1,0 +1,58 @@
+"""CLI tests: compile / run / artifact emission."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.onnx import OnnxGraphBuilder, save_model
+
+
+@pytest.fixture()
+def model_path(tmp_path):
+    rng = np.random.default_rng(0)
+    builder = OnnxGraphBuilder("cli_model")
+    builder.add_input("x", [1, 12])
+    builder.add_initializer(
+        "w", (rng.normal(size=(3, 12)) * 0.3).astype(np.float32))
+    builder.add_initializer("b", np.zeros(3, dtype=np.float32))
+    builder.add_node("Gemm", ["x", "w", "b"], outputs=["output"], transB=1)
+    builder.add_output("output", [1, 3])
+    path = tmp_path / "model.onnx"
+    save_model(builder.build(), path)
+    return path
+
+
+def test_cli_compile(model_path, tmp_path, capsys):
+    out_dir = tmp_path / "out"
+    rc = main(["compile", str(model_path), "-o", str(out_dir),
+               "--poly-mode", "off"])
+    assert rc == 0
+    assert (out_dir / "fhe_program.py").exists()
+    assert (out_dir / "fhe_program_weights.npz").exists()
+    assert (out_dir / "client_tools.py").exists()
+    report = json.loads((out_dir / "report.json").read_text())
+    assert report["ckks_ops"] > 0
+    assert set(report["selection"]) == {"log2(N)", "log2(Q0)", "log2(Delta)"}
+
+
+def test_cli_run(model_path, capsys):
+    rc = main(["run", str(model_path), "--poly-mode", "off", "--seed", "1"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "output[0]:" in out
+
+
+def test_cli_run_with_npy_input(model_path, tmp_path, capsys):
+    x = np.linspace(-1, 1, 12).reshape(12)
+    npy = tmp_path / "input.npy"
+    np.save(npy, x)
+    rc = main(["run", str(model_path), "--poly-mode", "off",
+               "--input", str(npy)])
+    assert rc == 0
+
+
+def test_cli_requires_command():
+    with pytest.raises(SystemExit):
+        main([])

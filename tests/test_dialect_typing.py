@@ -1,0 +1,157 @@
+"""Dialect type-rule tests: every IR level rejects ill-typed operations."""
+
+import pytest
+
+from repro.errors import IRTypeError
+from repro.ir.registry import OPS
+from repro.ir.types import (
+    Cipher3Type,
+    CipherType,
+    PlainType,
+    PolyType,
+    TensorType,
+    VectorType,
+)
+
+
+def infer(opcode, types, attrs=None):
+    return OPS.get(opcode).infer(list(types), attrs or {})
+
+
+# -- NN dialect ----------------------------------------------------------
+
+
+def test_nn_gemm_inner_dim_checked():
+    with pytest.raises(IRTypeError):
+        infer("nn.gemm",
+              [TensorType((1, 8)), TensorType((4, 9)), TensorType((4,))],
+              {"trans_b": True})
+
+
+def test_nn_add_shape_checked():
+    with pytest.raises(IRTypeError):
+        infer("nn.add", [TensorType((1, 4)), TensorType((1, 5))])
+
+
+def test_nn_reshape_element_count_checked():
+    with pytest.raises(IRTypeError):
+        infer("nn.reshape", [TensorType((2, 4))], {"shape": [3, 3]})
+
+
+def test_nn_pool_shapes():
+    out = infer("nn.average_pool", [TensorType((1, 2, 8, 8))],
+                {"kernel": 2, "stride": 2})
+    assert out == [TensorType((1, 2, 4, 4))]
+
+
+# -- VECTOR dialect -------------------------------------------------------
+
+
+def test_vector_add_length_checked():
+    with pytest.raises(IRTypeError):
+        infer("vector.add", [VectorType(8), VectorType(16)])
+
+
+def test_vector_slice_range_checked():
+    with pytest.raises(IRTypeError):
+        infer("vector.slice", [VectorType(8)], {"start": 4, "size": 8})
+
+
+def test_vector_pad_cannot_shrink():
+    with pytest.raises(IRTypeError):
+        infer("vector.pad", [VectorType(8)], {"length": 4})
+
+
+def test_vector_tile_length():
+    assert infer("vector.tile", [VectorType(8)], {"count": 3}) == [
+        VectorType(24)
+    ]
+
+
+def test_vector_ops_reject_tensors():
+    with pytest.raises(IRTypeError):
+        infer("vector.roll", [TensorType((8,))], {"steps": 1})
+
+
+# -- SIHE dialect -----------------------------------------------------------
+
+
+def test_sihe_mul_first_operand_must_be_cipher():
+    with pytest.raises(IRTypeError):
+        infer("sihe.mul", [PlainType(8), CipherType(8)])
+
+
+def test_sihe_slot_mismatch():
+    with pytest.raises(IRTypeError):
+        infer("sihe.add", [CipherType(8), CipherType(16)])
+
+
+def test_sihe_encode_decode_types():
+    assert infer("sihe.encode", [VectorType(8)], {"slots": 8}) == [
+        PlainType(8)
+    ]
+    assert infer("sihe.decode", [PlainType(8)]) == [VectorType(8)]
+    with pytest.raises(IRTypeError):
+        infer("sihe.encode", [CipherType(8)])
+
+
+# -- CKKS dialect --------------------------------------------------------------
+
+
+def test_ckks_mul_produces_cipher3():
+    assert infer("ckks.mul", [CipherType(8), CipherType(8)]) == [
+        Cipher3Type(8)
+    ]
+    assert infer("ckks.mul", [CipherType(8), PlainType(8)]) == [
+        CipherType(8)
+    ]
+
+
+def test_ckks_relin_requires_cipher3():
+    assert infer("ckks.relin", [Cipher3Type(8)]) == [CipherType(8)]
+    with pytest.raises(IRTypeError):
+        infer("ckks.relin", [CipherType(8)])
+
+
+def test_ckks_rotate_rejects_cipher3():
+    with pytest.raises(IRTypeError):
+        infer("ckks.rotate", [Cipher3Type(8)], {"steps": 1})
+
+
+def test_ckks_add_allows_cipher3_accumulate():
+    assert infer("ckks.add", [Cipher3Type(8), Cipher3Type(8)]) == [
+        Cipher3Type(8)
+    ]
+
+
+# -- POLY dialect ---------------------------------------------------------------
+
+
+def test_poly_add_limb_mismatch():
+    with pytest.raises(IRTypeError):
+        infer("poly.add", [PolyType(64, 3), PolyType(64, 4)])
+
+
+def test_poly_rescale_needs_two_limbs():
+    assert infer("poly.rescale", [PolyType(64, 3)]) == [PolyType(64, 2)]
+    with pytest.raises(IRTypeError):
+        infer("poly.rescale", [PolyType(64, 1)])
+
+
+def test_poly_decomp_digit_range():
+    with pytest.raises(IRTypeError):
+        infer("poly.decomp", [PolyType(64, 3)], {"digit": 3})
+
+
+def test_poly_mod_down_count_checked():
+    assert infer("poly.mod_down", [PolyType(64, 4)], {"count": 1}) == [
+        PolyType(64, 3)
+    ]
+    with pytest.raises(IRTypeError):
+        infer("poly.mod_down", [PolyType(64, 2)], {"count": 2})
+
+
+def test_poly_muladd_accumulator_shape():
+    with pytest.raises(IRTypeError):
+        infer("poly.muladd",
+              [PolyType(64, 3), PolyType(64, 3), PolyType(64, 2)])

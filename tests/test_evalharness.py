@@ -1,0 +1,116 @@
+"""Cost/memory model and harness-utility tests."""
+
+import numpy as np
+import pytest
+
+from repro.backend.interface import SchemeConfig
+from repro.backend.trace import OpTrace
+from repro.evalharness.costmodel import CostModel
+from repro.evalharness.memmodel import MemoryModel
+
+
+@pytest.fixture
+def scheme():
+    return SchemeConfig(poly_degree=1 << 14, scale_bits=56,
+                        first_prime_bits=60, num_levels=20)
+
+
+def test_costmodel_keyswitch_dominates():
+    cm = CostModel(poly_degree=1 << 14)
+    limbs = 10
+    assert cm.op_seconds("rotate", limbs) > cm.op_seconds("mul_plain", limbs)
+    assert cm.op_seconds("relin", limbs) > cm.op_seconds("add", limbs)
+
+
+def test_costmodel_quadratic_in_limbs():
+    cm = CostModel(poly_degree=1 << 14)
+    cheap = cm.op_seconds("rotate", 5)
+    costly = cm.op_seconds("rotate", 25)
+    assert costly / cheap > 10  # super-linear growth with limbs
+
+
+def test_costmodel_bootstrap_linear_in_target():
+    cm = CostModel(poly_degree=1 << 14)
+    low = cm.op_seconds("bootstrap", 8)
+    high = cm.op_seconds("bootstrap", 24)
+    assert high == pytest.approx(3 * low, rel=0.05)
+
+
+def test_costmodel_trace_aggregation():
+    cm = CostModel(poly_degree=1 << 12)
+    trace = OpTrace()
+    with trace.region("Conv"):
+        trace.record("rotate", 10, count=5)
+    with trace.region("ReLU"):
+        trace.record("mul", 10, count=3)
+    seconds = cm.trace_seconds(trace)
+    assert set(seconds) == {"Conv", "ReLU"}
+    assert seconds["Conv"] == pytest.approx(5 * cm.op_seconds("rotate", 10))
+    assert cm.total_seconds(trace) == pytest.approx(sum(seconds.values()))
+
+
+def test_costmodel_calibration_runs():
+    cm = CostModel.calibrated(poly_degree=1 << 14, sample_degree=512)
+    assert cm.c_ntt > 0
+    assert cm.c_eltwise > 0
+
+
+def test_memmodel_key_sizes(scheme):
+    mm = MemoryModel(scheme)
+    # 2 * digits * limbs * N * 8 bytes
+    assert mm.ksk_bytes(0) == 2 * 1 * 2 * scheme.poly_degree * 8
+    assert mm.ksk_bytes(9) == 2 * 10 * 11 * scheme.poly_degree * 8
+    # trimming levels shrinks keys quadratically
+    assert mm.ksk_bytes(scheme.max_level) / mm.ksk_bytes(5) > 8
+
+
+def test_memmodel_ace_vs_expert(scheme):
+    mm = MemoryModel(scheme)
+    step_levels = {s: 6 for s in range(40)}
+    ace = mm.ace_totals(step_levels, weight_bytes=10**6, peak_ciphertexts=8)
+    exp = mm.expert_totals(40, weight_bytes=10**6, peak_ciphertexts=8)
+    assert ace["keys"] < exp["keys"]
+    assert ace["total"] < exp["total"]
+    assert exp["keys"] / exp["total"] > 0.9
+
+
+def test_peak_live_ciphertexts():
+    from repro.evalharness.fig7 import peak_live_ciphertexts
+    from repro.ir import CipherType, IRBuilder, Module
+
+    module = Module("m")
+    b = IRBuilder.make_function(module, "main", [CipherType(8)], ["x"])
+    x = b.function.params[0]
+    a = b.emit("ckks.rotate", [x], {"steps": 1})
+    c = b.emit("ckks.rotate", [x], {"steps": 2})
+    d = b.emit("ckks.add", [a, c])
+    b.ret([d])
+    # during the add, a, c and d coexist
+    assert peak_live_ciphertexts(b.function) == 3
+
+
+def test_table8_classify_lines():
+    from repro.evalharness.table8 import classify_lines
+
+    source = '"""Docstring."""\n\n# comment\nx = 1\ny = 2  # trailing\n'
+    code, comments = classify_lines(source)
+    assert code == 2
+    assert comments == 2
+
+
+def test_surveys_render():
+    from repro.evalharness.surveys import render_table1, render_table9
+
+    t1 = render_table1()
+    assert "ACE" in t1 and "Fhelipe" in t1
+    t9 = render_table9()
+    assert "ANT-ACE" in t9 and "ONNX" in t9
+
+
+def test_table_ops_lists_all_dialects():
+    from repro.evalharness.table_ops import dialect_ops, render_op_tables
+
+    assert len(dialect_ops("nn")) >= 8
+    assert len(dialect_ops("ckks")) >= 12
+    text = render_op_tables()
+    assert "Table 7 (POLY IR)" in text

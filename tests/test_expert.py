@@ -1,0 +1,108 @@
+"""Expert-baseline tests: correctness and the cost asymmetries vs ACE."""
+
+import numpy as np
+import pytest
+
+from repro.backend import SchemeConfig, SimBackend
+from repro.expert import ExpertConfig, ExpertInference
+from repro.nn import model_to_onnx, resnet_mini
+from repro.onnx import load_model_bytes, model_to_bytes
+from repro.passes.frontend import onnx_to_nn
+
+
+@pytest.fixture(scope="module")
+def mini_setup():
+    model = resnet_mini(num_classes=4, in_channels=1, base_width=2,
+                        input_size=8, blocks=1, seed=3)
+    proto = load_model_bytes(model_to_bytes(model_to_onnx(model)))
+    module = onnx_to_nn(proto)
+    return model, module
+
+
+def _backend(levels=32, slots=256):
+    return SimBackend(
+        SchemeConfig(poly_degree=2 * slots, scale_bits=40,
+                     first_prime_bits=50, num_levels=levels),
+        inject_noise=False, seed=0,
+    )
+
+
+def test_expert_inference_is_correct(mini_setup):
+    model, module = mini_setup
+    backend = _backend()
+    expert = ExpertInference(module, backend, ExpertConfig(
+        relu_bound=8.0, sign_iterations=5))
+    rng = np.random.default_rng(0)
+    img = rng.normal(size=(1, 1, 8, 8)) * 0.5
+    out = expert.run(img)
+    ref = model.forward(img).ravel()
+    assert out.argmax() == ref.argmax()
+    assert np.allclose(out, ref, atol=0.2)
+
+
+def test_expert_bootstraps_to_max_level(mini_setup):
+    _model, module = mini_setup
+    backend = _backend(levels=28)
+    expert = ExpertInference(module, backend, ExpertConfig(
+        sign_iterations=6))
+    rng = np.random.default_rng(1)
+    expert.run(rng.normal(size=(1, 1, 8, 8)) * 0.5)
+    boots = [
+        limbs for (tag, op, limbs), n in backend.trace.counts.items()
+        if op == "bootstrap"
+    ]
+    assert boots, "expert should bootstrap at least once"
+    # always refreshed to the full chain (the ACE-vs-expert difference)
+    assert all(b == backend.config.num_levels + 1 for b in boots)
+
+
+def test_expert_power_of_two_composition(mini_setup):
+    """With pow2 keys, rotations multiply by the popcount of the step."""
+    _model, module = mini_setup
+    base = _backend()
+    exact_keys = ExpertInference(module, base, ExpertConfig(
+        power_of_two_rotations=False, sign_iterations=4))
+    rng = np.random.default_rng(2)
+    img = rng.normal(size=(1, 1, 8, 8)) * 0.5
+    exact_keys.run(img)
+    exact_rotations = base.trace.total("rotate")
+
+    composed = _backend()
+    pow2 = ExpertInference(module, composed, ExpertConfig(
+        power_of_two_rotations=True, sign_iterations=4))
+    pow2.run(img)
+    composed_rotations = composed.trace.total("rotate")
+    assert composed_rotations > exact_rotations
+    # pow2 key set is tiny; per-step key set is larger
+    assert all(s & (s - 1) == 0 for s in pow2.used_rotation_steps)
+    assert len(exact_keys.used_rotation_steps) > len(
+        pow2.used_rotation_steps
+    )
+
+
+def test_expert_eager_rescales_more_than_ace(mini_setup):
+    """Expert rescales per multiplication; ACE's lazy policy batches."""
+    from repro.compiler import ACECompiler, CompileOptions
+
+    model, module = mini_setup
+    backend = _backend()
+    expert = ExpertInference(module, backend, ExpertConfig(
+        sign_iterations=4))
+    rng = np.random.default_rng(3)
+    img = rng.normal(size=(1, 1, 8, 8)) * 0.5
+    expert.run(img)
+    expert_rescales = backend.trace.total("rescale")
+    expert_muls = (backend.trace.total("mul")
+                   + backend.trace.total("mul_plain"))
+
+    proto = load_model_bytes(model_to_bytes(model_to_onnx(model)))
+    program = ACECompiler(proto, CompileOptions(
+        sign_iterations=4, poly_mode="off")).compile()
+    ace_backend = program.make_sim_backend(inject_noise=False, seed=0)
+    program.run(ace_backend, img, check_plan=False)
+    ace_rescales = ace_backend.trace.total("rescale")
+    ace_muls = (ace_backend.trace.total("mul")
+                + ace_backend.trace.total("mul_plain"))
+    # eager: one rescale per multiplication; lazy: strictly fewer per mul
+    assert expert_rescales >= 0.95 * expert_muls
+    assert ace_rescales / ace_muls < expert_rescales / expert_muls

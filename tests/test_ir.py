@@ -1,0 +1,161 @@
+"""IR infrastructure tests: builder, verifier, printer, pass manager."""
+
+import numpy as np
+import pytest
+
+from repro.errors import IRError, IRTypeError, PassError
+from repro.ir import (
+    CipherType,
+    IRBuilder,
+    Module,
+    Pass,
+    PassManager,
+    TensorType,
+    VectorType,
+    print_function,
+    print_module,
+    verify_function,
+    verify_module,
+)
+from repro.ir.registry import OPS
+
+
+def _make_fn(module=None):
+    module = module or Module("m")
+    builder = IRBuilder.make_function(
+        module, "main", [TensorType((1, 4))], ["x"]
+    )
+    return module, builder
+
+
+def test_builder_type_inference():
+    module, b = _make_fn()
+    w = b.constant("nn.constant", np.zeros((3, 4)), "w",
+                   {"shape": [3, 4]})
+    bias = b.constant("nn.constant", np.zeros(3), "b", {"shape": [3]})
+    out = b.emit("nn.gemm", [b.function.params[0], w, bias],
+                 {"trans_b": True})
+    assert out.type == TensorType((1, 3))
+    b.ret([out])
+    verify_module(module)
+
+
+def test_verifier_rejects_bad_arity():
+    module, b = _make_fn()
+    x = b.function.params[0]
+    with pytest.raises(IRError):
+        b.emit("nn.relu", [x, x])
+
+
+def test_verifier_rejects_type_mismatch():
+    module, b = _make_fn()
+    x = b.function.params[0]
+    relu = b.emit("nn.relu", [x])
+    # corrupt the result type behind the builder's back
+    relu.type = TensorType((9, 9))
+    with pytest.raises(IRError):
+        verify_function(b.function)
+
+
+def test_verifier_rejects_use_before_def():
+    module, b = _make_fn()
+    x = b.function.params[0]
+    r1 = b.emit("nn.relu", [x])
+    r2 = b.emit("nn.relu", [r1])
+    # swap op order to break dominance
+    b.function.body.reverse()
+    with pytest.raises(IRError):
+        verify_function(b.function)
+
+
+def test_unknown_opcode_rejected():
+    module, b = _make_fn()
+    with pytest.raises(IRError):
+        b.emit("nn.nonexistent", [])
+
+
+def test_shape_inference_conv():
+    rule = OPS.get("nn.conv")
+    out = rule.infer(
+        [TensorType((1, 3, 8, 8)), TensorType((16, 3, 3, 3)),
+         TensorType((16,))],
+        {"stride": 2, "pad": 1},
+    )
+    assert out == [TensorType((1, 16, 4, 4))]
+    with pytest.raises(IRTypeError):
+        rule.infer(
+            [TensorType((1, 4, 8, 8)), TensorType((16, 3, 3, 3)),
+             TensorType((16,))],
+            {},
+        )
+
+
+def test_printer_round_readable():
+    module, b = _make_fn()
+    x = b.function.params[0]
+    out = b.emit("nn.relu", [x])
+    b.ret([out])
+    text = print_function(b.function)
+    assert "func @main" in text
+    assert "nn.relu" in text
+    assert "tensor<1x4xf32>" in text
+    module_text = print_module(module)
+    assert "module @m" in module_text
+
+
+def test_dce_removes_dead_ops():
+    module, b = _make_fn()
+    x = b.function.params[0]
+    live = b.emit("nn.relu", [x])
+    b.emit("nn.relu", [x])  # dead
+    b.ret([live])
+    removed = b.function.dce()
+    assert removed == 1
+    assert b.function.op_count() == 1
+
+
+def test_pass_manager_times_levels():
+    module, b = _make_fn()
+    b.ret([b.function.params[0]])
+    pm = PassManager()
+    ran = []
+    pm.add(Pass("p1", "NN", lambda m, c: ran.append("p1")))
+    pm.add(Pass("p2", "VECTOR", lambda m, c: ran.append("p2")))
+    pm.run(module, {})
+    assert ran == ["p1", "p2"]
+    breakdown = pm.level_breakdown()
+    assert set(breakdown) == {"NN", "VECTOR"}
+
+
+def test_pass_manager_catches_broken_pass():
+    module, b = _make_fn()
+    x = b.function.params[0]
+    out = b.emit("nn.relu", [x])
+    b.ret([out])
+
+    def corrupt(m, c):
+        m.main().body.append(m.main().body[0])  # duplicate definition
+
+    pm = PassManager()
+    pm.add(Pass("bad", "NN", corrupt))
+    with pytest.raises(PassError):
+        pm.run(module, {})
+
+
+def test_pass_rejects_unknown_level():
+    with pytest.raises(PassError):
+        Pass("x", "BOGUS", lambda m, c: None)
+
+
+def test_module_constants_unique_names():
+    module = Module("m")
+    a = module.add_constant("w", np.zeros(3))
+    b2 = module.add_constant("w", np.ones(3))
+    assert a != b2
+    assert len(module.constants) == 2
+
+
+def test_cipher_types_equality():
+    assert CipherType(64) == CipherType(64)
+    assert CipherType(64) != CipherType(128)
+    assert VectorType(8) != CipherType(8)

@@ -1,0 +1,94 @@
+"""Packed-layout tests: injectivity, downsampling, multiplexing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import LoweringError
+from repro.passes.layout import PackedLayout, conv_output_layout
+
+
+def test_dense_roundtrip():
+    layout = PackedLayout.dense((2, 4, 4), 64)
+    tensor = np.arange(32, dtype=float).reshape(2, 4, 4)
+    packed = layout.pack(tensor)
+    assert np.array_equal(layout.unpack(packed), tensor)
+    assert layout.is_dense()
+
+
+def test_dense_too_large_rejected():
+    with pytest.raises(LoweringError):
+        PackedLayout.dense((4, 4, 4), 32)
+
+
+def test_collision_rejected():
+    positions = np.zeros((2, 2, 2), dtype=np.int64)
+    with pytest.raises(LoweringError):
+        PackedLayout((2, 2, 2), positions, 16)
+
+
+def test_stride2_keeps_parent_grid():
+    base = PackedLayout.dense((2, 8, 8), 256)
+    out = conv_output_layout(base, 2, stride=2)
+    assert out.shape == (2, 4, 4)
+    # positions are the even rows/cols of the parent
+    assert out.positions[0, 0, 0] == base.positions[0, 0, 0]
+    assert out.positions[0, 0, 1] == base.positions[0, 0, 2]
+    assert out.positions[1, 1, 0] == base.positions[1, 2, 0]
+
+
+def test_stride2_channel_doubling_multiplexes():
+    base = PackedLayout.dense((2, 8, 8), 128)
+    out = conv_output_layout(base, 4, stride=2)
+    assert out.shape == (4, 4, 4)
+    # new channels reuse the holes: channel 2 sits on odd sub-offsets of
+    # channel 0's block
+    assert out.positions[2, 0, 0] == base.positions[0, 0, 1]
+    # all positions distinct and within budget (validated by constructor)
+    assert out.positions.max() < 128
+
+
+def test_stride1_channel_growth_dense_block():
+    base = PackedLayout.dense((1, 4, 4), 64)
+    out = conv_output_layout(base, 3, stride=1)
+    assert out.shape == (3, 4, 4)
+    assert out.positions[1, 0, 0] == 16
+    assert out.positions[2, 3, 3] == 47
+
+
+def test_stride1_growth_overflow_rejected():
+    base = PackedLayout.dense((1, 4, 4), 32)
+    with pytest.raises(LoweringError):
+        conv_output_layout(base, 3, stride=1)
+
+
+def test_mux_needs_room():
+    base = PackedLayout.dense((2, 4, 4), 32)
+    with pytest.raises(LoweringError):
+        conv_output_layout(base, 16, stride=2)  # mux 8 > stride^2
+
+
+def test_same_shape_reuses_layout():
+    base = PackedLayout.dense((4, 4, 4), 128)
+    assert conv_output_layout(base, 4, stride=1) is base
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    c=st.sampled_from([1, 2, 4]),
+    h=st.sampled_from([4, 8]),
+    grow=st.sampled_from([1, 2, 4]),
+)
+def test_downsample_layout_property(c, h, grow):
+    """Any stride-2 output layout is injective and in range."""
+    slots = 4 * c * h * h
+    base = PackedLayout.dense((c, h, h), slots)
+    c_out = c * grow
+    if grow > 4:
+        return
+    out = conv_output_layout(base, c_out, stride=2)
+    flat = out.positions.ravel()
+    assert len(np.unique(flat)) == flat.size
+    assert flat.max() < slots
+    assert out.shape == (c_out, h // 2, h // 2)

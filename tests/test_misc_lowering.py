@@ -1,0 +1,86 @@
+"""Coverage for the remaining Table-3 operators and multi-output models."""
+
+import numpy as np
+import pytest
+
+from repro.compiler import ACECompiler, CompileOptions
+from repro.ir import IRBuilder, Module, TensorType, verify_module
+from repro.onnx import OnnxGraphBuilder, load_model_bytes, model_to_bytes
+from repro.passes.lowering.nn_to_vector import NnToVectorLowering
+from repro.runtime import run_nn_function, run_vector_function
+
+
+def test_strided_slice_end_to_end():
+    """strided_slice (Table 3) through NN -> VECTOR with the interpreter."""
+    module = Module("m")
+    b = IRBuilder.make_function(module, "main", [TensorType((2, 4, 4))],
+                                ["x"])
+    x = b.function.params[0]
+    sliced = b.emit("nn.strided_slice", [x], {
+        "starts": [0, 1, 0], "sizes": [2, 2, 2], "strides": [1, 1, 2],
+    })
+    b.ret([sliced])
+    verify_module(module)
+    rng = np.random.default_rng(0)
+    data = rng.normal(size=(2, 4, 4))
+    ref = run_nn_function(module, module.main(), [data])[0]
+    assert ref.shape == (2, 2, 2)
+    NnToVectorLowering(slots=64).run(module, {})
+    verify_module(module)
+    out = run_vector_function(module, module.main(), [data])[0]
+    assert np.allclose(out[: ref.size], ref.ravel(), atol=1e-9)
+
+
+def test_average_pool_end_to_end_compiled():
+    """AveragePool (Table 3) through the whole compiler."""
+    rng = np.random.default_rng(1)
+    builder = OnnxGraphBuilder("pool")
+    builder.add_input("x", [1, 2, 8, 8])
+    cur = builder.add_node("AveragePool", ["x"], kernel_shape=[2, 2],
+                           strides=[2, 2])
+    cur = builder.add_node("GlobalAveragePool", [cur])
+    cur = builder.add_node("Flatten", [cur], axis=1)
+    w = builder.add_initializer(
+        "w", (rng.normal(size=(3, 2)) * 0.5).astype(np.float32))
+    bias = builder.add_initializer("b", np.zeros(3, dtype=np.float32))
+    builder.add_node("Gemm", [cur, w, bias], outputs=["output"], transB=1)
+    builder.add_output("output", [1, 3])
+    model = load_model_bytes(model_to_bytes(builder.build()))
+    from repro.passes.frontend import onnx_to_nn
+
+    module = onnx_to_nn(model)
+    image = rng.normal(size=(1, 2, 8, 8))
+    expected = run_nn_function(module, module.main(), [image])[0].ravel()
+    program = ACECompiler(model, CompileOptions(poly_mode="off")).compile()
+    backend = program.make_sim_backend(seed=0)
+    got = program.run(backend, image)[0]
+    assert np.allclose(got.ravel(), expected, atol=1e-3)
+
+
+def test_multi_output_model():
+    rng = np.random.default_rng(2)
+    builder = OnnxGraphBuilder("two_heads")
+    builder.add_input("x", [1, 12])
+    w1 = builder.add_initializer(
+        "w1", (rng.normal(size=(4, 12)) * 0.3).astype(np.float32))
+    b1 = builder.add_initializer("b1", np.zeros(4, dtype=np.float32))
+    builder.add_node("Gemm", ["x", "w1", "b1"], outputs=["head_a"],
+                     transB=1)
+    w2 = builder.add_initializer(
+        "w2", (rng.normal(size=(2, 12)) * 0.3).astype(np.float32))
+    b2 = builder.add_initializer("b2", np.zeros(2, dtype=np.float32))
+    builder.add_node("Gemm", ["x", "w2", "b2"], outputs=["head_b"],
+                     transB=1)
+    builder.add_output("head_a", [1, 4])
+    builder.add_output("head_b", [1, 2])
+    model = load_model_bytes(model_to_bytes(builder.build()))
+    program = ACECompiler(model, CompileOptions(poly_mode="off")).compile()
+    backend = program.make_sim_backend(seed=1)
+    x = rng.normal(size=(1, 12))
+    outs = program.run(backend, x)
+    assert len(outs) == 2
+    weights = {t.name: t.to_numpy() for t in model.graph.initializer}
+    assert np.allclose(outs[0].ravel(), (x @ weights["w1"].T).ravel(),
+                       atol=1e-3)
+    assert np.allclose(outs[1].ravel(), (x @ weights["w2"].T).ravel(),
+                       atol=1e-3)

@@ -1,0 +1,92 @@
+"""Unit + property tests for vectorised modular arithmetic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.polymath import modmath
+
+
+PRIMES = [97, (1 << 30) + 3 + 2**12, 1125899906842679]  # includes ~50-bit
+
+
+def _rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.mark.parametrize("q", PRIMES)
+def test_add_sub_neg_roundtrip(q):
+    rng = _rng()
+    a = modmath.random_uniform(256, q, rng)
+    b = modmath.random_uniform(256, q, rng)
+    s = modmath.add_mod(a, b, q)
+    assert np.all(modmath.sub_mod(s, b, q) == a)
+    assert np.all(modmath.add_mod(a, modmath.neg_mod(a, q), q) == 0)
+
+
+@pytest.mark.parametrize("q", PRIMES)
+def test_mul_mod_matches_python(q):
+    rng = _rng()
+    a = modmath.random_uniform(512, q, rng)
+    b = modmath.random_uniform(512, q, rng)
+    got = modmath.mul_mod(a, b, q)
+    expected = np.array(
+        [(int(x) * int(y)) % q for x, y in zip(a, b)], dtype=np.uint64
+    )
+    assert np.array_equal(got, expected)
+
+
+def test_mul_mod_extreme_operands():
+    q = (1 << 50) - 27  # large prime-ish modulus near the limit
+    # use actual values near q-1
+    a = np.array([q - 1, q - 1, 1, 0], dtype=np.uint64)
+    b = np.array([q - 1, 1, q - 1, q - 1], dtype=np.uint64)
+    got = modmath.mul_mod(a, b, q)
+    expected = np.array(
+        [((q - 1) * (q - 1)) % q, q - 1, q - 1, 0], dtype=np.uint64
+    )
+    assert np.array_equal(got, expected)
+
+
+def test_modulus_bound_enforced():
+    with pytest.raises(ParameterError):
+        modmath.check_modulus(1 << 55)
+    with pytest.raises(ParameterError):
+        modmath.check_modulus(1)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    a=st.integers(min_value=0, max_value=(1 << 50) - 1),
+    b=st.integers(min_value=0, max_value=(1 << 50) - 1),
+)
+def test_mul_mod_property(a, b):
+    q = (1 << 50) - 27
+    a %= q
+    b %= q
+    got = int(modmath.mul_mod(np.uint64(a), np.uint64(b), q))
+    assert got == (a * b) % q
+
+
+def test_reduce_signed_handles_negatives_and_bigints():
+    q = 1000003
+    vals = np.array([-1, -q, q + 5, 0], dtype=np.int64)
+    out = modmath.reduce_signed(vals, q)
+    assert out.tolist() == [q - 1, 0, 5, 0]
+    big = np.array([object()] * 0)  # empty object array edge case
+    assert modmath.reduce_signed(np.array([], dtype=object), q).size == 0
+    huge = np.array([10**30, -(10**30)], dtype=object)
+    out2 = modmath.reduce_signed(huge, q)
+    assert out2.tolist() == [10**30 % q, (-(10**30)) % q]
+
+
+def test_inv_mod_and_pow_mod():
+    q = 65537
+    for a in (2, 3, 12345):
+        inv = modmath.inv_mod(a, q)
+        assert (a * inv) % q == 1
+    assert modmath.pow_mod(3, 100, q) == pow(3, 100, q)
+    with pytest.raises(ParameterError):
+        modmath.inv_mod(0, q)

@@ -1,0 +1,149 @@
+"""Plaintext NN engine tests: kernels, gradients, training, ResNets."""
+
+import numpy as np
+import pytest
+
+from repro.nn import (
+    SyntheticCifar,
+    build_resnet,
+    evaluate_accuracy,
+    resnet_mini,
+    train_classifier,
+)
+from repro.nn import functional as F
+from repro.nn.layers import AvgPool2d, Conv2d, GlobalAvgPool, Linear, ReLU
+
+
+def test_conv2d_matches_naive():
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(2, 3, 6, 6))
+    w = rng.normal(size=(4, 3, 3, 3))
+    b = rng.normal(size=4)
+    out = F.conv2d(x, w, b, stride=1, pad=1)
+    assert out.shape == (2, 4, 6, 6)
+    # naive check at a few positions
+    xp = np.pad(x, ((0, 0), (0, 0), (1, 1), (1, 1)))
+    for n, co, i, j in [(0, 0, 0, 0), (1, 3, 5, 5), (0, 2, 3, 4)]:
+        patch = xp[n, :, i : i + 3, j : j + 3]
+        expected = (patch * w[co]).sum() + b[co]
+        assert np.isclose(out[n, co, i, j], expected)
+
+
+def test_conv2d_stride2():
+    rng = np.random.default_rng(1)
+    x = rng.normal(size=(1, 2, 8, 8))
+    w = rng.normal(size=(3, 2, 3, 3))
+    out = F.conv2d(x, w, None, stride=2, pad=1)
+    assert out.shape == (1, 3, 4, 4)
+
+
+def test_avg_pool_and_global():
+    x = np.arange(16, dtype=float).reshape(1, 1, 4, 4)
+    pooled = F.avg_pool2d(x, 2)
+    assert pooled.shape == (1, 1, 2, 2)
+    assert pooled[0, 0, 0, 0] == pytest.approx((0 + 1 + 4 + 5) / 4)
+    g = F.global_avg_pool(x)
+    assert g[0, 0, 0, 0] == pytest.approx(x.mean())
+
+
+def test_strided_slice():
+    x = np.arange(24).reshape(2, 3, 4)
+    out = F.strided_slice(x, (0, 1, 0), (2, 2, 2), (1, 1, 2))
+    assert out.shape == (2, 2, 2)
+    assert np.array_equal(out[0, 0], [4, 6])
+
+
+def _numeric_grad(f, x, eps=1e-5):
+    grad = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        orig = x[idx]
+        x[idx] = orig + eps
+        hi = f()
+        x[idx] = orig - eps
+        lo = f()
+        x[idx] = orig
+        grad[idx] = (hi - lo) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+def test_conv_backward_gradcheck():
+    rng = np.random.default_rng(2)
+    conv = Conv2d(2, 3, 3, rng=rng)
+    x = rng.normal(size=(1, 2, 4, 4))
+
+    def loss():
+        return float(conv.forward(x, train=True).sum())
+
+    conv.grad_weight[...] = 0.0
+    out = conv.forward(x, train=True)
+    gx = conv.backward(np.ones_like(out))
+    num_gx = _numeric_grad(loss, x)
+    assert np.allclose(gx, num_gx, atol=1e-4)
+    num_gw = _numeric_grad(loss, conv.weight)
+    # grad accumulated across the two forward calls in numeric_grad body:
+    conv.grad_weight[...] = 0.0
+    conv.forward(x, train=True)
+    conv.backward(np.ones_like(out))
+    assert np.allclose(conv.grad_weight, num_gw, atol=1e-4)
+
+
+def test_linear_backward_gradcheck():
+    rng = np.random.default_rng(3)
+    lin = Linear(5, 4, rng=rng)
+    x = rng.normal(size=(2, 5))
+
+    def loss():
+        return float(lin.forward(x, train=True).sum())
+
+    out = lin.forward(x, train=True)
+    gx = lin.backward(np.ones_like(out))
+    assert np.allclose(gx, _numeric_grad(loss, x), atol=1e-5)
+
+
+def test_pool_backward_shapes():
+    rng = np.random.default_rng(4)
+    x = rng.normal(size=(2, 3, 8, 8))
+    pool = AvgPool2d(2)
+    out = pool.forward(x, train=True)
+    gx = pool.backward(np.ones_like(out))
+    assert gx.shape == x.shape
+    assert np.allclose(gx, 0.25)
+    gap = GlobalAvgPool()
+    out = gap.forward(x, train=True)
+    gx = gap.backward(np.ones_like(out))
+    assert np.allclose(gx, 1.0 / 64)
+
+
+def test_resnet_forward_shapes():
+    model = build_resnet(20, input_size=32)
+    x = np.random.default_rng(5).normal(size=(2, 3, 32, 32))
+    out = model.forward(x)
+    assert out.shape == (2, 10)
+
+
+def test_resnet_depth_table():
+    for depth, blocks in [(20, 3), (32, 5), (110, 18)]:
+        model = build_resnet(depth)
+        assert model.meta["depth"] == depth
+
+
+def test_training_learns_synthetic_data():
+    dataset = SyntheticCifar(num_classes=4, image_size=8, channels=1, seed=1,
+                             noise=0.25)
+    model = resnet_mini(num_classes=4, in_channels=1, base_width=4,
+                        input_size=8, blocks=1, seed=2)
+    train_classifier(model, dataset, steps=120, batch_size=32, lr=0.08, seed=3)
+    images, labels = dataset.sample(200, seed=99)
+    acc = evaluate_accuracy(model, images, labels)
+    assert acc > 0.8, f"training failed to learn: acc={acc}"
+
+
+def test_relu_backward_mask():
+    relu = ReLU()
+    x = np.array([[-1.0, 2.0], [3.0, -4.0]])
+    out = relu.forward(x, train=True)
+    gx = relu.backward(np.ones_like(out))
+    assert np.array_equal(gx, [[0.0, 1.0], [1.0, 0.0]])

@@ -1,0 +1,92 @@
+"""Noise-model validation: the real scheme's noise vs the estimates the
+SimBackend injects (this pins the Table-11 substitution to reality)."""
+
+import numpy as np
+import pytest
+
+from repro.backend import SchemeConfig, SimBackend
+from repro.ckks import CkksContext, CkksParameters
+from repro.ckks.noise import (
+    fresh_noise_estimate,
+    keyswitch_noise_estimate,
+    measure_noise,
+)
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    params = CkksParameters(poly_degree=256, scale_bits=30,
+                            first_prime_bits=40, num_levels=4)
+    return CkksContext(params, rotation_steps=[1], seed=3)
+
+
+def test_fresh_encryption_noise_within_estimate(ctx):
+    rng = np.random.default_rng(0)
+    msg = rng.uniform(-1, 1, size=128)
+    report = measure_noise(ctx.evaluator, ctx.encrypt(msg), msg)
+    bound = fresh_noise_estimate(ctx.params.poly_degree,
+                                 float(ctx.params.scale))
+    assert report.max_error < 20 * bound
+    assert report.precision_bits > 15
+
+
+def test_rotation_noise_within_estimate(ctx):
+    rng = np.random.default_rng(1)
+    msg = rng.uniform(-1, 1, size=128)
+    ct = ctx.evaluator.rotate(ctx.encrypt(msg), 1)
+    report = measure_noise(ctx.evaluator, ct, np.roll(msg, -1))
+    bound = keyswitch_noise_estimate(
+        ctx.params.poly_degree, float(ctx.params.scale),
+        ctx.params.max_level,
+    )
+    assert report.max_error < 50 * bound
+
+
+def test_noise_grows_with_depth(ctx):
+    rng = np.random.default_rng(2)
+    msg = rng.uniform(0.5, 1.0, size=128)
+    ev = ctx.evaluator
+    ct = ctx.encrypt(msg)
+    expected = msg.copy()
+    errors = []
+    for _ in range(3):
+        ct = ev.rescale(ev.multiply_relin(ct, ct))
+        expected = expected**2
+        errors.append(measure_noise(ev, ct, expected).max_error)
+    assert errors[-1] > errors[0]  # noise accumulates with depth
+
+
+def test_sim_noise_is_conservative_vs_exact(ctx):
+    """The SimBackend's injected noise should be in the same decade as
+    the exact scheme's measured noise for the same op sequence."""
+    rng = np.random.default_rng(3)
+    msg = rng.uniform(-1, 1, size=128)
+
+    def sequence(be, vec):
+        ct = be.encrypt(vec)
+        pt = be.encode(vec, be.config.scale, be.config.max_level)
+        out = be.rescale(be.mul_plain(be.rotate(ct, 1), pt))
+        return be.decrypt(out, len(vec))
+
+    from repro.backend import ExactBackend
+
+    exact_be = ExactBackend(ctx.params, rotation_steps=[1], seed=4)
+    sim_be = SimBackend(
+        SchemeConfig(poly_degree=256, scale_bits=30, first_prime_bits=40,
+                     num_levels=4),
+        inject_noise=True, seed=4,
+    )
+    expected = np.roll(msg, -1) * msg
+    err_exact = np.abs(sequence(exact_be, msg) - expected).max()
+    err_sim = np.abs(sequence(sim_be, msg) - expected).max()
+    assert err_sim < 1e-3 and err_exact < 1e-3
+    # within two orders of magnitude of each other
+    ratio = max(err_sim, err_exact) / max(min(err_sim, err_exact), 1e-12)
+    assert ratio < 100
+
+
+def test_noise_report_str(ctx):
+    msg = np.ones(16)
+    report = measure_noise(ctx.evaluator, ctx.encrypt(msg), msg)
+    text = str(report)
+    assert "precision" in text and "level=" in text

@@ -1,0 +1,109 @@
+"""NTT correctness against schoolbook negacyclic convolution."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.polymath import modmath
+from repro.polymath.ntt import NttContext
+from repro.polymath.poly import (
+    apply_automorphism,
+    rotation_galois_element,
+    schoolbook_negacyclic_multiply,
+)
+from repro.utils.primes import next_ntt_prime
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    n = 64
+    q = next_ntt_prime(30, 2 * n)
+    return NttContext(q, n)
+
+
+def test_forward_inverse_roundtrip(ctx):
+    rng = np.random.default_rng(7)
+    a = modmath.random_uniform(ctx.degree, ctx.modulus, rng)
+    assert np.array_equal(ctx.inverse(ctx.forward(a)), a)
+    assert np.array_equal(ctx.forward(ctx.inverse(a)), a)
+
+
+def test_negacyclic_multiply_matches_schoolbook(ctx):
+    rng = np.random.default_rng(8)
+    a = modmath.random_uniform(ctx.degree, ctx.modulus, rng)
+    b = modmath.random_uniform(ctx.degree, ctx.modulus, rng)
+    fast = ctx.negacyclic_multiply(a, b)
+    slow = schoolbook_negacyclic_multiply(a, b, ctx.modulus)
+    assert np.array_equal(fast, slow)
+
+
+def test_x_times_x_pow_nminus1_wraps_negative(ctx):
+    n, q = ctx.degree, ctx.modulus
+    x = np.zeros(n, dtype=np.uint64)
+    x[1] = 1
+    xn1 = np.zeros(n, dtype=np.uint64)
+    xn1[n - 1] = 1
+    prod = ctx.negacyclic_multiply(x, xn1)
+    expected = np.zeros(n, dtype=np.uint64)
+    expected[0] = q - 1  # X * X^{N-1} = X^N = -1
+    assert np.array_equal(prod, expected)
+
+
+def test_linearity(ctx):
+    rng = np.random.default_rng(9)
+    a = modmath.random_uniform(ctx.degree, ctx.modulus, rng)
+    b = modmath.random_uniform(ctx.degree, ctx.modulus, rng)
+    left = ctx.forward(modmath.add_mod(a, b, ctx.modulus))
+    right = modmath.add_mod(ctx.forward(a), ctx.forward(b), ctx.modulus)
+    assert np.array_equal(left, right)
+
+
+def test_bad_degree_rejected():
+    with pytest.raises(ParameterError):
+        NttContext(97, 48)
+
+
+def test_non_ntt_friendly_prime_rejected():
+    # 1009 is prime but 1009-1 = 1008 is not divisible by 2*64=128
+    with pytest.raises(ParameterError):
+        NttContext(1009, 64)
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=st.data())
+def test_multiply_property(ctx, data):
+    n, q = ctx.degree, ctx.modulus
+    coeffs = st.lists(
+        st.integers(min_value=0, max_value=q - 1), min_size=n, max_size=n
+    )
+    a = np.array(data.draw(coeffs), dtype=np.uint64)
+    b = np.array(data.draw(coeffs), dtype=np.uint64)
+    fast = ctx.negacyclic_multiply(a, b)
+    slow = schoolbook_negacyclic_multiply(a, b, q)
+    assert np.array_equal(fast, slow)
+
+
+def test_automorphism_is_ring_homomorphism(ctx):
+    """sigma(a*b) == sigma(a) * sigma(b) for X -> X^g."""
+    rng = np.random.default_rng(10)
+    n, q = ctx.degree, ctx.modulus
+    a = modmath.random_uniform(n, q, rng)
+    b = modmath.random_uniform(n, q, rng)
+    g = rotation_galois_element(3, n)
+    lhs = apply_automorphism(ctx.negacyclic_multiply(a, b), g, q)
+    rhs = ctx.negacyclic_multiply(
+        apply_automorphism(a, g, q), apply_automorphism(b, g, q)
+    )
+    assert np.array_equal(lhs, rhs)
+
+
+def test_automorphism_inverse(ctx):
+    rng = np.random.default_rng(11)
+    n, q = ctx.degree, ctx.modulus
+    a = modmath.random_uniform(n, q, rng)
+    g = rotation_galois_element(5, n)
+    g_inv = pow(g, -1, 2 * n)
+    back = apply_automorphism(apply_automorphism(a, g, q), g_inv, q)
+    assert np.array_equal(back, a)

@@ -1,0 +1,113 @@
+"""ONNX wire-format and model round-trip tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import OnnxParseError
+from repro.onnx import (
+    OnnxGraphBuilder,
+    load_model_bytes,
+    model_to_bytes,
+)
+from repro.onnx import wire
+from repro.onnx.protos import AttributeProto, TensorProto
+
+
+@settings(max_examples=200, deadline=None)
+@given(st.integers(min_value=0, max_value=(1 << 64) - 1))
+def test_varint_roundtrip(value):
+    encoded = wire.encode_varint(value)
+    decoded, pos = wire.decode_varint(encoded, 0)
+    assert decoded == value
+    assert pos == len(encoded)
+
+
+def test_varint_negative_int64():
+    encoded = wire.encode_varint(-5)
+    decoded, _ = wire.decode_varint(encoded, 0)
+    assert wire.to_signed64(decoded) == -5
+
+
+def test_truncated_varint_raises():
+    with pytest.raises(OnnxParseError):
+        wire.decode_varint(b"\xff\xff", 0)
+
+
+def test_tensor_roundtrip_float32():
+    arr = np.arange(24, dtype=np.float32).reshape(2, 3, 4)
+    t = TensorProto.from_numpy("w", arr)
+    back = TensorProto.parse(t.serialize())
+    assert back.name == "w"
+    assert back.dims == [2, 3, 4]
+    assert np.array_equal(back.to_numpy(), arr)
+
+
+def test_tensor_roundtrip_int64():
+    arr = np.array([-1, 0, 7], dtype=np.int64)
+    back = TensorProto.parse(TensorProto.from_numpy("s", arr).serialize())
+    assert np.array_equal(back.to_numpy(), arr)
+
+
+def test_attribute_type_inference():
+    assert AttributeProto.make("a", 3).value() == 3
+    assert AttributeProto.make("a", 2.5).value() == 2.5
+    assert AttributeProto.make("a", "same").value() == "same"
+    assert AttributeProto.make("a", [1, 2]).value() == [1, 2]
+    assert AttributeProto.make("a", [1.5, 2.0]).value() == [1.5, 2.0]
+    roundtrip = AttributeProto.parse(AttributeProto.make("k", [1, 2]).serialize())
+    assert roundtrip.name == "k"
+    assert roundtrip.value() == [1, 2]
+
+
+def test_model_roundtrip_gemv():
+    """Build the paper's Figure 4 linear_infer model and round-trip it."""
+    rng = np.random.default_rng(0)
+    b = OnnxGraphBuilder("linear_infer")
+    image = b.add_input("image", [1, 84])
+    w = b.add_initializer("fc.weight", rng.normal(size=(10, 84)).astype(np.float32))
+    bias = b.add_initializer("fc.bias", rng.normal(size=(10,)).astype(np.float32))
+    out = b.add_node("Gemm", [image, w, bias], outputs=["output"], transB=1)
+    b.add_output(out, [1, 10])
+    model = b.build()
+    payload = model_to_bytes(model)
+    back = load_model_bytes(payload)
+    assert back.graph.name == "linear_infer"
+    assert [n.op_type for n in back.graph.node] == ["Gemm"]
+    assert back.graph.node[0].attr("transB") == 1
+    assert back.graph.input[0].shape == [1, 84]
+    assert back.graph.output[0].name == "output"
+    weights = {t.name: t.to_numpy() for t in back.graph.initializer}
+    assert weights["fc.weight"].shape == (10, 84)
+
+
+def test_duplicate_names_rejected():
+    b = OnnxGraphBuilder()
+    b.add_input("x", [1, 4])
+    with pytest.raises(OnnxParseError):
+        b.add_input("x", [1, 4])
+
+
+def test_empty_payload_rejected():
+    with pytest.raises(OnnxParseError):
+        load_model_bytes(b"")
+
+
+def test_resnet_export_roundtrip():
+    from repro.nn import model_to_onnx, resnet_mini
+
+    model = resnet_mini()
+    proto = model_to_onnx(model)
+    back = load_model_bytes(model_to_bytes(proto))
+    ops = [n.op_type for n in back.graph.node]
+    assert "Conv" in ops and "Relu" in ops and "Add" in ops
+    assert "GlobalAveragePool" in ops and "Gemm" in ops
+    assert back.graph.output[0].name == "output"
+    # all node inputs resolve to inputs/initializers/other outputs
+    known = {v.name for v in back.graph.input}
+    known |= {t.name for t in back.graph.initializer}
+    for node in back.graph.node:
+        for inp in node.input:
+            assert inp in known, f"dangling input {inp}"
+        known.update(node.output)

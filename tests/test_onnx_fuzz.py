@@ -1,0 +1,84 @@
+"""Property tests for the protobuf substrate: arbitrary payload round-trips."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.onnx.protos import (
+    AttributeProto,
+    GraphProto,
+    ModelProto,
+    NodeProto,
+    TensorProto,
+    ValueInfoProto,
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    dims=st.lists(st.integers(1, 6), min_size=0, max_size=4),
+    seed=st.integers(0, 2**31 - 1),
+    dtype=st.sampled_from([np.float32, np.float64, np.int32, np.int64]),
+)
+def test_tensor_roundtrip_property(dims, seed, dtype):
+    rng = np.random.default_rng(seed)
+    if np.issubdtype(dtype, np.floating):
+        arr = rng.normal(size=dims).astype(dtype)
+    else:
+        arr = rng.integers(-1000, 1000, size=dims).astype(dtype)
+    back = TensorProto.parse(TensorProto.from_numpy("t", arr).serialize())
+    assert np.array_equal(back.to_numpy(), arr)
+    assert back.to_numpy().dtype == arr.dtype
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.data())
+def test_attribute_roundtrip_property(data):
+    value = data.draw(st.one_of(
+        st.integers(-(2**40), 2**40),
+        st.floats(allow_nan=False, allow_infinity=False, width=32),
+        st.text(max_size=30),
+        st.lists(st.integers(-100, 100), min_size=1, max_size=8),
+        st.lists(st.text(min_size=1, max_size=8), min_size=1, max_size=4),
+    ))
+    attr = AttributeProto.make("k", value)
+    back = AttributeProto.parse(attr.serialize())
+    assert back.name == "k"
+    got = back.value()
+    if isinstance(value, float):
+        assert got == pytest.approx(value, rel=1e-6, abs=1e-30)
+    else:
+        assert got == value
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    num_nodes=st.integers(0, 5),
+    name=st.text(min_size=1, max_size=16),
+)
+def test_graph_roundtrip_property(num_nodes, name):
+    graph = GraphProto(name=name)
+    for i in range(num_nodes):
+        graph.node.append(NodeProto(
+            op_type=f"Op{i}", name=f"n{i}",
+            input=[f"in{i}"], output=[f"out{i}"],
+            attribute=[AttributeProto.make("idx", i)],
+        ))
+    graph.input.append(ValueInfoProto(name="x", shape=[1, 3]))
+    graph.output.append(ValueInfoProto(name="y", shape=[1, 2]))
+    model = ModelProto(graph=graph)
+    back = ModelProto.parse(model.serialize())
+    assert back.graph.name == name
+    assert len(back.graph.node) == num_nodes
+    for i, node in enumerate(back.graph.node):
+        assert node.op_type == f"Op{i}"
+        assert node.attr("idx") == i
+    assert back.graph.input[0].shape == [1, 3]
+
+
+def test_value_info_shape_roundtrip():
+    vi = ValueInfoProto(name="x", shape=[1, 3, 32, 32])
+    back = ValueInfoProto.parse(vi.serialize())
+    assert back.name == "x"
+    assert back.shape == [1, 3, 32, 32]

@@ -1,0 +1,85 @@
+"""Parameter-selection tests (paper §4.4, RQ3)."""
+
+import pytest
+
+from repro.errors import ParameterError, SecurityError
+from repro.params import (
+    ParameterSelector,
+    max_log_qp_for_degree,
+    min_degree_for_log_qp,
+)
+
+
+def test_he_standard_table_monotone():
+    previous = 0
+    for log_n in range(10, 18):
+        budget = max_log_qp_for_degree(1 << log_n, 128)
+        assert budget > previous
+        previous = budget
+
+
+def test_min_degree_inverse_of_max_budget():
+    for log_qp in (25, 100, 400, 1500):
+        degree = min_degree_for_log_qp(log_qp, 128)
+        assert max_log_qp_for_degree(degree, 128) >= log_qp
+        if degree > 1024:
+            assert max_log_qp_for_degree(degree // 2, 128) < log_qp
+
+
+def test_security_levels_shrink_budget():
+    for log_n in (13, 15, 16):
+        n = 1 << log_n
+        assert max_log_qp_for_degree(n, 128) > max_log_qp_for_degree(n, 192)
+        assert max_log_qp_for_degree(n, 192) > max_log_qp_for_degree(n, 256)
+
+
+def test_selector_paper_row():
+    selector = ParameterSelector(128)
+    sel = selector.select(depth=22, simd_width=32768, log_scale=56,
+                          log_q0=60)
+    assert sel.table10_row() == {
+        "log2(N)": 16, "log2(Q0)": 60, "log2(Delta)": 56,
+    }
+
+
+def test_selector_simd_drives_degree():
+    """N2 = 2 * SIMD width can exceed the security minimum N1 (§4.4)."""
+    selector = ParameterSelector(128)
+    small = selector.select(depth=1, simd_width=16, log_scale=30, log_q0=30)
+    wide = selector.select(depth=1, simd_width=16384, log_scale=30,
+                           log_q0=30)
+    assert wide.degree == 32768
+    assert wide.degree > small.degree
+
+
+def test_selector_depth_drives_degree():
+    selector = ParameterSelector(128)
+    shallow = selector.select(depth=2, simd_width=16)
+    deep = selector.select(depth=25, simd_width=16)
+    assert deep.degree > shallow.degree
+    assert deep.log_q == 60 + 25 * 56
+
+
+def test_selector_input_validation():
+    selector = ParameterSelector(128)
+    with pytest.raises(ParameterError):
+        selector.select(depth=-1, simd_width=16)
+    with pytest.raises(ParameterError):
+        selector.select(depth=1, simd_width=0)
+    with pytest.raises(ParameterError):
+        selector.select(depth=1, simd_width=16, log_scale=61, log_q0=60)
+
+
+def test_selection_realize_executable():
+    selector = ParameterSelector(128)
+    sel = selector.select(depth=3, simd_width=64)
+    params = sel.realize()
+    assert params.num_levels == 3
+    assert params.poly_degree <= 1 << 13
+    # the ratio Q0/Delta is roughly preserved
+    assert params.first_prime_bits >= params.scale_bits
+
+
+def test_unreachable_budget_raises():
+    with pytest.raises(SecurityError):
+        min_degree_for_log_qp(10**6, 128)

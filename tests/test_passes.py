@@ -1,0 +1,161 @@
+"""Pass-level tests: CSE, DCE, constant GC, NN fusion, lowering details."""
+
+import numpy as np
+import pytest
+
+from repro.ir import IRBuilder, Module, TensorType, VectorType
+from repro.passes.common import (
+    collect_constants,
+    cse_function,
+    dce_function,
+    run_cleanups,
+)
+from repro.passes.nn_opt import nn_operator_fusion
+
+
+def _vec_fn():
+    module = Module("m")
+    b = IRBuilder.make_function(module, "main", [VectorType(8)], ["x"])
+    return module, b
+
+
+def test_cse_merges_identical_rolls():
+    module, b = _vec_fn()
+    x = b.function.params[0]
+    r1 = b.emit("vector.roll", [x], {"steps": 3})
+    r2 = b.emit("vector.roll", [x], {"steps": 3})
+    r3 = b.emit("vector.roll", [x], {"steps": 4})
+    out = b.emit("vector.add", [r1, r2])
+    out2 = b.emit("vector.add", [out, r3])
+    b.ret([out2])
+    removed = cse_function(b.function)
+    assert removed == 1
+    assert b.function.op_count("vector.roll") == 2
+
+
+def test_cse_respects_attrs_and_region_tags():
+    module, b = _vec_fn()
+    x = b.function.params[0]
+    r1 = b.emit("vector.roll", [x], {"steps": 3, "region": "Conv"})
+    r2 = b.emit("vector.roll", [x], {"steps": 3, "region": "ReLU"})
+    out = b.emit("vector.add", [r1, r2])
+    b.ret([out])
+    # identical modulo region -> merged (region is cost attribution only)
+    assert cse_function(b.function) == 1
+
+
+def test_cse_dedups_constants_by_name():
+    module, b = _vec_fn()
+    c1 = b.constant("vector.constant", np.ones(8), "w", {"length": 8})
+    # same payload name referenced twice
+    c2 = b.emit("vector.constant", [],
+                {"const_name": c1.producer.attrs["const_name"], "length": 8})
+    out = b.emit("vector.add", [c1, c2])
+    b.ret([out])
+    assert cse_function(b.function) == 1
+
+
+def test_dce_and_constant_gc():
+    module, b = _vec_fn()
+    x = b.function.params[0]
+    dead_const = b.constant("vector.constant", np.ones(8), "dead",
+                            {"length": 8})
+    b.emit("vector.mul", [x, dead_const])
+    live = b.emit("vector.roll", [x], {"steps": 1})
+    b.ret([live])
+    assert dce_function(b.function) == 2
+    assert collect_constants(module) == 1
+    assert not module.constants
+
+
+def test_run_cleanups_combines(recwarn):
+    module, b = _vec_fn()
+    x = b.function.params[0]
+    a = b.emit("vector.roll", [x], {"steps": 1})
+    b_ = b.emit("vector.roll", [x], {"steps": 1})
+    out = b.emit("vector.add", [a, b_])
+    b.ret([out])
+    stats = run_cleanups(module)
+    assert stats["cse"] == 1
+
+
+def test_nn_fusion_merges_reshape_chain():
+    module = Module("m")
+    b = IRBuilder.make_function(module, "main", [TensorType((1, 2, 2, 2))],
+                                ["x"])
+    x = b.function.params[0]
+    f1 = b.emit("nn.flatten", [x], {"axis": 1})
+    r1 = b.emit("nn.reshape", [f1], {"shape": [2, 4]})
+    r2 = b.emit("nn.reshape", [r1], {"shape": [1, 8]})
+    out = b.emit("nn.relu", [r2])
+    b.ret([out])
+    nn_operator_fusion(module, {})
+    # the chain collapsed: at most two shape ops remain and the final
+    # reshape reads straight from an earlier producer
+    shape_ops = [op for op in b.function.body
+                 if op.opcode in ("nn.reshape", "nn.flatten")]
+    assert len(shape_ops) <= 2
+
+
+def test_nn_fusion_removes_identity_reshape():
+    module = Module("m")
+    b = IRBuilder.make_function(module, "main", [TensorType((1, 8))], ["x"])
+    x = b.function.params[0]
+    same = b.emit("nn.reshape", [x], {"shape": [1, 8]})
+    out = b.emit("nn.relu", [same])
+    b.ret([out])
+    nn_operator_fusion(module, {})
+    assert b.function.op_count("nn.reshape") == 0
+
+
+def test_linear_map_lowering_rotation_dedup():
+    """Contributions sharing an offset collapse into one rotation."""
+    from repro.passes.lowering.nn_to_vector import lower_linear_map
+
+    module = Module("m")
+    b = IRBuilder.make_function(module, "main", [VectorType(16)], ["x"])
+    x = b.function.params[0]
+    # two outputs, both reading in[i+2]: one shared offset
+    q = np.array([2, 3])
+    p = np.array([0, 1])
+    coeff = np.array([1.0, 2.0])
+    out = lower_linear_map(b, x, np.array([0, 1]), (q, p, coeff))
+    b.ret([out])
+    assert b.function.op_count("vector.roll") == 1
+
+
+def test_linear_map_zero_offset_skips_rotation():
+    from repro.passes.lowering.nn_to_vector import lower_linear_map
+
+    module = Module("m")
+    b = IRBuilder.make_function(module, "main", [VectorType(16)], ["x"])
+    x = b.function.params[0]
+    q = np.array([0, 1])
+    p = np.array([0, 1])
+    out = lower_linear_map(b, x, p, (q, p, np.ones(2)))
+    b.ret([out])
+    assert b.function.op_count("vector.roll") == 0
+
+
+def test_scale_management_invariants():
+    """The CKKS lowering's planned scales stay within the waterline."""
+    import math
+
+    from repro.nn import model_to_onnx, resnet_mini
+    from repro.onnx import load_model_bytes, model_to_bytes
+    from repro.compiler import ACECompiler, CompileOptions
+
+    model = resnet_mini(num_classes=4, in_channels=1, base_width=2,
+                        input_size=8, blocks=1, seed=0)
+    proto = load_model_bytes(model_to_bytes(model_to_onnx(model)))
+    program = ACECompiler(proto, CompileOptions(
+        sign_iterations=3, poly_mode="off")).compile()
+    scale = program.scheme.scale
+    for op in program.module.main().body:
+        planned = op.results[0].meta.get("scale")
+        if planned is None:
+            continue
+        level = op.results[0].meta.get("level")
+        assert level is None or level >= 0
+        # scales stay below Delta^2 * headroom at all times
+        assert planned < scale * scale * 4, math.log2(planned)

@@ -1,0 +1,39 @@
+"""Public-API smoke tests: the README workflow works as documented."""
+
+import numpy as np
+
+import repro
+
+
+def test_readme_workflow(tmp_path):
+    from repro.onnx import OnnxGraphBuilder
+
+    rng = np.random.default_rng(0)
+    builder = OnnxGraphBuilder("m")
+    builder.add_input("image", [1, 16])
+    builder.add_initializer(
+        "w", (rng.normal(size=(4, 16)) * 0.3).astype(np.float32))
+    builder.add_initializer("b", np.zeros(4, dtype=np.float32))
+    builder.add_node("Gemm", ["image", "w", "b"], outputs=["output"],
+                     transB=1)
+    builder.add_output("output", [1, 4])
+    path = tmp_path / "model.onnx"
+    repro.save_model(builder.build(), path)
+
+    program = repro.ACECompiler(repro.load_model(path)).compile()
+    assert set(program.selection.table10_row()) == {
+        "log2(N)", "log2(Q0)", "log2(Delta)",
+    }
+    backend = program.make_sim_backend()
+    image = rng.normal(size=(1, 16))
+    logits = program.run(backend, image)[0]
+    assert logits.shape == (4,)
+
+
+def test_all_exports_resolve():
+    for name in repro.__all__:
+        assert getattr(repro, name) is not None
+
+
+def test_version():
+    assert repro.__version__

@@ -1,0 +1,150 @@
+"""RNS polynomial tests: CRT round-trips, rescale, digits, automorphisms."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.polymath.crt import crt_reconstruct, signed_coeffs
+from repro.polymath.rns import RnsBasis, RnsPoly, gadget_factors
+from repro.utils.primes import generate_prime_chain
+
+
+N = 32
+
+
+@pytest.fixture(scope="module")
+def basis():
+    primes = generate_prime_chain([30, 30, 30], N)
+    return RnsBasis(primes, N)
+
+
+def test_prime_chain_properties(basis):
+    assert len(set(basis.moduli)) == 3
+    for q in basis.moduli:
+        assert (q - 1) % (2 * N) == 0
+
+
+def test_from_int_coeffs_crt_roundtrip(basis):
+    rng = np.random.default_rng(0)
+    big_q = basis.product()
+    coeffs = [int(v) for v in rng.integers(-(10**9), 10**9, size=N)]
+    poly = RnsPoly.from_int_coeffs(basis, coeffs, to_ntt=False)
+    recon = signed_coeffs(poly.residues, basis.moduli)
+    assert recon == coeffs
+    assert big_q > 2 * 10**9
+
+
+def test_add_mul_match_integer_arithmetic(basis):
+    rng = np.random.default_rng(1)
+    a_int = [int(v) for v in rng.integers(-1000, 1000, size=N)]
+    b_int = [int(v) for v in rng.integers(-1000, 1000, size=N)]
+    a = RnsPoly.from_int_coeffs(basis, a_int)
+    b = RnsPoly.from_int_coeffs(basis, b_int)
+    s = (a + b).to_coeff()
+    assert signed_coeffs(s.residues, basis.moduli) == [
+        x + y for x, y in zip(a_int, b_int)
+    ]
+    # multiplication: compare against schoolbook negacyclic conv over Z
+    p = (a * b).to_coeff()
+    expected = [0] * N
+    for i in range(N):
+        for j in range(N):
+            k = i + j
+            term = a_int[i] * b_int[j]
+            if k < N:
+                expected[k] += term
+            else:
+                expected[k - N] -= term
+    assert signed_coeffs(p.residues, basis.moduli) == expected
+
+
+def test_rescale_divides_and_rounds(basis):
+    rng = np.random.default_rng(2)
+    q_last = basis.moduli[-1]
+    coeffs = [int(v) * q_last + int(d) for v, d in zip(
+        rng.integers(-500, 500, size=N), rng.integers(-q_last // 4, q_last // 4, size=N)
+    )]
+    poly = RnsPoly.from_int_coeffs(basis, coeffs)
+    scaled = poly.rescale_last().to_coeff()
+    got = signed_coeffs(scaled.residues, scaled.basis.moduli)
+    expected = [round(c / q_last) for c in coeffs]
+    # centred rounding can differ from bankers rounding at exact halves only
+    assert all(abs(g - e) <= 1 for g, e in zip(got, expected))
+    assert sum(abs(g - e) for g, e in zip(got, expected)) == 0
+
+
+def test_drop_last_preserves_small_values(basis):
+    coeffs = list(range(-N // 2, N // 2))
+    poly = RnsPoly.from_int_coeffs(basis, coeffs)
+    dropped = poly.drop_last().to_coeff()
+    assert signed_coeffs(dropped.residues, dropped.basis.moduli) == coeffs
+
+
+def test_gadget_decomposition_identity(basis):
+    """sum_j digit_j * g_j == x (mod Q)."""
+    rng = np.random.default_rng(3)
+    coeffs = [int(v) for v in rng.integers(0, 10**9, size=N)]
+    poly = RnsPoly.from_int_coeffs(basis, coeffs, to_ntt=False)
+    big_q = basis.product()
+    gs = gadget_factors(tuple(basis.moduli))
+    acc = [0] * N
+    for j in range(len(basis)):
+        digit = poly.residues[j].tolist()
+        for i in range(N):
+            acc[i] = (acc[i] + digit[i] * gs[j]) % big_q
+    assert acc == [c % big_q for c in coeffs]
+
+
+def test_automorphism_round_trip(basis):
+    rng = np.random.default_rng(4)
+    coeffs = [int(v) for v in rng.integers(-99, 99, size=N)]
+    poly = RnsPoly.from_int_coeffs(basis, coeffs)
+    g = 5
+    g_inv = pow(5, -1, 2 * N)
+    back = poly.automorphism(g).automorphism(g_inv).to_coeff()
+    assert signed_coeffs(back.residues, basis.moduli) == coeffs
+
+
+def test_uniform_random_is_in_range(basis):
+    rng = np.random.default_rng(5)
+    poly = RnsPoly.uniform_random(basis, rng)
+    for row, q in zip(poly.residues, basis.moduli):
+        assert row.max() < q
+
+
+def test_domain_mismatch_rejected(basis):
+    a = RnsPoly.zero(basis, is_ntt=True)
+    b = RnsPoly.zero(basis, is_ntt=False)
+    with pytest.raises(ParameterError):
+        _ = a + b
+    with pytest.raises(ParameterError):
+        _ = b * b  # coeff-form multiply not allowed
+
+
+def test_cannot_drop_all(basis):
+    poly = RnsPoly.zero(basis)
+    with pytest.raises(ParameterError):
+        poly.drop_last(3)
+
+
+@settings(max_examples=20, deadline=None)
+@given(data=st.data())
+def test_rns_add_property(basis, data):
+    ints = st.lists(
+        st.integers(min_value=-(10**6), max_value=10**6), min_size=N, max_size=N
+    )
+    a_int = data.draw(ints)
+    b_int = data.draw(ints)
+    a = RnsPoly.from_int_coeffs(basis, a_int)
+    b = RnsPoly.from_int_coeffs(basis, b_int)
+    total = (a + b).to_coeff()
+    assert signed_coeffs(total.residues, basis.moduli) == [
+        x + y for x, y in zip(a_int, b_int)
+    ]
+
+
+def test_crt_reconstruct_zero_and_max(basis):
+    zero = RnsPoly.zero(basis, is_ntt=False)
+    assert crt_reconstruct(zero.residues, basis.moduli) == [0] * N

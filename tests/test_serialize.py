@@ -1,0 +1,94 @@
+"""Ciphertext serialisation tests (the Figure-2 wire format)."""
+
+import numpy as np
+import pytest
+
+from repro.ckks import CkksContext, CkksParameters
+from repro.ckks.serialize import (
+    basis_fingerprint,
+    deserialize_ciphertext,
+    deserialize_plaintext,
+    serialize_ciphertext,
+    serialize_plaintext,
+)
+from repro.errors import ParameterError
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    params = CkksParameters(poly_degree=128, scale_bits=30,
+                            first_prime_bits=40, num_levels=3)
+    return CkksContext(params, rotation_steps=[1], seed=0)
+
+
+def _full_basis(ctx):
+    basis, _ = ctx.params.make_bases()
+    return basis
+
+
+def test_ciphertext_roundtrip(ctx):
+    rng = np.random.default_rng(0)
+    msg = rng.uniform(-1, 1, size=64)
+    ct = ctx.encrypt(msg)
+    blob = serialize_ciphertext(ct)
+    back = deserialize_ciphertext(blob, _full_basis(ctx))
+    assert back.scale == ct.scale
+    assert back.level == ct.level
+    assert np.allclose(ctx.decrypt(back, 64), msg, atol=1e-3)
+
+
+def test_wire_roundtrip_preserves_computation(ctx):
+    """Figure 2: client encrypts, server computes on the wire format."""
+    rng = np.random.default_rng(1)
+    msg = rng.uniform(-1, 1, size=64)
+    blob = serialize_ciphertext(ctx.encrypt(msg))
+    # server side
+    server_ct = deserialize_ciphertext(blob, _full_basis(ctx))
+    rotated = ctx.evaluator.rotate(server_ct, 1)
+    reply = serialize_ciphertext(rotated)
+    # client side
+    result = deserialize_ciphertext(reply, _full_basis(ctx))
+    assert np.allclose(ctx.decrypt(result, 64), np.roll(msg, -1), atol=1e-2)
+
+
+def test_low_level_ciphertext_roundtrip(ctx):
+    msg = np.full(64, 0.5)
+    ct = ctx.evaluator.mod_switch(ctx.encrypt(msg), 2)
+    back = deserialize_ciphertext(serialize_ciphertext(ct), _full_basis(ctx))
+    assert back.level == ct.level
+    assert np.allclose(ctx.decrypt(back, 64), msg, atol=1e-3)
+
+
+def test_plaintext_roundtrip(ctx):
+    pt = ctx.encode([1.0, 2.0, 3.0])
+    back = deserialize_plaintext(serialize_plaintext(pt), _full_basis(ctx))
+    vals = ctx.evaluator.decode(back, 3)
+    assert np.allclose(vals, [1.0, 2.0, 3.0], atol=1e-4)
+
+
+def test_parameter_mismatch_rejected(ctx):
+    other = CkksContext(
+        CkksParameters(poly_degree=128, scale_bits=32, first_prime_bits=42,
+                       num_levels=3),
+        rotation_steps=[], seed=1,
+    )
+    blob = serialize_ciphertext(ctx.encrypt([1.0]))
+    other_basis, _ = other.params.make_bases()
+    with pytest.raises(ParameterError):
+        deserialize_ciphertext(blob, other_basis)
+
+
+def test_garbage_payload_rejected(ctx):
+    with pytest.raises(ParameterError):
+        deserialize_ciphertext(b"not a ciphertext at all", _full_basis(ctx))
+
+
+def test_fingerprint_sensitivity(ctx):
+    basis = _full_basis(ctx)
+    assert basis_fingerprint(basis) != basis_fingerprint(basis.prefix(2))
+
+
+def test_kind_mismatch_rejected(ctx):
+    blob = serialize_plaintext(ctx.encode([1.0]))
+    with pytest.raises(ParameterError):
+        deserialize_ciphertext(blob, _full_basis(ctx))

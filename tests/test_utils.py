@@ -1,0 +1,113 @@
+"""Utility-layer tests: bit tricks, prime generation, timers."""
+
+import time
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.utils import (
+    Stopwatch,
+    TimerRegistry,
+    bit_reverse,
+    bit_reverse_indices,
+    ceil_log2,
+    generate_prime_chain,
+    is_power_of_two,
+    is_prime,
+    next_ntt_prime,
+    next_power_of_two,
+    previous_ntt_prime,
+    primitive_root_of_unity,
+)
+
+
+def test_is_power_of_two():
+    assert is_power_of_two(1)
+    assert is_power_of_two(1024)
+    assert not is_power_of_two(0)
+    assert not is_power_of_two(3)
+    assert not is_power_of_two(-4)
+
+
+def test_next_power_of_two():
+    assert next_power_of_two(1) == 1
+    assert next_power_of_two(5) == 8
+    assert next_power_of_two(1024) == 1024
+    with pytest.raises(ValueError):
+        next_power_of_two(0)
+
+
+def test_ceil_log2():
+    assert ceil_log2(1) == 0
+    assert ceil_log2(2) == 1
+    assert ceil_log2(5) == 3
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(min_value=0, max_value=(1 << 16) - 1))
+def test_bit_reverse_involution(value):
+    assert bit_reverse(bit_reverse(value, 16), 16) == value
+
+
+def test_bit_reverse_indices_permutation():
+    idx = bit_reverse_indices(16)
+    assert sorted(idx.tolist()) == list(range(16))
+    assert idx[1] == 8
+
+
+def test_is_prime_known_values():
+    assert is_prime(2) and is_prime(3) and is_prime(65537)
+    assert not is_prime(1) and not is_prime(0) and not is_prime(561)
+    # large Mersenne-adjacent values
+    assert is_prime((1 << 61) - 1)
+    assert not is_prime((1 << 50) - 1)
+
+
+def test_ntt_prime_congruence():
+    for bits in (20, 30, 45):
+        p = next_ntt_prime(bits, 128)
+        assert p.bit_length() == bits
+        assert p % 128 == 1
+        assert is_prime(p)
+        q = previous_ntt_prime(bits, 128)
+        assert q % 128 == 1 and is_prime(q)
+        assert q >= p or q.bit_length() == bits
+
+
+def test_prime_chain_distinct():
+    chain = generate_prime_chain([30, 30, 30, 40], 64)
+    assert len(set(chain)) == 4
+    for p in chain:
+        assert p % 128 == 1
+
+
+def test_primitive_root_order():
+    p = next_ntt_prime(20, 128)
+    root = primitive_root_of_unity(128, p)
+    assert pow(root, 128, p) == 1
+    assert pow(root, 64, p) != 1
+    with pytest.raises(ParameterError):
+        primitive_root_of_unity(7, p)  # 7 does not divide p-1 in general
+
+
+def test_stopwatch():
+    sw = Stopwatch()
+    with sw.timing():
+        time.sleep(0.01)
+    assert sw.elapsed >= 0.005
+    with pytest.raises(RuntimeError):
+        sw.stop()
+
+
+def test_timer_registry_breakdown():
+    reg = TimerRegistry()
+    reg.add("VECTOR", 3.0)
+    reg.add("CKKS", 1.0)
+    breakdown = reg.breakdown()
+    assert breakdown["VECTOR"] == pytest.approx(0.75)
+    assert reg.total() == pytest.approx(4.0)
+    merged = reg.merged({"VECTOR": "front"})
+    assert merged == {"front": 3.0, "Others": 1.0}
