@@ -1,22 +1,24 @@
-"""The Figure-2 threat-model protocol, end to end on real crypto.
+"""The Figure-2 threat-model protocol through the serving subsystem.
 
 A *client* holds the secret key; an untrusted *server* holds only the
 compiled program, the evaluation keys and the model weights.  The client
-encrypts an input and ships serialized ciphertext bytes; the server runs
-encrypted inference and ships bytes back; the client decrypts.  The
-server never observes the plaintext.
+encrypts an input and ships serialized ciphertext bytes over a real
+socket; the server batches compatible requests into shared ciphertext
+slots, runs encrypted inference, and ships bytes back; the client
+decrypts.  The server never observes the plaintext.
+
+The heavy lifting — compile-once model registry, slot batching, worker
+pool, wire protocol — lives in :mod:`repro.serve`; this example is the
+protocol in a dozen lines.  (The end-to-end path is tier-1-tested in
+``tests/test_serve_protocol.py``.)
 
 Run:  python examples/client_server_protocol.py
 """
 
 import numpy as np
 
-from repro.ckks import CkksParameters
-from repro.ckks.serialize import deserialize_ciphertext, serialize_ciphertext
-from repro.compiler import ACECompiler, CompileOptions
-from repro.compiler.artifacts import client_tools
 from repro.onnx import OnnxGraphBuilder, load_model_bytes, model_to_bytes
-from repro.runtime import run_ckks_function
+from repro.serve import InferenceServer, ModelRegistry, RemoteModelClient
 
 
 def build_model():
@@ -34,38 +36,34 @@ def build_model():
 
 def main() -> None:
     model = build_model()
-    params = CkksParameters(poly_degree=256, scale_bits=30,
-                            first_prime_bits=40, num_levels=4)
-    program = ACECompiler(model, CompileOptions(
-        exact_params=params, bootstrap_enabled=False, poly_mode="off",
-    )).compile()
-    backend = program.make_exact_backend(params, seed=7)
-    cipher_basis, _ = params.make_bases()
-    encryptor, decryptor = client_tools(program)
-
-    # ---- client side -------------------------------------------------
-    features = np.random.default_rng(1).uniform(-1, 1, size=(1, 24))
-    ct = encryptor(backend, features)
-    wire_to_server = serialize_ciphertext(ct)
-    print(f"client -> server: {len(wire_to_server)} ciphertext bytes "
-          f"(plaintext never leaves the client)")
-
-    # ---- server side (no secret key used below) ------------------------
-    server_ct = deserialize_ciphertext(wire_to_server, cipher_basis)
-    outs = run_ckks_function(program.module, program.module.main(),
-                             backend, [server_ct])
-    wire_to_client = serialize_ciphertext(outs[0])
-    print(f"server -> client: {len(wire_to_client)} result bytes")
-
-    # ---- client side --------------------------------------------------
-    result_ct = deserialize_ciphertext(wire_to_client, cipher_basis)
-    scores = decryptor(backend, result_ct)
     weights = {t.name: t.to_numpy() for t in model.graph.initializer}
-    expected = (features @ weights["w"].T + weights["b"]).ravel()
-    print(f"decrypted scores: {np.round(scores.ravel(), 4)}")
-    print(f"expected        : {np.round(expected, 4)}")
-    assert np.allclose(scores.ravel(), expected, atol=1e-3)
-    print("protocol OK — computation matched, data stayed encrypted")
+
+    # ---- server side: compile once, generate keys once, serve ----------
+    registry = ModelRegistry()
+    registry.register("credit", model, max_batch=4, seed=7)
+    with InferenceServer(registry) as server:
+        print(f"server: credit model on {server.host}:{server.port}, "
+              f"batching up to 4 requests per ciphertext")
+
+        # ---- client side: secret key stays here -------------------------
+        with RemoteModelClient(server.host, server.port,
+                               "credit") as client:
+            features = np.random.default_rng(1).uniform(
+                -1, 1, size=(1, 24))
+            wire = client.encrypt(features)
+            print(f"client -> server: {len(wire)} ciphertext bytes "
+                  f"(plaintext never leaves the client)")
+            reply, body = client.infer_bytes(wire)
+            print(f"server -> client: {len(body)} result bytes "
+                  f"(slot offset {reply['slot_offset']}, "
+                  f"{reply['latency_s'] * 1000:.1f} ms)")
+            scores = client.decrypt(body, reply["slot_offset"])
+
+        expected = (features @ weights["w"].T + weights["b"]).ravel()
+        print(f"decrypted scores: {np.round(scores.ravel(), 4)}")
+        print(f"expected        : {np.round(expected, 4)}")
+        assert np.allclose(scores.ravel(), expected, atol=1e-3)
+        print("protocol OK — computation matched, data stayed encrypted")
 
 
 if __name__ == "__main__":

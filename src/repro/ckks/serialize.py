@@ -6,6 +6,11 @@ plaintexts: a small JSON header (scale, level, domain, moduli fingerprint)
 followed by the raw residue matrices.  The receiving side validates the
 fingerprint against its own basis, so mismatched parameter sets fail
 loudly instead of decrypting garbage.
+
+Because the bytes arrive from an untrusted peer, every header field is
+validated before it is used: a truncated, bit-flipped, or hostile payload
+raises :class:`repro.errors.DeserializationError` rather than leaking a
+raw ``struct`` / ``json`` / ``numpy`` exception.
 """
 
 from __future__ import annotations
@@ -17,10 +22,13 @@ import struct
 import numpy as np
 
 from repro.ckks.cipher import Ciphertext, Plaintext
-from repro.errors import ParameterError
+from repro.errors import DeserializationError, ParameterError
 from repro.polymath.rns import RnsBasis, RnsPoly
 
 _MAGIC = b"ACEct010"
+
+#: upper bound on the JSON header blob; real headers are < 300 bytes
+_MAX_HEADER_BYTES = 1 << 16
 
 
 def basis_fingerprint(basis: RnsBasis) -> str:
@@ -36,11 +44,100 @@ def _pack_header(meta: dict) -> bytes:
 
 def _unpack_header(data: bytes) -> tuple[dict, int]:
     if data[: len(_MAGIC)] != _MAGIC:
-        raise ParameterError("not an ACE ciphertext payload")
+        raise DeserializationError("not an ACE ciphertext payload")
+    if len(data) < len(_MAGIC) + 4:
+        raise DeserializationError("payload truncated inside the header")
     (length,) = struct.unpack_from("<I", data, len(_MAGIC))
+    if length > _MAX_HEADER_BYTES:
+        raise DeserializationError(
+            f"header length {length} exceeds the {_MAX_HEADER_BYTES}-byte cap"
+        )
     start = len(_MAGIC) + 4
-    meta = json.loads(data[start : start + length])
+    if len(data) < start + length:
+        raise DeserializationError("payload truncated inside the header")
+    try:
+        meta = json.loads(data[start : start + length])
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise DeserializationError(f"corrupt header JSON: {exc}") from exc
+    if not isinstance(meta, dict):
+        raise DeserializationError("header must be a JSON object")
     return meta, start + length
+
+
+def _require(meta: dict, field: str, kind) -> object:
+    """Fetch + type-check one header field."""
+    value = meta.get(field)
+    if isinstance(value, bool) and kind is not bool:
+        raise DeserializationError(f"header field {field!r} has a bad type")
+    if not isinstance(value, kind):
+        raise DeserializationError(
+            f"header field {field!r} missing or has a bad type"
+        )
+    return value
+
+
+def _validated_meta(meta: dict, expected_kind: str) -> dict:
+    """Validate the untrusted header fields shared by cipher/plain."""
+    if meta.get("kind") != expected_kind:
+        want = "a ciphertext" if expected_kind == "cipher" else "a plaintext"
+        raise ParameterError(f"expected {want}, got {meta.get('kind')}")
+    limbs = _require(meta, "limbs", int)
+    degree = _require(meta, "degree", int)
+    parts = _require(meta, "parts", int)
+    scale = _require(meta, "scale", (int, float))
+    _require(meta, "is_ntt", bool)
+    _require(meta, "fingerprint", str)
+    if limbs < 1 or degree < 1 or scale <= 0:
+        raise DeserializationError(
+            f"implausible header: limbs={limbs} degree={degree} scale={scale}"
+        )
+    if expected_kind == "cipher" and parts not in (2, 3):
+        raise DeserializationError(
+            f"ciphertext must have 2 or 3 parts, header says {parts}"
+        )
+    return meta
+
+
+def _check_sub_basis(meta: dict, basis: RnsBasis, what: str) -> RnsBasis:
+    limbs, degree = meta["limbs"], meta["degree"]
+    if degree != basis.degree:
+        raise ParameterError(
+            f"{what} ring degree {degree} does not match the receiver's "
+            f"{basis.degree}"
+        )
+    if limbs > len(basis):
+        raise DeserializationError(
+            f"{what} claims {limbs} limbs but the receiver's chain has "
+            f"only {len(basis)}"
+        )
+    sub_basis = basis.prefix(limbs)
+    if basis_fingerprint(sub_basis) != meta["fingerprint"]:
+        raise ParameterError(
+            f"{what} was produced under a different parameter set"
+        )
+    return sub_basis
+
+
+def _read_body(data: bytes, offset: int, count: int) -> np.ndarray:
+    if len(data) < offset + count * 8:
+        raise DeserializationError(
+            f"payload truncated: body needs {count * 8} bytes at offset "
+            f"{offset}, only {max(len(data) - offset, 0)} present"
+        )
+    return np.frombuffer(data, dtype=np.uint64, count=count, offset=offset)
+
+
+def peek_header(data: bytes) -> dict:
+    """Parse and return the validated header of a serialized payload.
+
+    Lets a server check ``kind``/``fingerprint`` compatibility (e.g.
+    against a session's key context) without touching the body bytes.
+    """
+    meta, _ = _unpack_header(data)
+    kind = meta.get("kind")
+    if kind not in ("cipher", "plain"):
+        raise DeserializationError(f"unknown payload kind {kind!r}")
+    return _validated_meta(meta, kind)
 
 
 def serialize_ciphertext(ct: Ciphertext) -> bytes:
@@ -65,24 +162,19 @@ def serialize_ciphertext(ct: Ciphertext) -> bytes:
 def deserialize_ciphertext(data: bytes, basis: RnsBasis) -> Ciphertext:
     """Decode a ciphertext; ``basis`` is the receiver's full chain."""
     meta, offset = _unpack_header(data)
-    if meta.get("kind") != "cipher":
-        raise ParameterError(f"expected a ciphertext, got {meta.get('kind')}")
-    limbs = meta["limbs"]
-    degree = meta["degree"]
-    sub_basis = basis.prefix(limbs)
-    if basis_fingerprint(sub_basis) != meta["fingerprint"]:
-        raise ParameterError(
-            "ciphertext was produced under a different parameter set"
-        )
+    meta = _validated_meta(meta, "cipher")
+    sub_basis = _check_sub_basis(meta, basis, "ciphertext")
+    limbs, degree = meta["limbs"], meta["degree"]
+    slots_in_use = meta.get("slots_in_use")
+    if not isinstance(slots_in_use, int) or isinstance(slots_in_use, bool):
+        slots_in_use = 0
     count = limbs * degree
     parts = []
     for index in range(meta["parts"]):
-        start = offset + index * count * 8
-        flat = np.frombuffer(data, dtype=np.uint64, count=count,
-                             offset=start)
+        flat = _read_body(data, offset + index * count * 8, count)
         parts.append(RnsPoly(sub_basis, flat.reshape(limbs, degree).copy(),
                              meta["is_ntt"]))
-    return Ciphertext(parts, meta["scale"], meta["slots_in_use"])
+    return Ciphertext(parts, meta["scale"], max(slots_in_use, 0))
 
 
 def serialize_plaintext(pt: Plaintext) -> bytes:
@@ -101,16 +193,10 @@ def serialize_plaintext(pt: Plaintext) -> bytes:
 
 def deserialize_plaintext(data: bytes, basis: RnsBasis) -> Plaintext:
     meta, offset = _unpack_header(data)
-    if meta.get("kind") != "plain":
-        raise ParameterError(f"expected a plaintext, got {meta.get('kind')}")
+    meta = _validated_meta(meta, "plain")
+    sub_basis = _check_sub_basis(meta, basis, "plaintext")
     limbs, degree = meta["limbs"], meta["degree"]
-    sub_basis = basis.prefix(limbs)
-    if basis_fingerprint(sub_basis) != meta["fingerprint"]:
-        raise ParameterError(
-            "plaintext was produced under a different parameter set"
-        )
-    flat = np.frombuffer(data, dtype=np.uint64, count=limbs * degree,
-                         offset=offset)
+    flat = _read_body(data, offset, limbs * degree)
     poly = RnsPoly(sub_basis, flat.reshape(limbs, degree).copy(),
                    meta["is_ntt"])
     return Plaintext(poly, meta["scale"])

@@ -9,6 +9,10 @@ Commands:
   backend with a random (or ``.npy``) input.
 * ``report`` — regenerate the paper's figures/tables
   (same as ``python -m repro.evalharness.report``).
+* ``serve`` — compile a model once and serve encrypted inference over a
+  local socket, with cross-request CKKS slot batching (``repro.serve``).
+* ``client`` — connect to a running server, encrypt inputs locally, and
+  run the Figure-2 protocol over the wire.
 """
 
 from __future__ import annotations
@@ -97,6 +101,65 @@ def _run(args) -> int:
     return 0
 
 
+def _serve_params(args):
+    from repro.ckks import CkksParameters
+
+    return CkksParameters(
+        poly_degree=args.poly_degree,
+        scale_bits=args.scale_bits,
+        first_prime_bits=args.first_prime_bits,
+        num_levels=args.levels,
+    )
+
+
+def _serve(args) -> int:
+    from repro.serve import InferenceServer, ModelRegistry
+
+    registry = ModelRegistry()
+    model_id = args.model_id or Path(args.model).stem
+    entry = registry.register(
+        model_id, str(args.model), params=_serve_params(args),
+        max_batch=args.batch_size, seed=args.seed,
+    )
+    server = InferenceServer(
+        registry, host=args.host, port=args.port,
+        num_threads=args.workers, queue_size=args.queue_size,
+        max_wait_s=args.max_wait_ms / 1000.0,
+        request_timeout_s=args.timeout_s,
+    )
+    print(f"serving model {model_id!r} on {server.host}:{server.port} "
+          f"(fingerprint {entry.fingerprint}, "
+          f"batch up to {entry.max_batch} requests/ciphertext)")
+    if args.port_file:
+        Path(args.port_file).write_text(str(server.port))
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.stop()
+    return 0
+
+
+def _client(args) -> int:
+    from repro.serve import RemoteModelClient
+
+    with RemoteModelClient(args.host, args.port, args.model_id) as client:
+        shape = client.in_shape
+        if args.input:
+            tensors = [np.load(args.input)] * args.requests
+        else:
+            rng = np.random.default_rng(args.seed)
+            tensors = [rng.normal(size=shape) * 0.5
+                       for _ in range(args.requests)]
+        for index, tensor in enumerate(tensors):
+            out = client.infer(tensor)
+            print(f"response[{index}]: {np.round(out.ravel(), 5).tolist()}")
+        if args.show_metrics:
+            print(client.rpc_client.metrics()["text"], end="")
+    return 0
+
+
 def _report(args) -> int:
     from repro.evalharness.report import generate_report
 
@@ -122,6 +185,42 @@ def main(argv=None) -> int:
     p_run.add_argument("--input", help="optional .npy input tensor")
     p_run.add_argument("--seed", type=int, default=0)
     p_run.set_defaults(fn=_run)
+
+    p_serve = sub.add_parser(
+        "serve", help="serve encrypted inference over a local socket")
+    p_serve.add_argument("model", help="path to an .onnx file")
+    p_serve.add_argument("--model-id", default=None,
+                         help="id clients use (default: model file stem)")
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=7707,
+                         help="TCP port (0 = pick a free one)")
+    p_serve.add_argument("--batch-size", type=int, default=4,
+                         help="max requests packed into one ciphertext")
+    p_serve.add_argument("--workers", type=int, default=2)
+    p_serve.add_argument("--queue-size", type=int, default=64)
+    p_serve.add_argument("--max-wait-ms", type=float, default=5.0,
+                         help="batching linger before executing a partial "
+                              "batch")
+    p_serve.add_argument("--timeout-s", type=float, default=30.0)
+    p_serve.add_argument("--seed", type=int, default=7)
+    p_serve.add_argument("--poly-degree", type=int, default=256)
+    p_serve.add_argument("--scale-bits", type=int, default=30)
+    p_serve.add_argument("--first-prime-bits", type=int, default=40)
+    p_serve.add_argument("--levels", type=int, default=4)
+    p_serve.add_argument("--port-file", default=None,
+                         help="write the bound port here once listening")
+    p_serve.set_defaults(fn=_serve)
+
+    p_client = sub.add_parser(
+        "client", help="run the Figure-2 protocol against a server")
+    p_client.add_argument("--host", default="127.0.0.1")
+    p_client.add_argument("--port", type=int, default=7707)
+    p_client.add_argument("--model-id", required=True)
+    p_client.add_argument("--input", help="optional .npy input tensor")
+    p_client.add_argument("--requests", type=int, default=1)
+    p_client.add_argument("--seed", type=int, default=0)
+    p_client.add_argument("--show-metrics", action="store_true")
+    p_client.set_defaults(fn=_client)
 
     p_report = sub.add_parser("report", help="regenerate paper artifacts")
     p_report.add_argument("-o", "--output", default="results")

@@ -7,6 +7,10 @@ compiled layouts, and :func:`write_client_tools` emits them as standalone
 Python source (with the layout tables in the external weights file) so a
 client needs neither the compiler nor the model to take part in the
 Figure-2 protocol.
+
+Programs may have several inputs/outputs; every helper takes explicit
+indices and raises :class:`repro.errors.ArtifactError` for an index the
+compiled program does not have (instead of a bare ``IndexError``).
 """
 
 from __future__ import annotations
@@ -16,7 +20,23 @@ from pathlib import Path
 
 import numpy as np
 
+from repro.errors import ArtifactError
 from repro.passes.layout import PackedLayout
+
+
+def _layout_at(program, which: str, index: int) -> PackedLayout:
+    layouts = getattr(program, f"{which}_layouts")
+    if not layouts:
+        raise ArtifactError(
+            f"compiled program has no {which} layouts; it cannot take part "
+            f"in the Figure-2 protocol"
+        )
+    if not 0 <= index < len(layouts):
+        raise ArtifactError(
+            f"{which} index {index} out of range: program has "
+            f"{len(layouts)} {which}(s)"
+        )
+    return layouts[index]
 
 
 @dataclass
@@ -46,17 +66,34 @@ class GeneratedDecryptor:
         return self.unpack(vector)
 
 
-def client_tools(program) -> tuple[GeneratedEncryptor, GeneratedDecryptor]:
-    """Build the encryptor/decryptor pair for a compiled program."""
+def client_tools(program, input_index: int = 0,
+                 output_index: int = 0) -> tuple[GeneratedEncryptor,
+                                                 GeneratedDecryptor]:
+    """Build the encryptor/decryptor pair for one I/O pair of a program."""
     return (
-        GeneratedEncryptor(program.input_layouts[0]),
-        GeneratedDecryptor(program.output_layouts[0]),
+        GeneratedEncryptor(_layout_at(program, "input", input_index)),
+        GeneratedDecryptor(_layout_at(program, "output", output_index)),
+    )
+
+
+def all_client_tools(program) -> tuple[list[GeneratedEncryptor],
+                                       list[GeneratedDecryptor]]:
+    """Encryptors/decryptors for *every* input and output of a program."""
+    if not program.input_layouts or not program.output_layouts:
+        raise ArtifactError(
+            "compiled program must have at least one input and one output"
+        )
+    return (
+        [GeneratedEncryptor(lay) for lay in program.input_layouts],
+        [GeneratedDecryptor(lay) for lay in program.output_layouts],
     )
 
 
 _CLIENT_TEMPLATE = '''"""Auto-generated ANT-ACE client tools (encryptor / decryptor).
 
-The layout tables live in {npz_name!r} next to this file.
+The layout tables live in {npz_name!r} next to this file.  The module
+supports programs with several inputs/outputs: index the generic helpers,
+or use the index-0 convenience wrappers for the common single-I/O case.
 """
 
 from pathlib import Path
@@ -66,42 +103,78 @@ import numpy as np
 _HERE = Path(__file__).parent
 _TABLES = np.load(_HERE / {npz_name!r})
 SLOTS = int(_TABLES["slots"])
+NUM_INPUTS = int(_TABLES["num_inputs"])
+NUM_OUTPUTS = int(_TABLES["num_outputs"])
 INPUT_POSITIONS = _TABLES["input_positions"]
 INPUT_SHAPE = tuple(_TABLES["input_shape"])
 OUTPUT_POSITIONS = _TABLES["output_positions"]
 OUTPUT_SHAPE = tuple(_TABLES["output_shape"])
 
 
+def _table(kind, index, count):
+    if not 0 <= index < count:
+        raise IndexError(f"{{kind}} index {{index}} out of range "
+                         f"({{count}} available)")
+    return (_TABLES[f"{{kind}}_positions_{{index}}"],
+            tuple(_TABLES[f"{{kind}}_shape_{{index}}"]))
+
+
+def encrypt_input_at(backend, tensor, index=0):
+    """Encode tensor ``index`` with its compiled layout and encrypt it."""
+    positions, _shape = _table("input", index, NUM_INPUTS)
+    vec = np.zeros(SLOTS)
+    vec[positions.ravel()] = np.asarray(tensor).ravel()
+    return backend.encrypt(vec)
+
+
+def decrypt_output_at(backend, handle, index=0):
+    """Decrypt a result ciphertext and decode output ``index``."""
+    positions, shape = _table("output", index, NUM_OUTPUTS)
+    vec = np.asarray(backend.decrypt(handle, num_values=SLOTS))
+    return vec[positions.ravel()].reshape(shape)
+
+
 def encrypt_input(backend, tensor):
     """Encode a tensor with the compiled layout and encrypt it."""
-    vec = np.zeros(SLOTS)
-    vec[INPUT_POSITIONS.ravel()] = np.asarray(tensor).ravel()
-    return backend.encrypt(vec)
+    return encrypt_input_at(backend, tensor, 0)
 
 
 def decrypt_output(backend, handle):
     """Decrypt and decode a result ciphertext back to a tensor."""
-    vec = np.asarray(backend.decrypt(handle, num_values=SLOTS))
-    return vec[OUTPUT_POSITIONS.ravel()].reshape(OUTPUT_SHAPE)
+    return decrypt_output_at(backend, handle, 0)
 '''
 
 
 def write_client_tools(program, out_dir: str | Path,
                        name: str = "client_tools") -> Path:
-    """Emit the encryptor/decryptor as a standalone Python module."""
+    """Emit the encryptor/decryptor as a standalone Python module.
+
+    Emits per-index layout tables for every input and output; the legacy
+    unsuffixed ``input_positions`` / ``output_*`` tables alias index 0 so
+    previously generated consumers keep working.
+    """
     out_dir = Path(out_dir)
     out_dir.mkdir(parents=True, exist_ok=True)
-    in_layout = program.input_layouts[0]
-    out_layout = program.output_layouts[0]
+    encryptors, decryptors = all_client_tools(program)
+    in_layout = encryptors[0].layout
+    out_layout = decryptors[0].layout
     npz_name = f"{name}_tables.npz"
-    np.savez_compressed(
-        out_dir / npz_name,
-        slots=in_layout.slots,
-        input_positions=in_layout.positions,
-        input_shape=np.asarray(in_layout.shape),
-        output_positions=out_layout.positions,
-        output_shape=np.asarray(out_layout.shape),
-    )
+    tables = {
+        "slots": in_layout.slots,
+        "num_inputs": len(encryptors),
+        "num_outputs": len(decryptors),
+        "input_positions": in_layout.positions,
+        "input_shape": np.asarray(in_layout.shape),
+        "output_positions": out_layout.positions,
+        "output_shape": np.asarray(out_layout.shape),
+    }
+    for index, enc in enumerate(encryptors):
+        tables[f"input_positions_{index}"] = enc.layout.positions
+        tables[f"input_shape_{index}"] = np.asarray(enc.layout.shape)
+    for index, dec in enumerate(decryptors):
+        tables[f"output_positions_{index}"] = dec.layout.positions
+        tables[f"output_shape_{index}"] = np.asarray(dec.layout.shape)
+    np.savez_compressed(out_dir / npz_name, **tables)
     path = out_dir / f"{name}.py"
     path.write_text(_CLIENT_TEMPLATE.format(npz_name=npz_name))
     return path

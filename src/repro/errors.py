@@ -36,6 +36,20 @@ class LevelMismatchError(ReproError):
     """Homomorphic operands live at different levels."""
 
 
+class DeserializationError(ParameterError):
+    """A serialized payload is malformed, truncated, or corrupted.
+
+    Subclasses :class:`ParameterError` because a damaged wire payload is
+    indistinguishable, to the receiver, from one produced under foreign
+    parameters; callers that guarded the Figure-2 wire format with
+    ``except ParameterError`` keep working.
+    """
+
+
+class ArtifactError(ReproError):
+    """Generated client-tool artifacts cannot be built as requested."""
+
+
 class KeyError_(ReproError):
     """A required evaluation key (relin/rotation) is missing."""
 
@@ -70,3 +84,31 @@ class CompileError(ReproError):
 
 class RuntimeBackendError(ReproError):
     """An FHE runtime backend failed to execute a program."""
+
+
+class ServeError(ReproError):
+    """Base class for inference-serving failures (:mod:`repro.serve`)."""
+
+
+class UnknownModelError(ServeError):
+    """A request referenced a model id the registry does not hold."""
+
+
+class UnknownSessionError(ServeError):
+    """A request referenced a session id the server does not know."""
+
+
+class SessionMismatchError(ServeError):
+    """A ciphertext's parameter fingerprint does not match its session."""
+
+
+class QueueFullError(ServeError):
+    """The server's bounded request queue rejected a request (backpressure)."""
+
+
+class RequestTimeoutError(ServeError):
+    """A request missed its deadline before or during execution."""
+
+
+class ServerShutdownError(ServeError):
+    """The server is shutting down and will not take new work."""

@@ -1,0 +1,70 @@
+"""repro.serve — an FHE inference server with cross-request slot batching.
+
+The paper's Figure-2 threat model is a client/server protocol; this
+package turns the repository's one-shot demonstration of it into a
+serving subsystem:
+
+* :mod:`repro.serve.registry` — compile models and generate keys once,
+  serve them many times;
+* :mod:`repro.serve.session` — bind clients to a parameter fingerprint
+  and reject mismatched ciphertexts with typed errors;
+* :mod:`repro.serve.batcher` — coalesce compatible requests into the
+  unused CKKS slot blocks of one ciphertext (one program execution
+  serves the whole batch);
+* :mod:`repro.serve.worker` — bounded-queue thread pool with deadlines,
+  backpressure and graceful shutdown;
+* :mod:`repro.serve.metrics` — request/batch/latency/byte accounting;
+* :mod:`repro.serve.server` — length-prefixed socket protocol plus the
+  ``repro serve`` / ``repro client`` CLI entry points' machinery.
+
+Quick in-process use::
+
+    from repro.serve import ModelRegistry, InferenceServer, RemoteModelClient
+
+    registry = ModelRegistry()
+    registry.register("credit", "model.onnx", max_batch=4)
+    with InferenceServer(registry) as server:
+        with RemoteModelClient(server.host, server.port, "credit") as client:
+            scores = client.infer(features)
+"""
+
+from repro.serve.batcher import (
+    BatchResult,
+    PendingRequest,
+    can_join,
+    combine_requests,
+    execute_batch,
+)
+from repro.serve.metrics import Histogram, Metrics
+from repro.serve.registry import (
+    ModelEntry,
+    ModelRegistry,
+    default_serve_params,
+)
+from repro.serve.server import (
+    InferenceServer,
+    RemoteModelClient,
+    ServeClient,
+)
+from repro.serve.session import Session, SessionManager
+from repro.serve.worker import InferenceWorker, ServeResponse
+
+__all__ = [
+    "BatchResult",
+    "Histogram",
+    "InferenceServer",
+    "InferenceWorker",
+    "Metrics",
+    "ModelEntry",
+    "ModelRegistry",
+    "PendingRequest",
+    "RemoteModelClient",
+    "ServeClient",
+    "ServeResponse",
+    "Session",
+    "SessionManager",
+    "can_join",
+    "combine_requests",
+    "default_serve_params",
+    "execute_batch",
+]

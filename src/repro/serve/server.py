@@ -1,0 +1,343 @@
+"""Socket server/client for the Figure-2 protocol over a wire.
+
+Framing: every message is ``<u32 header_len><u32 body_len><header JSON>
+<body bytes>`` (little-endian lengths).  The body carries serialized
+ciphertexts (:mod:`repro.ckks.serialize`); the header carries the op and
+structured status, so a failed request is an ``ok=false`` header — never
+a dropped connection or a crashed server.
+
+Ops: ``models``, ``open_session``, ``close_session``, ``infer``,
+``metrics``, ``ping``.
+
+Key distribution caveat: a production deployment ships the *public* and
+*evaluation* keys to the server and keeps the secret on the client.  This
+reproduction's keygen is deterministic from ``(params, seed)``, so
+``open_session`` returns the keygen seed and the client rebuilds the same
+secret locally — an out-of-band key exchange stand-in (serialising key
+material is a ROADMAP item).  The server-side request path never touches
+the secret key: it deserializes ciphertexts, batches, and evaluates.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+import threading
+
+import numpy as np
+
+from repro.ckks import CkksContext, CkksParameters
+from repro.ckks.serialize import (
+    deserialize_ciphertext,
+    serialize_ciphertext,
+)
+from repro.errors import DeserializationError, ReproError, ServeError
+from repro.serve.metrics import Metrics
+from repro.serve.registry import ModelRegistry
+from repro.serve.session import SessionManager
+from repro.serve.worker import InferenceWorker, ServeResponse
+
+_MAX_FRAME = 1 << 28  # 256 MiB: far above any toy-parameter ciphertext
+
+
+# -- framing ---------------------------------------------------------------
+
+def send_message(sock: socket.socket, header: dict, body: bytes = b"") -> None:
+    blob = json.dumps(header).encode()
+    sock.sendall(struct.pack("<II", len(blob), len(body)) + blob + body)
+
+
+def _recv_exact(sock: socket.socket, count: int) -> bytes:
+    chunks = []
+    while count:
+        chunk = sock.recv(min(count, 1 << 20))
+        if not chunk:
+            raise ConnectionError("peer closed mid-frame")
+        chunks.append(chunk)
+        count -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_message(sock: socket.socket) -> tuple[dict, bytes] | None:
+    try:
+        prefix = _recv_exact(sock, 8)
+    except ConnectionError:
+        return None
+    header_len, body_len = struct.unpack("<II", prefix)
+    if header_len > _MAX_FRAME or body_len > _MAX_FRAME:
+        raise DeserializationError(
+            f"frame too large ({header_len}+{body_len} bytes)"
+        )
+    try:
+        header = json.loads(_recv_exact(sock, header_len))
+    except json.JSONDecodeError as exc:
+        raise DeserializationError(f"corrupt frame header: {exc}") from exc
+    body = _recv_exact(sock, body_len) if body_len else b""
+    return header, body
+
+
+# -- server ----------------------------------------------------------------
+
+class InferenceServer:
+    """Serve registered models over a local TCP socket."""
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        metrics: Metrics | None = None,
+        num_threads: int = 2,
+        queue_size: int = 64,
+        max_wait_s: float = 0.005,
+        request_timeout_s: float = 30.0,
+    ):
+        self.registry = registry
+        self.metrics = metrics or Metrics()
+        self.sessions = SessionManager(registry)
+        self.worker = InferenceWorker(
+            metrics=self.metrics,
+            num_threads=num_threads,
+            queue_size=queue_size,
+            max_wait_s=max_wait_s,
+            request_timeout_s=request_timeout_s,
+        )
+        self._sock = socket.create_server((host, port))
+        self.host, self.port = self._sock.getsockname()[:2]
+        self._stopping = threading.Event()
+        self._accept_thread: threading.Thread | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "InferenceServer":
+        """Accept connections on a background thread (tests, benchmarks)."""
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="serve-accept", daemon=True)
+        self._accept_thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Blocking accept loop (the ``repro serve`` CLI)."""
+        self._accept_loop()
+
+    def stop(self) -> None:
+        self._stopping.set()
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+        self.worker.close()
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5)
+
+    def __enter__(self) -> "InferenceServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def _accept_loop(self) -> None:
+        while not self._stopping.is_set():
+            try:
+                conn, _addr = self._sock.accept()
+            except OSError:
+                break  # socket closed by stop()
+            threading.Thread(target=self._serve_connection, args=(conn,),
+                             daemon=True).start()
+
+    # -- request handling --------------------------------------------------
+
+    def _serve_connection(self, conn: socket.socket) -> None:
+        with conn:
+            while not self._stopping.is_set():
+                try:
+                    message = recv_message(conn)
+                except (DeserializationError, OSError):
+                    break
+                if message is None:
+                    break
+                header, body = message
+                try:
+                    reply, payload = self._dispatch(header, body)
+                except ReproError as exc:
+                    reply, payload = ServeResponse.failure(exc).header(), b""
+                except Exception as exc:  # noqa: BLE001 — keep serving
+                    reply = ServeResponse.failure(exc).header()
+                    reply["error"] = "InternalError"
+                    payload = b""
+                try:
+                    send_message(conn, reply, payload)
+                except OSError:
+                    break
+
+    def _dispatch(self, header: dict, body: bytes) -> tuple[dict, bytes]:
+        op = header.get("op")
+        if op == "ping":
+            return {"ok": True}, b""
+        if op == "models":
+            return {"ok": True, "models": self.registry.ids()}, b""
+        if op == "metrics":
+            return {
+                "ok": True,
+                "snapshot": self.metrics.snapshot(),
+                "text": self.metrics.render(),
+            }, b""
+        if op == "open_session":
+            entry = self.registry.get(str(header.get("model_id")))
+            session = self.sessions.open(entry.model_id)
+            info = entry.describe()
+            info.update({
+                "ok": True,
+                "session_id": session.session_id,
+                "keygen_seed": entry.keygen_seed,
+                "secret_hamming_weight": entry.params.secret_hamming_weight,
+            })
+            return info, b""
+        if op == "close_session":
+            self.sessions.close(str(header.get("session_id")))
+            return {"ok": True}, b""
+        if op == "infer":
+            return self._handle_infer(header, body)
+        raise ServeError(f"unknown op {op!r}")
+
+    def _handle_infer(self, header: dict, body: bytes) -> tuple[dict, bytes]:
+        session = self.sessions.get(str(header.get("session_id")))
+        entry, ciphertext = self.sessions.validate_request(session, body)
+        timeout_s = header.get("timeout_s")
+        future = self.worker.submit(
+            entry, session.session_id, ciphertext,
+            timeout_s=timeout_s, wire_bytes_in=len(body),
+        )
+        response = self.worker.wait(future, timeout_s)
+        return response.header(), response.payload or b""
+
+
+# -- clients ---------------------------------------------------------------
+
+class ServeClient:
+    """Low-level RPC client speaking the framed protocol."""
+
+    def __init__(self, host: str, port: int, timeout_s: float = 120.0):
+        self._sock = socket.create_connection((host, port),
+                                              timeout=timeout_s)
+
+    def rpc(self, header: dict, body: bytes = b"") -> tuple[dict, bytes]:
+        send_message(self._sock, header, body)
+        message = recv_message(self._sock)
+        if message is None:
+            raise ServeError("server closed the connection")
+        return message
+
+    def models(self) -> list[str]:
+        reply, _ = self.rpc({"op": "models"})
+        return reply["models"]
+
+    def metrics(self) -> dict:
+        reply, _ = self.rpc({"op": "metrics"})
+        return reply
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class RemoteModelClient:
+    """Figure-2 client: owns the secret key, ships only ciphertexts.
+
+    Opens a session, rebuilds the key context locally from the session's
+    parameter description + keygen seed (see the module docstring's key
+    distribution caveat), and exposes ``infer(tensor) -> tensor`` doing
+    pack -> encrypt -> wire -> decrypt -> unpack.
+    """
+
+    def __init__(self, host: str, port: int, model_id: str,
+                 timeout_s: float = 120.0):
+        self.rpc_client = ServeClient(host, port, timeout_s=timeout_s)
+        info, _ = self.rpc_client.rpc(
+            {"op": "open_session", "model_id": model_id})
+        if not info.get("ok"):
+            raise _error_from(info)
+        self.info = info
+        self.session_id = info["session_id"]
+        params = info["params"]
+        self.params = CkksParameters(
+            poly_degree=params["N"],
+            scale_bits=params["scale_bits"],
+            first_prime_bits=params["first_prime_bits"],
+            num_levels=params["levels"],
+            num_special_primes=params["special_primes"],
+            secret_hamming_weight=info.get("secret_hamming_weight"),
+        )
+        # Same (params, seed) => same secret key as the server's context:
+        # the secret is the first thing keygen samples, so the extra keys
+        # the server generated do not perturb it.
+        self.ctx = CkksContext(self.params, rotation_steps=[],
+                               need_relin=False, need_conjugation=False,
+                               seed=info["keygen_seed"])
+        self.cipher_basis, _ = self.params.make_bases()
+        self.in_positions = np.asarray(info["input_positions"])
+        self.in_shape = tuple(info["input_shape"])
+        self.out_positions = np.asarray(info["output_positions"])
+        self.out_shape = tuple(info["output_shape"])
+        self.block_slots = info["block_slots"]
+
+    def encrypt(self, tensor: np.ndarray) -> bytes:
+        vec = np.zeros(self.block_slots)
+        vec[self.in_positions.ravel()] = np.asarray(tensor).ravel()
+        return serialize_ciphertext(self.ctx.encrypt(vec))
+
+    def decrypt(self, payload: bytes, slot_offset: int = 0) -> np.ndarray:
+        ct = deserialize_ciphertext(payload, self.cipher_basis)
+        vec = np.asarray(
+            self.ctx.decrypt(ct, self.params.num_slots))
+        return vec[slot_offset + self.out_positions.ravel()].reshape(
+            self.out_shape)
+
+    def infer_bytes(self, payload: bytes,
+                    timeout_s: float | None = None) -> tuple[dict, bytes]:
+        header = {"op": "infer", "session_id": self.session_id}
+        if timeout_s is not None:
+            header["timeout_s"] = timeout_s
+        reply, body = self.rpc_client.rpc(header, payload)
+        if not reply.get("ok"):
+            raise _error_from(reply)
+        return reply, body
+
+    def infer(self, tensor: np.ndarray,
+              timeout_s: float | None = None) -> np.ndarray:
+        reply, body = self.infer_bytes(self.encrypt(tensor), timeout_s)
+        return self.decrypt(body, reply.get("slot_offset", 0))
+
+    def close(self) -> None:
+        try:
+            self.rpc_client.rpc(
+                {"op": "close_session", "session_id": self.session_id})
+        except (ServeError, OSError):
+            pass
+        self.rpc_client.close()
+
+    def __enter__(self) -> "RemoteModelClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def _error_from(reply: dict) -> ReproError:
+    """Rebuild a typed error from a structured failure header."""
+    import repro.errors as errors_mod
+
+    name = reply.get("error") or "ServeError"
+    cls = getattr(errors_mod, name, None)
+    if not (isinstance(cls, type) and issubclass(cls, ReproError)):
+        cls = ServeError
+    return cls(reply.get("message") or "server reported a failure")

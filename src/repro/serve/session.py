@@ -1,0 +1,98 @@
+"""Client sessions: a parameter fingerprint bound to a key context.
+
+A session is the serving layer's unit of trust: opening one against a
+registered model pins the parameter fingerprint of that model's key
+context (computed by :func:`repro.ckks.serialize.basis_fingerprint`).
+Every ciphertext submitted on the session must carry the same
+fingerprint in its wire header — a ciphertext encrypted under different
+parameters (or corrupted in flight) is rejected *before* the body is
+parsed, with a typed :class:`repro.errors.SessionMismatchError` /
+:class:`repro.errors.DeserializationError` instead of garbage plaintext.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.ckks.serialize import deserialize_ciphertext, peek_header
+from repro.errors import SessionMismatchError, UnknownSessionError
+from repro.serve.registry import ModelEntry, ModelRegistry
+
+_session_counter = itertools.count(1)
+
+
+@dataclass
+class Session:
+    """One client's binding to a served model's parameter set."""
+
+    session_id: str
+    model_id: str
+    fingerprint: str
+    created_at: float = field(default_factory=time.monotonic)
+    requests: int = 0
+
+    def check_fingerprint(self, header: dict) -> None:
+        if header.get("kind") != "cipher":
+            raise SessionMismatchError(
+                f"session {self.session_id} expected a ciphertext payload, "
+                f"got kind={header.get('kind')!r}"
+            )
+        if header.get("fingerprint") != self.fingerprint:
+            raise SessionMismatchError(
+                f"ciphertext fingerprint {header.get('fingerprint')!r} does "
+                f"not match session {self.session_id} "
+                f"(expected {self.fingerprint!r})"
+            )
+
+
+class SessionManager:
+    """Opens sessions against a registry and validates inbound payloads."""
+
+    def __init__(self, registry: ModelRegistry):
+        self.registry = registry
+        self._lock = threading.Lock()
+        self._sessions: dict[str, Session] = {}
+
+    def open(self, model_id: str) -> Session:
+        """Open a session; raises ``UnknownModelError`` for bad ids."""
+        entry = self.registry.get(model_id)
+        session = Session(
+            session_id=f"s{next(_session_counter):06d}",
+            model_id=model_id,
+            fingerprint=entry.fingerprint,
+        )
+        with self._lock:
+            self._sessions[session.session_id] = session
+        return session
+
+    def get(self, session_id: str) -> Session:
+        with self._lock:
+            session = self._sessions.get(session_id)
+        if session is None:
+            raise UnknownSessionError(f"unknown session {session_id!r}")
+        return session
+
+    def close(self, session_id: str) -> None:
+        with self._lock:
+            self._sessions.pop(session_id, None)
+
+    def count(self) -> int:
+        with self._lock:
+            return len(self._sessions)
+
+    def validate_request(self, session: Session, payload: bytes):
+        """Fingerprint-check + deserialize one inbound ciphertext.
+
+        Returns ``(entry, ciphertext)``.  The fingerprint is checked from
+        the header alone, so a mismatched payload is rejected without
+        allocating its residue matrices.
+        """
+        entry: ModelEntry = self.registry.get(session.model_id)
+        header = peek_header(payload)
+        session.check_fingerprint(header)
+        ct = deserialize_ciphertext(payload, entry.cipher_basis)
+        session.requests += 1
+        return entry, ct

@@ -1,0 +1,269 @@
+"""Thread-pool execution engine for the inference server.
+
+Python threads are a real fit here: the hot kernels (NTT, RNS modmul)
+are vectorised numpy which releases the GIL, so worker threads execute
+different models' batches genuinely in parallel.  The pool wraps one
+bounded request queue:
+
+* ``submit`` applies **backpressure** — a full queue raises a typed
+  :class:`repro.errors.QueueFullError` instead of buffering unboundedly;
+* each worker thread pops a request, then *lingers* up to ``max_wait_s``
+  collecting compatible requests (:func:`repro.serve.batcher.can_join`)
+  into one slot-batched execution;
+* requests carry a **deadline**; a request that expires in the queue is
+  completed with a structured timeout failure, never executed;
+* execution errors complete the affected requests with structured
+  failures — a poisoned request cannot crash the server;
+* ``close`` drains and fails pending work, then joins the threads.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+import time
+from concurrent.futures import Future
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass
+
+from repro.errors import (
+    QueueFullError,
+    ReproError,
+    RequestTimeoutError,
+    ServerShutdownError,
+)
+from repro.serve.batcher import (
+    PendingRequest,
+    can_join,
+    execute_batch,
+)
+from repro.serve.metrics import Metrics
+from repro.serve.registry import ModelEntry
+
+_SENTINEL = object()
+
+
+@dataclass
+class ServeResponse:
+    """Structured outcome of one request (success or failure)."""
+
+    ok: bool
+    payload: bytes | None = None
+    slot_offset: int = 0
+    batch_size: int = 0
+    error: str | None = None
+    message: str | None = None
+    latency_s: float = 0.0
+
+    @classmethod
+    def failure(cls, exc: BaseException,
+                latency_s: float = 0.0) -> "ServeResponse":
+        return cls(ok=False, error=type(exc).__name__, message=str(exc),
+                   latency_s=latency_s)
+
+    def header(self) -> dict:
+        """JSON-safe wire header (payload bytes travel separately)."""
+        return {
+            "ok": self.ok,
+            "slot_offset": self.slot_offset,
+            "batch_size": self.batch_size,
+            "error": self.error,
+            "message": self.message,
+            "latency_s": round(self.latency_s, 6),
+        }
+
+
+class InferenceWorker:
+    """Bounded-queue thread pool with cross-request slot batching."""
+
+    def __init__(
+        self,
+        metrics: Metrics | None = None,
+        num_threads: int = 2,
+        queue_size: int = 64,
+        max_wait_s: float = 0.005,
+        request_timeout_s: float = 30.0,
+    ):
+        if num_threads < 1:
+            raise ReproError("need at least one worker thread")
+        self.metrics = metrics or Metrics()
+        self.max_wait_s = max_wait_s
+        self.request_timeout_s = request_timeout_s
+        self._queue: queue.Queue = queue.Queue(maxsize=queue_size)
+        self._ids = itertools.count(1)
+        self._stopping = False
+        self._threads = [
+            threading.Thread(target=self._loop, name=f"serve-worker-{i}",
+                             daemon=True)
+            for i in range(num_threads)
+        ]
+        for t in self._threads:
+            t.start()
+
+    # -- submission ---------------------------------------------------------
+
+    def submit(
+        self,
+        entry: ModelEntry,
+        session_id: str,
+        ciphertext,
+        timeout_s: float | None = None,
+        wire_bytes_in: int = 0,
+    ) -> Future:
+        """Enqueue one request; returns a Future of :class:`ServeResponse`.
+
+        Raises :class:`ServerShutdownError` after :meth:`close` and
+        :class:`QueueFullError` when the bounded queue is full.
+        """
+        if self._stopping:
+            raise ServerShutdownError("server is shutting down")
+        timeout_s = self.request_timeout_s if timeout_s is None else timeout_s
+        req = PendingRequest(
+            request_id=next(self._ids),
+            session_id=session_id,
+            fingerprint=entry.fingerprint,
+            entry=entry,
+            ciphertext=ciphertext,
+            deadline=time.monotonic() + timeout_s if timeout_s else None,
+        )
+        try:
+            self._queue.put_nowait(req)
+        except queue.Full:
+            self.metrics.inc("serve_requests_rejected_total")
+            raise QueueFullError(
+                f"request queue full ({self._queue.maxsize} pending)"
+            ) from None
+        self.metrics.inc("serve_requests_total")
+        self.metrics.inc("serve_bytes_in_total", wire_bytes_in)
+        self.metrics.set_gauge("serve_queue_depth", self._queue.qsize())
+        return req.future
+
+    def wait(self, future: Future, timeout_s: float | None = None) -> ServeResponse:
+        """Block for a response; a client-side timeout becomes a
+        structured failure rather than an exception."""
+        timeout_s = self.request_timeout_s if timeout_s is None else timeout_s
+        try:
+            return future.result(timeout=timeout_s)
+        except FutureTimeoutError:
+            return ServeResponse.failure(
+                RequestTimeoutError(
+                    f"no response within {timeout_s:.3f}s"),
+                latency_s=timeout_s,
+            )
+
+    # -- worker loop --------------------------------------------------------
+
+    def _loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _SENTINEL:
+                break
+            batch = self._collect_batch(item)
+            if batch:
+                self._execute(batch)
+            self.metrics.set_gauge("serve_queue_depth", self._queue.qsize())
+
+    def _collect_batch(self, first: PendingRequest) -> list[PendingRequest]:
+        """Grow a batch around ``first`` for up to ``max_wait_s``.
+
+        Incompatible requests popped while lingering are pushed back to
+        the queue tail (FIFO order within a batch window is not
+        guaranteed; deadlines still are).
+        """
+        batch = [first]
+        if first.entry.supports_batching and first.entry.max_batch > 1:
+            linger_until = time.monotonic() + self.max_wait_s
+            while len(batch) < first.entry.max_batch:
+                remaining = linger_until - time.monotonic()
+                try:
+                    nxt = (self._queue.get(timeout=remaining)
+                           if remaining > 0 else self._queue.get_nowait())
+                except queue.Empty:
+                    break
+                if nxt is _SENTINEL:
+                    # keep the shutdown signal for the next worker
+                    self._queue.put(nxt)
+                    break
+                if can_join(batch, nxt):
+                    batch.append(nxt)
+                else:
+                    try:
+                        self._queue.put_nowait(nxt)
+                    except queue.Full:
+                        self._fail(nxt, QueueFullError(
+                            "queue full while re-queuing an unbatchable "
+                            "request"))
+        live = []
+        now = time.monotonic()
+        for req in batch:
+            if req.expired(now):
+                self.metrics.inc("serve_requests_timeout_total")
+                self._fail(req, RequestTimeoutError(
+                    f"request {req.request_id} expired after "
+                    f"{now - req.enqueued_at:.3f}s in queue"))
+            else:
+                live.append(req)
+        return live
+
+    def _execute(self, batch: list[PendingRequest]) -> None:
+        entry = batch[0].entry
+        started = time.monotonic()
+        try:
+            results = execute_batch(entry, batch)
+        except Exception as exc:  # noqa: BLE001 — worker must survive
+            self.metrics.inc("serve_requests_failed_total", len(batch))
+            for req in batch:
+                self._fail(req, exc)
+            return
+        finished = time.monotonic()
+        self.metrics.inc("serve_batches_total")
+        self.metrics.observe("serve_batch_occupancy", len(batch))
+        self.metrics.observe("serve_batch_exec_s", finished - started)
+        for req, result in zip(batch, results):
+            latency = finished - req.enqueued_at
+            self.metrics.observe("serve_request_latency_s", latency)
+            self.metrics.inc("serve_bytes_out_total", len(result.payload))
+            if not req.future.set_running_or_notify_cancel():
+                continue
+            req.future.set_result(ServeResponse(
+                ok=True,
+                payload=result.payload,
+                slot_offset=result.slot_offset,
+                batch_size=result.batch_size,
+                latency_s=latency,
+            ))
+
+    def _fail(self, req: PendingRequest, exc: BaseException) -> None:
+        latency = time.monotonic() - req.enqueued_at
+        if req.future.set_running_or_notify_cancel():
+            req.future.set_result(ServeResponse.failure(exc, latency))
+
+    # -- shutdown -----------------------------------------------------------
+
+    def close(self, timeout_s: float = 10.0) -> None:
+        """Graceful shutdown: refuse new work, fail queued work, join."""
+        if self._stopping:
+            return
+        self._stopping = True
+        drained: list[PendingRequest] = []
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is not _SENTINEL:
+                drained.append(item)
+        for req in drained:
+            self._fail(req, ServerShutdownError(
+                "server shut down before the request ran"))
+        for _ in self._threads:
+            self._queue.put(_SENTINEL)
+        for t in self._threads:
+            t.join(timeout=timeout_s)
+
+    def __enter__(self) -> "InferenceWorker":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -57,3 +57,93 @@ def test_written_client_module_is_standalone(program, tmp_path):
     assert np.allclose(recovered, x, atol=1e-4)
     # and the output decoder has the right shape tables
     assert client.OUTPUT_SHAPE == tuple(prog.output_layouts[0].shape)
+
+
+# -- multi-I/O programs -----------------------------------------------------
+
+from repro.compiler.artifacts import all_client_tools  # noqa: E402
+from repro.errors import ArtifactError  # noqa: E402
+
+
+@pytest.fixture(scope="module")
+def two_output_program():
+    rng = np.random.default_rng(7)
+    builder = OnnxGraphBuilder("fork")
+    builder.add_input("image", [1, 16])
+    builder.add_initializer(
+        "w1", (rng.normal(size=(4, 16)) * 0.3).astype(np.float32))
+    builder.add_initializer("b1", np.zeros(4, dtype=np.float32))
+    builder.add_initializer(
+        "w2", (rng.normal(size=(2, 16)) * 0.3).astype(np.float32))
+    builder.add_initializer("b2", np.zeros(2, dtype=np.float32))
+    builder.add_node("Gemm", ["image", "w1", "b1"], outputs=["head_a"],
+                     transB=1)
+    builder.add_node("Gemm", ["image", "w2", "b2"], outputs=["head_b"],
+                     transB=1)
+    builder.add_output("head_a", [1, 4])
+    builder.add_output("head_b", [1, 2])
+    model = load_model_bytes(model_to_bytes(builder.build()))
+    return ACECompiler(model, CompileOptions(poly_mode="off")).compile(), model
+
+
+def test_index_out_of_range_is_typed(program):
+    prog, _ = program
+    with pytest.raises(ArtifactError):
+        client_tools(prog, input_index=1)
+    with pytest.raises(ArtifactError):
+        client_tools(prog, output_index=5)
+    with pytest.raises(ArtifactError):
+        client_tools(prog, input_index=-1)
+
+
+def test_layoutless_program_is_typed():
+    class Husk:
+        input_layouts = []
+        output_layouts = []
+
+    with pytest.raises(ArtifactError):
+        client_tools(Husk())
+    with pytest.raises(ArtifactError):
+        all_client_tools(Husk())
+    with pytest.raises(ArtifactError):
+        write_client_tools(Husk(), "/tmp/never-used")
+
+
+def test_multi_output_tools(two_output_program):
+    prog, model = two_output_program
+    assert len(prog.output_layouts) == 2
+    encryptors, decryptors = all_client_tools(prog)
+    assert len(encryptors) == 1 and len(decryptors) == 2
+    backend = prog.make_sim_backend(seed=3)
+    x = np.linspace(-1, 1, 16).reshape(1, 16)
+    _, dec_b = client_tools(prog, output_index=1)
+    from repro.runtime import run_ckks_function
+
+    outs = run_ckks_function(prog.module, prog.module.main(), backend,
+                             [encryptors[0].pack(x)])
+    weights = {t.name: t.to_numpy() for t in model.graph.initializer}
+    got_a = decryptors[0](backend, outs[0])
+    got_b = dec_b(backend, outs[1])
+    assert np.allclose(got_a.ravel(), (x @ weights["w1"].T).ravel(),
+                       atol=1e-3)
+    assert np.allclose(got_b.ravel(), (x @ weights["w2"].T).ravel(),
+                       atol=1e-3)
+
+
+def test_written_module_indexes_every_output(two_output_program, tmp_path):
+    prog, _ = two_output_program
+    path = write_client_tools(prog, tmp_path, name="fork_tools")
+    spec = importlib.util.spec_from_file_location("fork_tools", path)
+    client = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(client)
+    assert client.NUM_INPUTS == 1 and client.NUM_OUTPUTS == 2
+    backend = prog.make_sim_backend(seed=4)
+    x = np.linspace(-1, 1, 16).reshape(1, 16)
+    ct = client.encrypt_input_at(backend, x, 0)
+    vec = backend.decrypt(ct, num_values=client.SLOTS)
+    recovered = vec[client.INPUT_POSITIONS.ravel()].reshape(1, 16)
+    assert np.allclose(recovered, x, atol=1e-4)
+    with pytest.raises(IndexError):
+        client.encrypt_input_at(backend, x, 3)
+    with pytest.raises(IndexError):
+        client.decrypt_output_at(backend, ct, 2)

@@ -92,3 +92,106 @@ def test_kind_mismatch_rejected(ctx):
     blob = serialize_plaintext(ctx.encode([1.0]))
     with pytest.raises(ParameterError):
         deserialize_ciphertext(blob, _full_basis(ctx))
+
+
+# -- hostile-wire fuzzing ---------------------------------------------------
+#
+# The serving layer feeds these bytes straight off a socket, so every
+# malformed payload must surface as a typed ReproError (specifically a
+# DeserializationError / ParameterError), never a raw struct / json /
+# numpy exception.
+
+from repro.ckks.serialize import _pack_header, peek_header  # noqa: E402
+from repro.errors import DeserializationError, ReproError  # noqa: E402
+
+
+def test_truncated_payload_rejected_everywhere(ctx):
+    blob = serialize_ciphertext(ctx.encrypt(np.linspace(-1, 1, 64)))
+    basis = _full_basis(ctx)
+    cuts = [0, 1, 4, 8, 10, 11, 40, len(blob) // 2, len(blob) - 1]
+    for cut in cuts:
+        with pytest.raises(DeserializationError):
+            deserialize_ciphertext(blob[:cut], basis)
+
+
+def test_mutated_wire_bytes_never_leak_raw_errors(ctx):
+    blob = serialize_ciphertext(ctx.encrypt(np.linspace(-1, 1, 64)))
+    basis = _full_basis(ctx)
+    rng = np.random.default_rng(0)
+    for _ in range(300):
+        data = bytearray(blob)
+        for _ in range(rng.integers(1, 4)):
+            data[rng.integers(0, len(data))] ^= int(rng.integers(1, 256))
+        try:
+            deserialize_ciphertext(bytes(data), basis)
+        except ReproError:
+            pass  # typed rejection is the contract
+        # body-only bit flips decode structurally; that is fine — the
+        # damage surfaces as CKKS noise, not as a crash
+
+
+def test_hostile_header_fields_rejected(ctx):
+    basis = _full_basis(ctx)
+    fingerprint = basis_fingerprint(basis)
+    base = {
+        "kind": "cipher", "parts": 2, "limbs": len(basis),
+        "degree": basis.degree, "scale": 2.0**30, "slots_in_use": 64,
+        "is_ntt": True, "fingerprint": fingerprint,
+    }
+    body = b"\0" * (len(basis) * basis.degree * 8 * 2)
+    evil_headers = [
+        {**base, "parts": 7},                  # not a valid ct shape
+        {**base, "parts": "2"},                # type confusion
+        {**base, "limbs": -1},
+        {**base, "limbs": len(basis) + 9},     # beyond the receiver chain
+        {**base, "degree": 0},
+        {**base, "degree": basis.degree * 2},  # wrong ring
+        {**base, "scale": -5.0},
+        {**base, "scale": None},
+        {**base, "is_ntt": "yes"},
+        {**base, "fingerprint": 123},
+        {k: v for k, v in base.items() if k != "limbs"},  # missing field
+    ]
+    for meta in evil_headers:
+        with pytest.raises(ParameterError):
+            deserialize_ciphertext(_pack_header(meta) + body, basis)
+
+
+def test_header_length_cap(ctx):
+    import struct as struct_mod
+
+    evil = b"ACEct010" + struct_mod.pack("<I", 1 << 30) + b"{}"
+    with pytest.raises(DeserializationError):
+        deserialize_ciphertext(evil, _full_basis(ctx))
+
+
+def test_corrupt_header_json(ctx):
+    import struct as struct_mod
+
+    payload = b"{not json!"
+    evil = b"ACEct010" + struct_mod.pack("<I", len(payload)) + payload
+    with pytest.raises(DeserializationError):
+        deserialize_ciphertext(evil, _full_basis(ctx))
+    array = b"[1, 2, 3]"
+    evil = b"ACEct010" + struct_mod.pack("<I", len(array)) + array
+    with pytest.raises(DeserializationError):
+        deserialize_ciphertext(evil, _full_basis(ctx))
+
+
+def test_peek_header_reads_without_body(ctx):
+    ct = ctx.encrypt(np.linspace(-1, 1, 64))
+    blob = serialize_ciphertext(ct)
+    header = peek_header(blob)
+    assert header["kind"] == "cipher"
+    assert header["fingerprint"] == basis_fingerprint(_full_basis(ctx))
+    # the body is irrelevant to the peek: strip it entirely
+    header_only = blob[: len(blob) - ct.byte_size()]
+    assert peek_header(header_only)["parts"] == ct.size
+    with pytest.raises(DeserializationError):
+        peek_header(b"junk")
+
+
+def test_truncated_plaintext_rejected(ctx):
+    blob = serialize_plaintext(ctx.encode([1.0, 2.0]))
+    with pytest.raises(DeserializationError):
+        deserialize_plaintext(blob[:-8], _full_basis(ctx))

@@ -1,0 +1,155 @@
+"""The Figure-2 protocol, end to end through the serving stack.
+
+The client holds the secret key; the untrusted server holds the compiled
+program and evaluation keys.  Ciphertext bytes cross a real socket in
+both directions and the server never observes plaintext.  This is the
+tier-1 version of ``examples/client_server_protocol.py``.
+"""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.errors import SessionMismatchError, UnknownModelError
+from repro.onnx import OnnxGraphBuilder, load_model_bytes, model_to_bytes, save_model
+from repro.serve import (
+    InferenceServer,
+    ModelRegistry,
+    RemoteModelClient,
+    ServeClient,
+)
+
+
+def build_model(seed=0):
+    rng = np.random.default_rng(seed)
+    builder = OnnxGraphBuilder("credit_score")
+    builder.add_input("features", [1, 24])
+    builder.add_initializer(
+        "w", (rng.normal(size=(3, 24)) * 0.3).astype(np.float32))
+    builder.add_initializer("b", rng.normal(size=(3,)).astype(np.float32))
+    builder.add_node("Gemm", ["features", "w", "b"], outputs=["output"],
+                     transB=1)
+    builder.add_output("output", [1, 3])
+    return builder.build()
+
+
+@pytest.fixture(scope="module")
+def server():
+    model = load_model_bytes(model_to_bytes(build_model()))
+    registry = ModelRegistry()
+    registry.register("credit", model, max_batch=4, seed=7)
+    weights = {t.name: t.to_numpy() for t in model.graph.initializer}
+    with InferenceServer(registry, num_threads=2,
+                         max_wait_s=0.002) as srv:
+        yield srv, weights
+
+
+def test_encrypt_serve_decrypt_roundtrip(server):
+    srv, weights = server
+    features = np.random.default_rng(1).uniform(-1, 1, size=(1, 24))
+    with RemoteModelClient(srv.host, srv.port, "credit") as client:
+        scores = client.infer(features)
+    expected = (features @ weights["w"].T + weights["b"]).ravel()
+    assert np.allclose(scores.ravel(), expected, atol=1e-3)
+
+
+def test_concurrent_clients_all_correct(server):
+    srv, weights = server
+    rng = np.random.default_rng(2)
+    inputs = [rng.uniform(-1, 1, size=(1, 24)) for _ in range(4)]
+    outputs: dict[int, np.ndarray] = {}
+
+    def one_client(index):
+        with RemoteModelClient(srv.host, srv.port, "credit") as client:
+            outputs[index] = client.infer(inputs[index])
+
+    threads = [threading.Thread(target=one_client, args=(i,))
+               for i in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    for index, x in enumerate(inputs):
+        expected = (x @ weights["w"].T + weights["b"]).ravel()
+        assert np.allclose(outputs[index].ravel(), expected, atol=1e-3)
+
+
+def test_server_rejects_foreign_ciphertext(server):
+    """Acceptance: fingerprint mismatch -> typed, structured rejection."""
+    srv, _ = server
+    from repro.ckks import CkksContext, CkksParameters
+    from repro.ckks.serialize import serialize_ciphertext
+
+    with RemoteModelClient(srv.host, srv.port, "credit") as client:
+        foreign = CkksContext(
+            CkksParameters(poly_degree=256, scale_bits=32,
+                           first_prime_bits=42, num_levels=4),
+            rotation_steps=[], seed=3)
+        payload = serialize_ciphertext(foreign.encrypt(np.zeros(24)))
+        with pytest.raises(SessionMismatchError):
+            client.infer_bytes(payload)
+        # the session (and server) survive the rejection
+        scores = client.infer(np.zeros((1, 24)))
+        assert scores.size == 3
+
+
+def test_server_rejects_garbage_and_unknown_ids(server):
+    srv, _ = server
+    with ServeClient(srv.host, srv.port) as rpc:
+        assert rpc.models() == ["credit"]
+        reply, _ = rpc.rpc({"op": "open_session", "model_id": "missing"})
+        assert not reply["ok"] and reply["error"] == "UnknownModelError"
+        reply, _ = rpc.rpc({"op": "infer", "session_id": "bogus"}, b"")
+        assert not reply["ok"] and reply["error"] == "UnknownSessionError"
+        session, _ = rpc.rpc({"op": "open_session", "model_id": "credit"})
+        reply, _ = rpc.rpc(
+            {"op": "infer", "session_id": session["session_id"]},
+            b"definitely not a ciphertext")
+        assert not reply["ok"]
+        assert reply["error"] in ("DeserializationError",
+                                  "SessionMismatchError")
+        reply, _ = rpc.rpc({"op": "nonsense"})
+        assert not reply["ok"] and reply["error"] == "ServeError"
+    with pytest.raises(UnknownModelError):
+        RemoteModelClient(srv.host, srv.port, "missing")
+
+
+def test_metrics_over_the_wire(server):
+    srv, _ = server
+    with RemoteModelClient(srv.host, srv.port, "credit") as client:
+        client.infer(np.zeros((1, 24)))
+        reply = client.rpc_client.metrics()
+    counters = reply["snapshot"]["counters"]
+    assert counters["serve_requests_total"] >= 1
+    assert counters["serve_bytes_in_total"] > 0
+    assert "serve_requests_total" in reply["text"]
+    hists = reply["snapshot"]["histograms"]
+    assert hists["serve_request_latency_s"]["count"] >= 1
+
+
+def test_cli_serve_and_client(tmp_path, capsys):
+    """The ``repro serve`` / ``repro client`` pair over a real socket."""
+    model_path = tmp_path / "credit.onnx"
+    save_model(build_model(), model_path)
+    port_file = tmp_path / "port"
+    thread = threading.Thread(
+        target=main,
+        args=(["serve", str(model_path), "--port", "0", "--port-file",
+               str(port_file), "--batch-size", "2", "--workers", "1"],),
+        daemon=True,  # serve_forever blocks; the daemon dies with pytest
+    )
+    thread.start()
+    deadline = time.monotonic() + 60
+    while not port_file.exists() and time.monotonic() < deadline:
+        time.sleep(0.02)
+    assert port_file.exists(), "server never announced its port"
+    port = int(port_file.read_text())
+    rc = main(["client", "--port", str(port), "--model-id", "credit",
+               "--requests", "2", "--show-metrics"])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "response[0]:" in out and "response[1]:" in out
+    assert "serve_requests_total" in out
