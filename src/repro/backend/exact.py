@@ -137,9 +137,24 @@ class ExactBackend(HEBackend):
         self._rec("rotate", a)
         return self.ev.rotate(a, steps)
 
+    def rotate_hoisted(self, a, steps_list):
+        """Batch-rotate one ciphertext, sharing the key-switch decomposition."""
+        for _ in steps_list:
+            self._rec("rotate", a)
+        return self.ev.rotate_hoisted(a, steps_list)
+
     def conjugate(self, a):
         self._rec("conjugate", a)
         return self.ev.conjugate(a)
+
+    @property
+    def rotation_fallbacks(self) -> int:
+        """Key switches spent composing rotations without an exact key.
+
+        Zero when the compiler's key-analysis pass generated every step a
+        program needs; tests and benchmarks assert on this.
+        """
+        return self.ev.rotation_fallback_count
 
     # -- introspection ---------------------------------------------------------
 

@@ -32,7 +32,7 @@ import numpy as np
 
 from repro.ckks.cipher import Ciphertext
 from repro.ckks.evaluator import CkksEvaluator
-from repro.ckks.linear import LinearTransform
+from repro.ckks.linear import LinearTransform, apply_hoisted_batch
 from repro.ckks.polyeval import evaluate_polynomial, polynomial_depth
 from repro.errors import NoiseBudgetExhausted, ParameterError
 from repro.polymath.rns import RnsPoly
@@ -162,9 +162,12 @@ class Bootstrapper:
             )
         q0 = params.moduli[0]
         raised = self.mod_raise(ct)
-        # CoeffToSlot: two ciphertexts whose slots are coeffs/q0 = I + m/q0
-        z_low = self._cts_low.apply(ev, raised)
-        z_high = self._cts_high.apply(ev, raised)
+        # CoeffToSlot: two ciphertexts whose slots are coeffs/q0 = I + m/q0.
+        # Both halves transform the same ciphertext, so their BSGS baby
+        # steps share one hoisted key-switch decomposition.
+        z_low, z_high = apply_hoisted_batch(
+            ev, raised, [self._cts_low, self._cts_high]
+        )
         low = ev.add(z_low, ev.conjugate(z_low))    # slots: m_coeff / Delta'
         high = ev.add(z_high, ev.conjugate(z_high))
         # Relabel scales so the slots read as x = m_coeff/q0 = I + m/q0

@@ -5,11 +5,27 @@ Implements every primitive the CKKS IR (paper Table 6) targets:
 ``conjugate``, ``relin``, ``rescale``, ``modswitch``, ``upscale``,
 ``downscale``, ``encode`` — plus encryption/decryption.  ``bootstrap``
 lives in :mod:`repro.ckks.bootstrap` and is attached by the context.
+
+Key switching is the hot path (paper §4.3–4.4) and is organised so the
+expensive half can be shared:
+
+* :meth:`_decompose` performs the digit decomposition + mod-up of a
+  polynomial once (inverse NTT, residue lift, batched forward NTT over
+  every digit and limb in one numpy pass);
+* :meth:`_inner_product` folds the digits with a (level-restricted,
+  cached) key-switch key;
+* :meth:`rotate_hoisted` reuses one decomposition across many rotation
+  steps, applying each Galois automorphism to the decomposed digits as a
+  pure NTT-domain permutation ("hoisting", Halevi–Shoup).
+
+``rotate`` routes through the same machinery with a single step, so a
+hoisted batch is bit-for-bit identical to a loop of plain rotations.
 """
 
 from __future__ import annotations
 
 import math
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -22,18 +38,40 @@ from repro.errors import (
 from repro.ckks.cipher import Ciphertext, Plaintext
 from repro.ckks.encoder import CkksEncoder
 from repro.ckks.keys import KeyChain, KeySwitchKey, sample_error, sample_ternary
+from repro.polymath import modmath
 from repro.polymath.crt import signed_coeffs
 from repro.polymath.poly import (
     conjugation_galois_element,
+    ntt_automorphism_index_map,
     rotation_galois_element,
 )
-from repro.polymath.rns import RnsBasis, RnsPoly
+from repro.polymath.rns import RnsBasis, RnsPoly, mod_down_stack
 
 _SCALE_RTOL = 1e-6
 
 
 def _same_scale(a: float, b: float) -> bool:
     return math.isclose(a, b, rel_tol=_SCALE_RTOL)
+
+
+@dataclass
+class HoistedDecomposition:
+    """The shared (expensive) half of a key switch.
+
+    ``digits`` is a ``(level+1, ext_limbs, N)`` uint64 stack: digit ``j``
+    of the decomposed polynomial, lifted into the extended basis and in
+    NTT form.  One decomposition serves every rotation step applied to the
+    same ciphertext.
+    """
+
+    level: int
+    ext: RnsBasis
+    digits: np.ndarray
+
+    def permuted(self, galois: int) -> np.ndarray:
+        """Digits of the automorphic image — an NTT-domain gather."""
+        perm = ntt_automorphism_index_map(self.ext.degree, galois)
+        return self.digits[:, :, perm]
 
 
 class CkksEvaluator:
@@ -46,6 +84,14 @@ class CkksEvaluator:
         self.encoder = CkksEncoder(params.poly_degree)
         self.cipher_basis, self.key_basis = params.make_bases()
         self._ext_bases: dict[int, RnsBasis] = {}
+        # (id(ksk), level) -> (ksk, key_stack); the ksk reference both
+        # pins the key (so ids cannot be recycled under us) and lets
+        # lookups verify identity before trusting a cached stack.
+        self._ksk_cache: dict[tuple[int, int], tuple[KeySwitchKey, np.ndarray]] = {}
+        #: key switches spent composing rotations out of power-of-two
+        #: steps because no exact key existed (paper §2.2); the compiler's
+        #: key-analysis pass exists to drive this to zero.
+        self.rotation_fallback_count = 0
 
     # ------------------------------------------------------------------
     # encoding / encryption
@@ -124,7 +170,7 @@ class CkksEvaluator:
                 parts.append(a.parts[i].copy())
             else:
                 parts.append(b.parts[i].copy())
-        return Ciphertext(parts, a.scale)
+        return Ciphertext(parts, a.scale, max(a.slots_in_use, b.slots_in_use))
 
     def sub(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
         self._check_binary(a, b)
@@ -137,7 +183,7 @@ class CkksEvaluator:
                 parts.append(a.parts[i].copy())
             else:
                 parts.append(-b.parts[i])
-        return Ciphertext(parts, a.scale)
+        return Ciphertext(parts, a.scale, max(a.slots_in_use, b.slots_in_use))
 
     def negate(self, a: Ciphertext) -> Ciphertext:
         return Ciphertext([-p for p in a.parts], a.scale, a.slots_in_use)
@@ -145,12 +191,12 @@ class CkksEvaluator:
     def add_plain(self, a: Ciphertext, plain: Plaintext) -> Ciphertext:
         self._check_binary(a, plain)
         parts = [a.parts[0] + plain.poly] + [p.copy() for p in a.parts[1:]]
-        return Ciphertext(parts, a.scale)
+        return Ciphertext(parts, a.scale, a.slots_in_use)
 
     def sub_plain(self, a: Ciphertext, plain: Plaintext) -> Ciphertext:
         self._check_binary(a, plain)
         parts = [a.parts[0] - plain.poly] + [p.copy() for p in a.parts[1:]]
-        return Ciphertext(parts, a.scale)
+        return Ciphertext(parts, a.scale, a.slots_in_use)
 
     # ------------------------------------------------------------------
     # multiplication family
@@ -167,7 +213,9 @@ class CkksEvaluator:
         d0 = a.parts[0] * b.parts[0]
         d1 = a.parts[0] * b.parts[1] + a.parts[1] * b.parts[0]
         d2 = a.parts[1] * b.parts[1]
-        return Ciphertext([d0, d1, d2], a.scale * b.scale)
+        return Ciphertext(
+            [d0, d1, d2], a.scale * b.scale, max(a.slots_in_use, b.slots_in_use)
+        )
 
     def multiply_plain(self, a: Ciphertext, plain: Plaintext) -> Ciphertext:
         if a.basis.moduli != plain.poly.basis.moduli:
@@ -175,7 +223,7 @@ class CkksEvaluator:
                 "plaintext encoded at wrong level; re-encode or modswitch"
             )
         parts = [p * plain.poly for p in a.parts]
-        return Ciphertext(parts, a.scale * plain.scale)
+        return Ciphertext(parts, a.scale * plain.scale, a.slots_in_use)
 
     def square(self, a: Ciphertext) -> Ciphertext:
         return self.multiply(a, a)
@@ -270,23 +318,81 @@ class CkksEvaluator:
         ext = self._extended_basis(level)
         return RnsPoly(ext, poly.residues[idx].copy(), poly.is_ntt)
 
+    def _restricted_ksk(self, ksk: KeySwitchKey, level: int) -> np.ndarray:
+        """Level-restricted key stack, shape ``(2, level+1, K, N)``.
+
+        Row 0 holds the ``b`` halves, row 1 the ``a`` halves, one slice per
+        digit.  The row selection (drop the unused cipher limbs, keep the
+        specials) used to be re-sliced and copied on every digit of every
+        key switch; here it is cached per ``(key, level)``.  Entries keep a
+        reference to the key and verify identity on lookup, so a key
+        object being freed and its ``id`` recycled can never alias a stale
+        stack.
+        """
+        cache_key = (id(ksk), level)
+        hit = self._ksk_cache.get(cache_key)
+        if hit is not None and hit[0] is ksk:
+            return hit[1]
+        num_cipher = len(self.cipher_basis)
+        idx = list(range(level + 1)) + list(
+            range(num_cipher, len(self.key_basis))
+        )
+        stack = np.stack(
+            [
+                [ksk.pairs[j][h].residues[idx] for j in range(level + 1)]
+                for h in range(2)
+            ]
+        )
+        self._ksk_cache[cache_key] = (ksk, stack)
+        return stack
+
+    def _decompose(self, d: RnsPoly) -> HoistedDecomposition:
+        """Digit decomposition + mod-up of ``d`` (the hoistable half).
+
+        One inverse NTT of ``d``, one vectorised residue lift of every
+        digit into the extended basis (via the basis' precomputed modulus
+        column), and one batched forward NTT over all ``(level+1) * K``
+        rows.
+        """
+        level = len(d.basis) - 1
+        ext = self._extended_basis(level)
+        d_coeff = d.to_coeff()
+        lifted = np.mod(d_coeff.residues[:, None, :], ext.moduli_col[None, :, :])
+        return HoistedDecomposition(level, ext, ext.ntt_forward(lifted))
+
+    def _inner_product(
+        self, digits: np.ndarray, ksk: KeySwitchKey, level: int
+    ) -> tuple[RnsPoly, RnsPoly]:
+        """Fold decomposed digits with a key: the per-rotation cheap half.
+
+        Each modular product is reduced below ``2^50``, so summing the
+        ``level+1`` digit terms in plain uint64 cannot wrap and one final
+        ``np.mod`` replaces a chain of modular additions.
+        """
+        ext = self._extended_basis(level)
+        keys = self._restricted_ksk(ksk, level)
+        q = ext.moduli_col[None, None, :, :]
+        # one fused pass over both key halves: (2, digits, K, N)
+        prods = modmath.mul_mod(digits[None, :, :, :], keys, q)
+        acc = np.mod(np.add.reduce(prods, axis=1), ext.moduli_col)
+        return (
+            RnsPoly(ext, acc[0], is_ntt=True),
+            RnsPoly(ext, acc[1], is_ntt=True),
+        )
+
+    def _mod_down_pair(
+        self, acc_b: RnsPoly, acc_a: RnsPoly
+    ) -> tuple[RnsPoly, RnsPoly]:
+        """Scale the key-switch accumulator pair back down by the specials."""
+        num_special = len(self.key_basis) - len(self.cipher_basis)
+        down_b, down_a = mod_down_stack([acc_b, acc_a], num_special)
+        return down_b, down_a
+
     def _key_switch(self, d: RnsPoly, ksk: KeySwitchKey) -> tuple[RnsPoly, RnsPoly]:
         """Return (b, a) with b + a*s ≈ d * target over d's basis."""
-        level = len(d.basis) - 1
-        d_coeff = d.to_coeff()
-        ext = self._extended_basis(level)
-        acc_b = RnsPoly.zero(ext, is_ntt=True)
-        acc_a = RnsPoly.zero(ext, is_ntt=True)
-        for j in range(level + 1):
-            digit = d_coeff.residues[j]
-            rows = np.stack([np.mod(digit, np.uint64(q)) for q in ext.moduli])
-            dig = RnsPoly(ext, rows, is_ntt=False).to_ntt()
-            ksk_b = self._restrict_key_poly(ksk.pairs[j][0], level)
-            ksk_a = self._restrict_key_poly(ksk.pairs[j][1], level)
-            acc_b = acc_b + dig * ksk_b
-            acc_a = acc_a + dig * ksk_a
-        num_special = len(self.key_basis) - len(self.cipher_basis)
-        return acc_b.mod_down(num_special), acc_a.mod_down(num_special)
+        decomp = self._decompose(d)
+        acc_b, acc_a = self._inner_product(decomp.digits, ksk, decomp.level)
+        return self._mod_down_pair(acc_b, acc_a)
 
     def relinearize(self, a: Ciphertext) -> Ciphertext:
         """Reduce a 3-part ciphertext back to 2 parts (paper `relin`)."""
@@ -302,13 +408,34 @@ class CkksEvaluator:
     def multiply_relin(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
         return self.relinearize(self.multiply(a, b))
 
+    def _apply_galois_hoisted(
+        self,
+        a: Ciphertext,
+        galois: int,
+        ksk: KeySwitchKey,
+        decomp: HoistedDecomposition,
+    ) -> Ciphertext:
+        """Finish one Galois application from a shared decomposition.
+
+        The automorphism acts on the decomposed digits as an NTT-domain
+        permutation; digits stay small (coefficients bounded by their
+        source prime in absolute value), so the usual key-switch noise
+        analysis is untouched, and because the gadget recombination
+        commutes with the automorphism mod Q the result decrypts to
+        ``sigma_g(m)`` exactly as the decompose-after-rotate order does.
+        """
+        c0 = a.parts[0].automorphism(galois)
+        acc_b, acc_a = self._inner_product(
+            decomp.permuted(galois), ksk, decomp.level
+        )
+        ks_b, ks_a = self._mod_down_pair(acc_b, acc_a)
+        return Ciphertext([c0 + ks_b, ks_a], a.scale, a.slots_in_use)
+
     def _apply_galois(self, a: Ciphertext, galois: int, ksk: KeySwitchKey) -> Ciphertext:
         if a.size != 2:
             raise ParameterError("relinearise before rotating")
-        c0 = a.parts[0].automorphism(galois)
-        c1 = a.parts[1].automorphism(galois)
-        ks_b, ks_a = self._key_switch(c1, ksk)
-        return Ciphertext([c0 + ks_b, ks_a], a.scale, a.slots_in_use)
+        decomp = self._decompose(a.parts[1])
+        return self._apply_galois_hoisted(a, galois, ksk, decomp)
 
     def rotate(self, a: Ciphertext, steps: int) -> Ciphertext:
         """Cyclically rotate the slot vector left by ``steps``.
@@ -317,7 +444,9 @@ class CkksEvaluator:
         power-of-two rotations, the standard library fallback (paper §2.2).
         Composition costs one key switch per set bit — this is precisely
         the inefficiency ANT-ACE's key-analysis pass removes by generating
-        keys for the exact steps a program needs.
+        keys for the exact steps a program needs.  Every key switch spent
+        on composition increments :attr:`rotation_fallback_count` so tests
+        and benchmarks can assert the pass did its job.
         """
         n = self.params.poly_degree
         steps = steps % (n // 2)
@@ -334,8 +463,46 @@ class CkksEvaluator:
                 g = rotation_galois_element(bit, n)
                 ksk = self.keys.rotation_key(g)
                 out = self._apply_galois(out, g, ksk)
+                self.rotation_fallback_count += 1
             remaining >>= 1
             bit <<= 1
+        return out
+
+    def rotate_hoisted(
+        self, a: Ciphertext, steps_list: list[int]
+    ) -> dict[int, Ciphertext]:
+        """Rotate one ciphertext by many steps, sharing the decomposition.
+
+        The digit decomposition + mod-up (the dominant cost of a rotation)
+        runs once; each step then pays only a digit permutation, the
+        key inner product, and the mod-down.  Returns ``{step: rotated}``
+        keyed by the steps as given.  Steps with no exact rotation key
+        fall back to the composed :meth:`rotate` (and count fallbacks);
+        results are bit-identical to rotating in a loop either way.
+        """
+        if a.size != 2:
+            raise ParameterError("relinearise before rotating")
+        n = self.params.poly_degree
+        out: dict[int, Ciphertext] = {}
+        hoistable: list[tuple[int, int]] = []
+        for step in steps_list:
+            if step in out:
+                continue
+            norm = step % (n // 2)
+            if norm == 0:
+                out[step] = a.copy()
+                continue
+            galois = rotation_galois_element(norm, n)
+            if galois in self.keys.rotations:
+                hoistable.append((step, galois))
+            else:
+                out[step] = self.rotate(a, step)
+        if hoistable:
+            decomp = self._decompose(a.parts[1])
+            for step, galois in hoistable:
+                out[step] = self._apply_galois_hoisted(
+                    a, galois, self.keys.rotations[galois], decomp
+                )
         return out
 
     def conjugate(self, a: Ciphertext) -> Ciphertext:

@@ -8,7 +8,10 @@ all moduli up to :data:`MAX_MODULUS_BITS` bits.  This is the standard
 technique used by NTT libraries to avoid 128-bit arithmetic.
 
 All functions accept scalars or arrays and always return ``uint64`` numpy
-values reduced to ``[0, q)``.
+values reduced to ``[0, q)``.  The modulus ``q`` may itself be an array
+(broadcast against the operands), which is what lets the RNS layer run one
+vectorised pass over a whole ``(limbs, N)`` residue matrix instead of a
+Python loop over limbs.
 """
 
 from __future__ import annotations
@@ -37,40 +40,45 @@ def _as_u64(x) -> np.ndarray:
     return np.asarray(x, dtype=_U64)
 
 
-def add_mod(a, b, q: int) -> np.ndarray:
-    """Element-wise ``(a + b) mod q`` for operands already in [0, q)."""
-    qq = _U64(q)
+def add_mod(a, b, q) -> np.ndarray:
+    """Element-wise ``(a + b) mod q`` for operands already in [0, q).
+
+    ``q`` may be a scalar or an array broadcastable against the operands
+    (e.g. a ``(limbs, 1)`` column for batched multi-limb arithmetic).
+    """
+    qq = _as_u64(q)
     s = _as_u64(a) + _as_u64(b)
     return np.where(s >= qq, s - qq, s)
 
 
-def sub_mod(a, b, q: int) -> np.ndarray:
+def sub_mod(a, b, q) -> np.ndarray:
     """Element-wise ``(a - b) mod q`` for operands already in [0, q)."""
-    qq = _U64(q)
+    qq = _as_u64(q)
     a = _as_u64(a)
     b = _as_u64(b)
     return np.where(a >= b, a - b, a + qq - b)
 
 
-def neg_mod(a, q: int) -> np.ndarray:
+def neg_mod(a, q) -> np.ndarray:
     """Element-wise ``(-a) mod q`` for operands already in [0, q)."""
-    qq = _U64(q)
+    qq = _as_u64(q)
     a = _as_u64(a)
     return np.where(a == 0, a, qq - a)
 
 
-def mul_mod(a, b, q: int) -> np.ndarray:
+def mul_mod(a, b, q) -> np.ndarray:
     """Element-wise ``(a * b) mod q`` via float-reciprocal Barrett reduction.
 
-    Operands must already be reduced to ``[0, q)`` and ``q`` must fit in
-    :data:`MAX_MODULUS_BITS` bits.
+    Operands must already be reduced to ``[0, q)`` and every modulus must
+    fit in :data:`MAX_MODULUS_BITS` bits.  ``q`` may be a scalar or an
+    array broadcastable against the operands.
     """
-    qq = _U64(q)
+    qq = _as_u64(q)
     a = _as_u64(a)
     b = _as_u64(b)
     af = a.astype(np.float64)
     bf = b.astype(np.float64)
-    quot = np.floor(af * bf / float(q)).astype(_U64)
+    quot = np.floor(af * bf / qq.astype(np.float64)).astype(_U64)
     with np.errstate(over="ignore"):
         r = a * b - quot * qq  # exact mod 2**64; true value in (-q, 2q)
     # A wrapped (>= 2**63) value means the quotient was overestimated by one.

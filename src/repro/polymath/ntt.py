@@ -6,6 +6,18 @@ Cooley–Tukey decimation-in-time with the powers of the 2N-th root of unity
 is needed for negacyclic convolution), and the inverse is the matching
 Gentleman–Sande decimation-in-frequency.  Each stage is fully vectorised
 with numpy, so a transform costs ``log2(N)`` vector passes.
+
+Both transforms accept stacked inputs: an array of shape ``(..., N)`` is
+transformed row-wise in the same ``log2(N)`` passes, which is how the RNS
+layer batches all limbs of a polynomial (and all digits of a key-switch
+decomposition) through a single sequence of numpy kernels.  The stacked
+variants with *per-row* moduli live on :class:`repro.polymath.rns.RnsBasis`,
+built from the shared cores below.
+
+The forward transform leaves slot ``j`` holding the evaluation
+``a(psi^(2*rev(j)+1))`` where ``rev`` is the ``log2(N)``-bit reversal; this
+ordering is what makes Galois automorphisms a pure permutation in the NTT
+domain (see :func:`repro.polymath.poly.ntt_automorphism_index_map`).
 """
 
 from __future__ import annotations
@@ -16,6 +28,61 @@ from repro.errors import ParameterError
 from repro.polymath import modmath
 from repro.utils.bits import bit_reverse_indices, is_power_of_two
 from repro.utils.primes import primitive_root_of_unity
+
+
+def ntt_forward_core(a: np.ndarray, psi_rev: np.ndarray, q) -> np.ndarray:
+    """In-place Cooley–Tukey forward NTT on ``a`` of shape ``(..., N)``.
+
+    ``psi_rev`` is the merged-psi twiddle table, shape ``(N,)`` for a single
+    modulus or ``(B, N)`` for per-row moduli (with ``a`` shaped
+    ``(..., B, N)``); ``q`` must broadcast accordingly (scalar, or
+    ``(B, 1, 1)``).  Mutates and returns ``a``.
+    """
+    n = a.shape[-1]
+    lead = a.shape[:-1]
+    t = n
+    m = 1
+    while m < n:
+        t //= 2
+        s = psi_rev[..., m : 2 * m]
+        blocks = a.reshape(*lead, m, 2, t)
+        u = blocks[..., 0, :].copy()
+        v = modmath.mul_mod(blocks[..., 1, :], s[..., :, None], q)
+        blocks[..., 0, :] = modmath.add_mod(u, v, q)
+        blocks[..., 1, :] = modmath.sub_mod(u, v, q)
+        m *= 2
+    return a
+
+
+def ntt_inverse_core(
+    a: np.ndarray, psi_inv_rev: np.ndarray, q, n_inv, q_row=None
+) -> np.ndarray:
+    """In-place Gentleman–Sande inverse NTT on ``a`` of shape ``(..., N)``.
+
+    Table/modulus shapes as in :func:`ntt_forward_core`; ``n_inv`` is
+    ``N^{-1} mod q`` (scalar or broadcastable array).  ``q_row`` is the
+    modulus shaped to broadcast against the *unblocked* ``(..., N)`` layout
+    for the final scaling (defaults to ``q``, which is right for scalars).
+    Mutates ``a`` and returns the final scaled result.
+    """
+    if q_row is None:
+        q_row = q
+    n = a.shape[-1]
+    lead = a.shape[:-1]
+    t = 1
+    m = n
+    while m > 1:
+        h = m // 2
+        s = psi_inv_rev[..., h : 2 * h]
+        blocks = a.reshape(*lead, h, 2, t)
+        u = blocks[..., 0, :].copy()
+        v = blocks[..., 1, :].copy()
+        blocks[..., 0, :] = modmath.add_mod(u, v, q)
+        diff = modmath.sub_mod(u, v, q)
+        blocks[..., 1, :] = modmath.mul_mod(diff, s[..., :, None], q)
+        t *= 2
+        m = h
+    return modmath.mul_mod(a, n_inv, q_row)
 
 
 class NttContext:
@@ -49,47 +116,32 @@ class NttContext:
         self._psi_inv_rev = powers_inv[rev]
         self._n_inv = np.uint64(modmath.inv_mod(degree, modulus))
 
-    def forward(self, coeffs: np.ndarray) -> np.ndarray:
-        """Coefficient form -> evaluation (NTT) form, bit-reversed order."""
-        q = self.modulus
-        n = self.degree
-        a = np.array(coeffs, dtype=np.uint64, copy=True)
-        if a.shape != (n,):
-            raise ParameterError(f"expected shape ({n},), got {a.shape}")
-        t = n
-        m = 1
-        while m < n:
-            t //= 2
-            s = self._psi_rev[m : 2 * m]
-            blocks = a.reshape(m, 2, t)
-            u = blocks[:, 0, :].copy()
-            v = modmath.mul_mod(blocks[:, 1, :], s[:, None], q)
-            blocks[:, 0, :] = modmath.add_mod(u, v, q)
-            blocks[:, 1, :] = modmath.sub_mod(u, v, q)
-            m *= 2
+    def _validated_copy(self, data: np.ndarray) -> np.ndarray:
+        a = np.array(data, dtype=np.uint64, copy=True)
+        if a.shape[-1:] != (self.degree,):
+            raise ParameterError(
+                f"expected trailing dimension {self.degree}, got shape {a.shape}"
+            )
         return a
 
+    def forward(self, coeffs: np.ndarray) -> np.ndarray:
+        """Coefficient form -> evaluation (NTT) form, bit-reversed order.
+
+        Accepts a single polynomial ``(N,)`` or a stacked ``(limbs, N)``
+        matrix (any leading shape); rows transform independently in the
+        same ``log2(N)`` vector passes.
+        """
+        a = self._validated_copy(coeffs)
+        return ntt_forward_core(a, self._psi_rev, self.modulus)
+
     def inverse(self, values: np.ndarray) -> np.ndarray:
-        """Evaluation (NTT) form, bit-reversed order -> coefficient form."""
-        q = self.modulus
-        n = self.degree
-        a = np.array(values, dtype=np.uint64, copy=True)
-        if a.shape != (n,):
-            raise ParameterError(f"expected shape ({n},), got {a.shape}")
-        t = 1
-        m = n
-        while m > 1:
-            h = m // 2
-            s = self._psi_inv_rev[h : 2 * h]
-            blocks = a.reshape(h, 2, t)
-            u = blocks[:, 0, :].copy()
-            v = blocks[:, 1, :].copy()
-            blocks[:, 0, :] = modmath.add_mod(u, v, q)
-            diff = modmath.sub_mod(u, v, q)
-            blocks[:, 1, :] = modmath.mul_mod(diff, s[:, None], q)
-            t *= 2
-            m = h
-        return modmath.mul_mod(a, self._n_inv, q)
+        """Evaluation (NTT) form, bit-reversed order -> coefficient form.
+
+        Accepts ``(N,)`` or any stacked ``(..., N)`` input like
+        :meth:`forward`.
+        """
+        a = self._validated_copy(values)
+        return ntt_inverse_core(a, self._psi_inv_rev, self.modulus, self._n_inv)
 
     def negacyclic_multiply(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         """Multiply two coefficient-form polynomials mod (X^N + 1, q)."""

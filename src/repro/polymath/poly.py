@@ -13,6 +13,7 @@ import numpy as np
 
 from repro.errors import ParameterError
 from repro.polymath import modmath
+from repro.utils.bits import bit_reverse_indices
 
 
 def schoolbook_negacyclic_multiply(
@@ -64,6 +65,29 @@ def apply_automorphism(coeffs: np.ndarray, galois: int, q: int) -> np.ndarray:
     values = np.where(negate, modmath.neg_mod(coeffs, q), np.asarray(coeffs, dtype=np.uint64))
     out[dst] = values
     return out
+
+
+@lru_cache(maxsize=None)
+def ntt_automorphism_index_map(degree: int, galois: int) -> np.ndarray:
+    """Gather indices realising ``X -> X^galois`` directly in NTT form.
+
+    Our forward NTT leaves slot ``j`` holding ``a(psi^e_j)`` with
+    ``e_j = 2*rev(j) + 1`` (``rev`` = bit reversal, see
+    :mod:`repro.polymath.ntt`).  The automorphism evaluates
+    ``sigma_g(a)(psi^e) = a(psi^(e*g mod 2N))`` — the evaluation points are
+    permuted, the values untouched — so in the NTT domain the map is a pure
+    gather ``out[j] = eval[perm[j]]`` with no modular arithmetic at all.
+    The exponent bookkeeping is index math only, hence the table is shared
+    by every prime of an RNS basis.
+    """
+    if galois % 2 == 0:
+        raise ParameterError(f"Galois element must be odd, got {galois}")
+    two_n = 2 * degree
+    rev = bit_reverse_indices(degree)
+    exps = 2 * rev + 1
+    target = (exps * (galois % two_n)) % two_n
+    # slot holding exponent e = 2k+1 is rev(k) (bit reversal is an involution)
+    return rev[(target - 1) // 2]
 
 
 def rotation_galois_element(steps: int, degree: int) -> int:

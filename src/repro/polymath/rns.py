@@ -7,7 +7,10 @@ coefficient form or in NTT (evaluation) form.
 
 The :class:`RnsBasis` owns the prime chain, one :class:`NttContext` per
 prime, and the cross-prime precomputations needed for rescaling and for
-the digit-decomposition key switching used by the CKKS evaluator.
+the digit-decomposition key switching used by the CKKS evaluator.  It also
+keeps *stacked* twiddle tables so a whole residue matrix transforms in
+``log2(N)`` vectorised passes (one numpy kernel per butterfly stage for
+all limbs at once) instead of a Python loop over limbs.
 """
 
 from __future__ import annotations
@@ -18,8 +21,9 @@ import numpy as np
 
 from repro.errors import ParameterError
 from repro.polymath import modmath
-from repro.polymath.ntt import NttContext
-from repro.polymath.poly import apply_automorphism
+from repro.polymath.ntt import NttContext, ntt_forward_core, ntt_inverse_core
+from repro.polymath.poly import apply_automorphism  # noqa: F401  (re-export)
+from repro.polymath.poly import automorphism_index_map, ntt_automorphism_index_map
 
 
 class RnsBasis:
@@ -87,6 +91,65 @@ class RnsBasis:
             )
         return self._inv_last[k]
 
+    # -- stacked (all-limb) tables ----------------------------------------
+
+    @property
+    def moduli_col(self) -> np.ndarray:
+        """The moduli as a ``(limbs, 1)`` uint64 column for broadcasting.
+
+        This is the precomputed residue table behind every batched mod-up:
+        ``np.mod(digit[None, :], basis.moduli_col)`` lifts one digit into
+        the whole basis in a single vectorised pass.
+        """
+        col = getattr(self, "_moduli_col", None)
+        if col is None:
+            col = np.array(self.moduli, dtype=np.uint64).reshape(-1, 1)
+            self._moduli_col = col
+        return col
+
+    def _stacked_tables(self) -> dict:
+        tabs = getattr(self, "_ntt_stack", None)
+        if tabs is None:
+            limbs = len(self.moduli)
+            tabs = {
+                "psi_rev": np.stack([c._psi_rev for c in self.ntts]),
+                "psi_inv_rev": np.stack([c._psi_inv_rev for c in self.ntts]),
+                "q": self.moduli_col.reshape(limbs, 1, 1),
+                "n_inv": np.array(
+                    [c._n_inv for c in self.ntts], dtype=np.uint64
+                ).reshape(limbs, 1),
+            }
+            self._ntt_stack = tabs
+        return tabs
+
+    def _validated_copy(self, rows: np.ndarray) -> np.ndarray:
+        a = np.array(rows, dtype=np.uint64, copy=True)
+        if a.shape[-2:] != (len(self.moduli), self.degree):
+            raise ParameterError(
+                f"residue stack shape {a.shape} does not end in "
+                f"({len(self.moduli)}, {self.degree})"
+            )
+        return a
+
+    def ntt_forward(self, rows: np.ndarray) -> np.ndarray:
+        """Batched forward NTT of a ``(..., limbs, N)`` residue stack.
+
+        Row ``i`` transforms modulo ``moduli[i]``; all limbs (and any extra
+        leading dimensions, e.g. key-switch digits) go through the same
+        ``log2(N)`` vector passes.
+        """
+        tabs = self._stacked_tables()
+        a = self._validated_copy(rows)
+        return ntt_forward_core(a, tabs["psi_rev"], tabs["q"])
+
+    def ntt_inverse(self, rows: np.ndarray) -> np.ndarray:
+        """Batched inverse NTT of a ``(..., limbs, N)`` residue stack."""
+        tabs = self._stacked_tables()
+        a = self._validated_copy(rows)
+        return ntt_inverse_core(
+            a, tabs["psi_inv_rev"], tabs["q"], tabs["n_inv"], self.moduli_col
+        )
+
 
 class RnsPoly:
     """A polynomial in RNS representation over a prefix of a basis."""
@@ -144,18 +207,12 @@ class RnsPoly:
     def to_ntt(self) -> "RnsPoly":
         if self.is_ntt:
             return self
-        rows = np.stack(
-            [ctx.forward(row) for ctx, row in zip(self.basis.ntts, self.residues)]
-        )
-        return RnsPoly(self.basis, rows, is_ntt=True)
+        return RnsPoly(self.basis, self.basis.ntt_forward(self.residues), True)
 
     def to_coeff(self) -> "RnsPoly":
         if not self.is_ntt:
             return self
-        rows = np.stack(
-            [ctx.inverse(row) for ctx, row in zip(self.basis.ntts, self.residues)]
-        )
-        return RnsPoly(self.basis, rows, is_ntt=False)
+        return RnsPoly(self.basis, self.basis.ntt_inverse(self.residues), False)
 
     # -- arithmetic ------------------------------------------------------
 
@@ -167,28 +224,20 @@ class RnsPoly:
 
     def __add__(self, other: "RnsPoly") -> "RnsPoly":
         self._check_compatible(other)
-        rows = np.stack(
-            [
-                modmath.add_mod(a, b, q)
-                for a, b, q in zip(self.residues, other.residues, self.basis.moduli)
-            ]
+        rows = modmath.add_mod(
+            self.residues, other.residues, self.basis.moduli_col
         )
         return RnsPoly(self.basis, rows, self.is_ntt)
 
     def __sub__(self, other: "RnsPoly") -> "RnsPoly":
         self._check_compatible(other)
-        rows = np.stack(
-            [
-                modmath.sub_mod(a, b, q)
-                for a, b, q in zip(self.residues, other.residues, self.basis.moduli)
-            ]
+        rows = modmath.sub_mod(
+            self.residues, other.residues, self.basis.moduli_col
         )
         return RnsPoly(self.basis, rows, self.is_ntt)
 
     def __neg__(self) -> "RnsPoly":
-        rows = np.stack(
-            [modmath.neg_mod(a, q) for a, q in zip(self.residues, self.basis.moduli)]
-        )
+        rows = modmath.neg_mod(self.residues, self.basis.moduli_col)
         return RnsPoly(self.basis, rows, self.is_ntt)
 
     def __mul__(self, other: "RnsPoly") -> "RnsPoly":
@@ -196,11 +245,8 @@ class RnsPoly:
         self._check_compatible(other)
         if not self.is_ntt:
             raise ParameterError("ring multiplication requires NTT form")
-        rows = np.stack(
-            [
-                modmath.mul_mod(a, b, q)
-                for a, b, q in zip(self.residues, other.residues, self.basis.moduli)
-            ]
+        rows = modmath.mul_mod(
+            self.residues, other.residues, self.basis.moduli_col
         )
         return RnsPoly(self.basis, rows, True)
 
@@ -227,40 +273,57 @@ class RnsPoly:
         new_basis = self.basis.prefix(len(self.basis) - count)
         return RnsPoly(new_basis, self.residues[:-count].copy(), self.is_ntt)
 
+    def _rescale_delta(self, last_coeff: np.ndarray) -> np.ndarray:
+        """Centred ``[last residue] mod q_i`` rows for every i < k.
+
+        ``last_coeff`` is the *coefficient-form* last residue; the result
+        is the coefficient-form correction polynomial over the reduced
+        basis, computed in one vectorised pass over all remaining limbs.
+        """
+        k = len(self.basis) - 1
+        q_last = self.basis.moduli[k]
+        half = q_last // 2
+        q_col = self.basis.moduli_col[:k]
+        # delta = centred(last) mod qi, computed without leaving uint64:
+        # centred(x) = x - q_last * (x > half); mod qi that is
+        # x mod qi - q_last mod qi when x > half.
+        last_mod = np.mod(last_coeff[None, :], q_col)
+        correction = np.mod(np.uint64(q_last), q_col)
+        return np.where(
+            last_coeff[None, :] > half,
+            modmath.sub_mod(last_mod, correction, q_col),
+            last_mod,
+        )
+
     def rescale_last(self) -> "RnsPoly":
         """Exact division (with centred rounding) by the last modulus.
 
         Implements the RNS "DivideAndRound" used by CKKS rescaling and by
         key-switch mod-down: with x the represented value and q_k the last
         modulus, returns round(x / q_k) over the remaining basis.
+
+        For NTT-form inputs only the *last* limb is brought to coefficient
+        form (one inverse transform); the correction polynomial is lifted,
+        transformed forward, and applied in the evaluation domain.  Both
+        orders compute the identical ring element, so the residues are
+        bit-for-bit the same as the all-coefficient route.
         """
         k = len(self.basis) - 1
         if k == 0:
             raise ParameterError("cannot rescale a single-modulus polynomial")
-        poly = self.to_coeff()
-        q_last = self.basis.moduli[k]
-        last = poly.residues[k]
-        # Centre the last residue so the division rounds instead of floors.
-        half = q_last // 2
-        inv = self.basis.inverses_of(k)
-        new_rows = []
-        for i in range(k):
-            qi = self.basis.moduli[i]
-            # delta = centred(last) mod qi, computed without leaving uint64:
-            # centred(x) = x - q_last * (x > half); mod qi that is
-            # x mod qi - q_last mod qi when x > half.
-            last_mod = np.mod(last, np.uint64(qi))
-            correction = np.uint64(q_last % qi)
-            delta = np.where(
-                last > half,
-                modmath.sub_mod(last_mod, correction, qi),
-                last_mod,
-            )
-            diff = modmath.sub_mod(poly.residues[i], delta, qi)
-            new_rows.append(modmath.mul_mod(diff, inv[i], qi))
         new_basis = self.basis.prefix(k)
-        out = RnsPoly(new_basis, np.stack(new_rows), is_ntt=False)
-        return out.to_ntt() if self.is_ntt else out
+        q_col = self.basis.moduli_col[:k]
+        inv = self.basis.inverses_of(k)[:, None]
+        if self.is_ntt:
+            last = self.basis.ntts[k].inverse(self.residues[k])
+            delta = new_basis.ntt_forward(self._rescale_delta(last))
+            head = self.residues[:k]
+        else:
+            delta = self._rescale_delta(self.residues[k])
+            head = self.residues[:k]
+        diff = modmath.sub_mod(head, delta, q_col)
+        rows = modmath.mul_mod(diff, inv, q_col)
+        return RnsPoly(new_basis, rows, self.is_ntt)
 
     def mod_down(self, special_count: int) -> "RnsPoly":
         """Divide by the product of the ``special_count`` trailing moduli."""
@@ -280,9 +343,7 @@ class RnsPoly:
         """
         poly = self.to_coeff()
         digit = poly.residues[j]
-        rows = np.stack(
-            [np.mod(digit, np.uint64(q)) for q in target_basis.moduli]
-        )
+        rows = np.mod(digit[None, :], target_basis.moduli_col)
         return RnsPoly(target_basis, rows, is_ntt=False).to_ntt()
 
     def extend_zero_pad(self, target_basis: RnsBasis) -> "RnsPoly":
@@ -293,22 +354,31 @@ class RnsPoly:
         """
         poly = self.to_coeff()
         base = poly.residues[0]
-        rows = np.stack([np.mod(base, np.uint64(q)) for q in target_basis.moduli])
+        rows = np.mod(base[None, :], target_basis.moduli_col)
         return RnsPoly(target_basis, rows, is_ntt=False)
 
     # -- automorphisms -----------------------------------------------------
 
     def automorphism(self, galois: int) -> "RnsPoly":
-        """Apply ``X -> X^galois`` (computed in coefficient form)."""
-        poly = self.to_coeff()
-        rows = np.stack(
-            [
-                apply_automorphism(row, galois, q)
-                for row, q in zip(poly.residues, self.basis.moduli)
-            ]
+        """Apply ``X -> X^galois``.
+
+        In NTT form this is a pure slot permutation (the evaluation points
+        are permuted by the Galois action, the values untouched), identical
+        bit-for-bit to the coefficient-domain permute-and-negate route but
+        without any transforms.
+        """
+        if self.is_ntt:
+            perm = ntt_automorphism_index_map(self.basis.degree, galois)
+            return RnsPoly(self.basis, self.residues[:, perm], True)
+        dst, negate = automorphism_index_map(self.basis.degree, galois)
+        values = np.where(
+            negate[None, :],
+            modmath.neg_mod(self.residues, self.basis.moduli_col),
+            self.residues,
         )
-        out = RnsPoly(self.basis, rows, is_ntt=False)
-        return out.to_ntt() if self.is_ntt else out
+        out = np.zeros_like(self.residues)
+        out[:, dst] = values
+        return RnsPoly(self.basis, out, is_ntt=False)
 
     # -- introspection ------------------------------------------------------
 
@@ -321,6 +391,46 @@ class RnsPoly:
         return (
             f"RnsPoly(limbs={len(self.basis)}, N={self.basis.degree}, {domain})"
         )
+
+
+def mod_down_stack(polys: list[RnsPoly], special_count: int) -> list[RnsPoly]:
+    """Batched :meth:`RnsPoly.mod_down` over NTT-form polynomials.
+
+    All inputs must share one basis and be in NTT form (the key-switch
+    accumulator pair).  The stack goes through each DivideAndRound step in
+    shared vector passes — one inverse transform of the last limbs, one
+    forward transform of the corrections — and is bit-identical to calling
+    ``mod_down`` on each polynomial separately.
+    """
+    if not polys:
+        return []
+    basis = polys[0].basis
+    for p in polys:
+        if p.basis.moduli != basis.moduli or not p.is_ntt:
+            raise ParameterError("mod_down_stack requires same-basis NTT inputs")
+    stack = np.stack([p.residues for p in polys])  # (P, limbs, N)
+    for _ in range(special_count):
+        k = stack.shape[1] - 1
+        if k == 0:
+            raise ParameterError("cannot rescale a single-modulus polynomial")
+        sub = basis.prefix(k)
+        q_last = basis.moduli[k]
+        half = q_last // 2
+        q_col = basis.moduli_col[:k]
+        inv = basis.inverses_of(k)[:, None]
+        last = basis.ntts[k].inverse(stack[:, k, :])  # (P, N) coeff form
+        last_mod = np.mod(last[:, None, :], q_col)
+        correction = np.mod(np.uint64(q_last), q_col)
+        delta = np.where(
+            last[:, None, :] > half,
+            modmath.sub_mod(last_mod, correction, q_col),
+            last_mod,
+        )
+        delta_ntt = sub.ntt_forward(delta)  # (P, k, N)
+        diff = modmath.sub_mod(stack[:, :k, :], delta_ntt, q_col)
+        stack = modmath.mul_mod(diff, inv, q_col)
+        basis = sub
+    return [RnsPoly(basis, stack[i], True) for i in range(stack.shape[0])]
 
 
 @lru_cache(maxsize=None)
