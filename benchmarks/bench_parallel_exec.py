@@ -1,0 +1,284 @@
+"""Benchmark of the operation-level parallel DAG executor.
+
+Times a branchy compiled-shape CKKS program (independent rotation chains
+off one input, folded by an add tree — the ResNet-residual shape the
+scheduler exploits) executed sequentially (``jobs=1``) vs in parallel
+(``jobs=4``), and gates two properties:
+
+* **bit identity** — the parallel run must produce residue-for-residue
+  identical ciphertexts on the real backend (always gated);
+* **speedup >= 1.3x at jobs=4** — gated on two models:
+
+  - a *latency model*: every homomorphic op carries a fixed
+    GIL-releasing delay, so the measured speedup isolates the
+    scheduler's overlap from kernel throughput.  Gated on every
+    machine, including single-core CI runners.
+  - the *real model*: actual RNS kernel wall clock.  numpy releases the
+    GIL inside the NTT/modmul hot loops, so threads genuinely overlap —
+    but only when the host has cores to run them.  Gated when
+    ``sched_getaffinity`` reports >= 2 usable CPUs, recorded as
+    ``skipped_single_core`` otherwise.
+
+The wavefront statistics of the benchmarked program (stage count,
+max/mean width) ride along in the JSON so the recorded speedup can be
+read against the available instruction-level parallelism.
+
+Results are written to ``BENCH_parallel_exec.json`` (override with
+``--out``).
+
+Run:   PYTHONPATH=src python benchmarks/bench_parallel_exec.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import statistics
+import time
+
+import numpy as np
+
+from repro.backend import ExactBackend, SchemeConfig, SimBackend
+from repro.ckks import CkksParameters
+from repro.ir import CipherType, IRBuilder, Module, compute_schedule
+from repro.runtime.ckks_interp import run_ckks_function
+
+SPEEDUP_TARGET = 1.3
+PARALLEL_JOBS = 4
+
+
+def _usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def _median_time(fn, repeats: int) -> float:
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return statistics.median(times)
+
+
+def build_branchy_program(slots: int, branches: int, chain: int) -> tuple:
+    """The residual-block shape: `branches` independent rotation chains
+    from one input, folded by a balanced add-reduce tree."""
+    module = Module("bench")
+    b = IRBuilder.make_function(module, "main", [CipherType(slots)], ["x"])
+    x = b.function.params[0]
+    tips = []
+    for i in range(1, branches + 1):
+        v = x
+        for _ in range(chain):
+            v = b.emit("ckks.rotate", [v], {"steps": i})
+        tips.append(v)
+    while len(tips) > 1:
+        tips = [
+            b.emit("ckks.add", [tips[j], tips[j + 1]])
+            if j + 1 < len(tips) else tips[j]
+            for j in range(0, len(tips), 2)
+        ]
+    b.ret(tips)
+    return module, b.function
+
+
+class LatencyBackend:
+    """Delegating wrapper adding a fixed GIL-releasing delay per op.
+
+    ``time.sleep`` drops the GIL, so overlap between worker threads is
+    measurable even on a single core — this isolates the *scheduler's*
+    ability to run independent ops concurrently from the host's kernel
+    throughput.
+    """
+
+    _DELAYED = frozenset({
+        "add", "add_plain", "sub", "sub_plain", "negate", "mul",
+        "mul_plain", "relinearize", "rescale", "mod_switch", "upscale",
+        "bootstrap", "rotate", "conjugate",
+    })
+
+    def __init__(self, inner, delay_s: float):
+        self._inner = inner
+        self._delay = delay_s
+
+    def __getattr__(self, name):
+        attr = getattr(self._inner, name)
+        if name in self._DELAYED:
+            delay = self._delay
+
+            def wrapped(*args, **kwargs):
+                time.sleep(delay)
+                return attr(*args, **kwargs)
+
+            return wrapped
+        return attr
+
+
+def bench_latency_model(branches: int, chain: int,
+                        delay_ms: float, repeats: int) -> dict:
+    """Scheduler-overlap gate: fixed per-op latency, any host."""
+    module, fn = build_branchy_program(64, branches, chain)
+
+    def make_backend():
+        return LatencyBackend(
+            SimBackend(
+                SchemeConfig(poly_degree=128, scale_bits=40,
+                             first_prime_bits=50, num_levels=6),
+                inject_noise=True, seed=0,
+            ),
+            delay_ms / 1e3,
+        )
+
+    x = np.linspace(-1, 1, 64)
+
+    def once(jobs):
+        return run_ckks_function(module, fn, make_backend(), [x],
+                                 check_plan=False, jobs=jobs)[0]
+
+    seq_out = once(1)
+    par_out = once(PARALLEL_JOBS)
+    sequential_s = _median_time(lambda: once(1), repeats)
+    parallel_s = _median_time(lambda: once(PARALLEL_JOBS), repeats)
+    return {
+        "model": "latency",
+        "ops": len(fn.body),
+        "delay_ms": delay_ms,
+        "schedule": compute_schedule(fn).describe(),
+        "sequential_s": sequential_s,
+        "parallel_s": parallel_s,
+        "speedup": sequential_s / parallel_s,
+        "bit_identical": bool(np.array_equal(seq_out.values,
+                                             par_out.values)),
+        "gated": True,
+    }
+
+
+def bench_real_model(poly_degree: int, num_levels: int, branches: int,
+                     chain: int, repeats: int) -> dict:
+    """Real RNS kernels: speedup gated only on multi-core hosts."""
+    params = CkksParameters(poly_degree=poly_degree, scale_bits=40,
+                            first_prime_bits=50, num_levels=num_levels)
+    slots = params.num_slots
+    module, fn = build_branchy_program(slots, branches, chain)
+    backend = ExactBackend(
+        params, rotation_steps=list(range(1, branches + 1)), seed=0
+    )
+    x = np.linspace(-1, 1, slots)
+    ct = backend.encrypt(x)  # shared input: runs differ only in jobs
+
+    def once(jobs):
+        return run_ckks_function(module, fn, backend, [ct],
+                                 check_plan=False, jobs=jobs)[0]
+
+    seq_out = once(1)  # also warms NTT tables / restricted key stacks
+    par_out = once(PARALLEL_JOBS)
+    bit_identical = all(
+        np.array_equal(a.residues, b.residues)
+        for a, b in zip(seq_out.parts, par_out.parts)
+    )
+    sequential_s = _median_time(lambda: once(1), repeats)
+    parallel_s = _median_time(lambda: once(PARALLEL_JOBS), repeats)
+    cpus = _usable_cpus()
+    gated = cpus >= 2
+    return {
+        "model": "real",
+        "poly_degree": poly_degree,
+        "num_levels": num_levels,
+        "ops": len(fn.body),
+        "schedule": compute_schedule(fn).describe(),
+        "usable_cpus": cpus,
+        "sequential_s": sequential_s,
+        "parallel_s": parallel_s,
+        "speedup": sequential_s / parallel_s,
+        "bit_identical": bit_identical,
+        "rotation_fallbacks": backend.rotation_fallbacks,
+        "gated": gated,
+        "skipped": None if gated else "skipped_single_core",
+    }
+
+
+def run(quick: bool) -> dict:
+    if quick:
+        latency = bench_latency_model(branches=8, chain=4, delay_ms=4.0,
+                                      repeats=3)
+        real = bench_real_model(1024, 4, branches=8, chain=4, repeats=3)
+    else:
+        latency = bench_latency_model(branches=8, chain=8, delay_ms=5.0,
+                                      repeats=5)
+        real = bench_real_model(2048, 6, branches=8, chain=8, repeats=5)
+    return {
+        "benchmark": "bench_parallel_exec",
+        "mode": "quick" if quick else "full",
+        "jobs": PARALLEL_JOBS,
+        "speedup_target": SPEEDUP_TARGET,
+        "runs": [latency, real],
+    }
+
+
+def check(results: dict) -> list[str]:
+    """Gate failures (empty list = pass)."""
+    failures = []
+    for row in results["runs"]:
+        name = row["model"]
+        if not row["bit_identical"]:
+            failures.append(
+                f"{name} model: parallel result is not bit-identical to "
+                f"sequential execution"
+            )
+        if not row["gated"]:
+            continue
+        if row["speedup"] < results["speedup_target"]:
+            failures.append(
+                f"{name} model: jobs={results['jobs']} speedup "
+                f"{row['speedup']:.2f}x below the "
+                f"{results['speedup_target']:.1f}x target"
+            )
+    return failures
+
+
+def test_parallel_executor_overlaps():
+    results = run(quick=True)
+    assert not check(results), check(results)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="small sizes / fewer repeats for CI")
+    parser.add_argument("--out", default="BENCH_parallel_exec.json",
+                        help="where to write the JSON results")
+    args = parser.parse_args()
+    results = run(quick=args.quick)
+    for row in results["runs"]:
+        sched = row["schedule"]
+        extra = (f"N={row['poly_degree']}" if row["model"] == "real"
+                 else f"delay={row['delay_ms']}ms")
+        print(
+            f"{row['model']:8s} {extra:12s} ops={row['ops']:3d} "
+            f"stages={sched['stages']:3d} width<= {sched['max_width']:2d}: "
+            f"jobs=1 {row['sequential_s']:7.3f}s  "
+            f"jobs={results['jobs']} {row['parallel_s']:7.3f}s  "
+            f"speedup {row['speedup']:5.2f}x  "
+            f"bit-identical={row['bit_identical']}"
+            + ("" if row["gated"] else f"  [{row['skipped']}]")
+        )
+    failures = check(results)
+    results["failures"] = failures
+    with open(args.out, "w") as fh:
+        json.dump(results, fh, indent=2)
+    print(f"results written to {args.out}")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print(f"target (jobs={results['jobs']} >= "
+          f"{results['speedup_target']:.1f}x jobs=1): PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -20,6 +20,8 @@ exact backend can afford.
 from __future__ import annotations
 
 import math
+import struct
+import zlib
 from dataclasses import dataclass
 
 import numpy as np
@@ -77,6 +79,7 @@ class SimBackend(HEBackend):
         self.inject_noise = inject_noise
         self.bootstrap_noise_std = bootstrap_noise_std
         self.bootstrap_target_level = bootstrap_target_level
+        self.seed = seed
         self.rng = np.random.default_rng(seed)
         self.trace = OpTrace()
         # Synthetic modulus chain: powers of two make scale management exact.
@@ -88,7 +91,8 @@ class SimBackend(HEBackend):
         self._round_noise = math.sqrt(n / 12.0)
         # Pre-generated complex noise pool: per-op sampling of millions of
         # gaussians dominates large-model simulation otherwise.  Slices at
-        # random offsets are statistically adequate for accuracy runs.
+        # content-derived offsets are statistically adequate for accuracy
+        # runs.
         if inject_noise:
             pool_size = max(1 << 18, 4 * config.num_slots)
             real = self.rng.normal(0.0, 1.0 / math.sqrt(2), pool_size)
@@ -100,11 +104,28 @@ class SimBackend(HEBackend):
     # -- noise helpers ----------------------------------------------------
 
     def _noise(self, values: np.ndarray, std: float) -> np.ndarray:
+        """Add a noise-pool slice at an offset derived from the *content*.
+
+        The offset is a CRC of (seed, std, a sample of the input values)
+        rather than a draw from shared RNG state: each op's noise is then
+        a pure function of its inputs, so parallel execution is both
+        thread-safe (no mutable RNG shared across workers) and
+        bit-identical to sequential execution in any completion order.
+        The slices remain N(0, std) marginally; only ops with *identical*
+        inputs and std reuse a slice, which the accuracy simulations
+        tolerate (distinct activations at every layer).
+        """
         if not self.inject_noise or std <= 0:
             return values
         count = values.size
         pool = self._noise_pool
-        offset = int(self.rng.integers(0, pool.size - count))
+        flat = np.ascontiguousarray(values).ravel()
+        sample = flat[:: max(1, count // 64)][:64]
+        digest = zlib.crc32(sample.tobytes())
+        seed_bits = (self.seed or 0) & 0xFFFFFFFF
+        digest = zlib.crc32(struct.pack("<dII", std, count, seed_bits),
+                            digest)
+        offset = digest % (pool.size - count)
         return values + std * pool[offset : offset + count].reshape(
             values.shape
         )

@@ -25,6 +25,7 @@ hoisted batch is bit-for-bit identical to a loop of plain rotations.
 from __future__ import annotations
 
 import math
+import threading
 from dataclasses import dataclass
 
 import numpy as np
@@ -88,10 +89,17 @@ class CkksEvaluator:
         # pins the key (so ids cannot be recycled under us) and lets
         # lookups verify identity before trusting a cached stack.
         self._ksk_cache: dict[tuple[int, int], tuple[KeySwitchKey, np.ndarray]] = {}
+        # guards first-miss population of the memo caches above: the
+        # parallel executor hammers one evaluator from many threads, and
+        # without the lock concurrent misses would each build (and
+        # briefly publish) duplicate stacks.  Lookups stay lock-free —
+        # entries are immutable once inserted and dict reads are atomic.
+        self._cache_lock = threading.Lock()
         #: key switches spent composing rotations out of power-of-two
         #: steps because no exact key existed (paper §2.2); the compiler's
         #: key-analysis pass exists to drive this to zero.
         self.rotation_fallback_count = 0
+        self._fallback_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # encoding / encryption
@@ -293,21 +301,25 @@ class CkksEvaluator:
 
     def _extended_basis(self, level: int) -> RnsBasis:
         """Basis (q_0..q_level, specials), sharing precomputed NTT tables."""
-        if level not in self._ext_bases:
-            moduli = (
-                self.cipher_basis.moduli[: level + 1]
-                + self.key_basis.moduli[len(self.cipher_basis):]
-            )
-            ext = RnsBasis.__new__(RnsBasis)
-            ext.moduli = moduli
-            ext.degree = self.key_basis.degree
-            ext.ntts = (
-                self.key_basis.ntts[: level + 1]
-                + self.key_basis.ntts[len(self.cipher_basis):]
-            )
-            ext._inv_last = {}
-            self._ext_bases[level] = ext
-        return self._ext_bases[level]
+        ext = self._ext_bases.get(level)
+        if ext is None:
+            with self._cache_lock:
+                ext = self._ext_bases.get(level)
+                if ext is None:
+                    moduli = (
+                        self.cipher_basis.moduli[: level + 1]
+                        + self.key_basis.moduli[len(self.cipher_basis):]
+                    )
+                    ext = RnsBasis.__new__(RnsBasis)
+                    ext.moduli = moduli
+                    ext.degree = self.key_basis.degree
+                    ext.ntts = (
+                        self.key_basis.ntts[: level + 1]
+                        + self.key_basis.ntts[len(self.cipher_basis):]
+                    )
+                    ext._inv_last = {}
+                    self._ext_bases[level] = ext
+        return ext
 
     def _restrict_key_poly(self, poly: RnsPoly, level: int) -> RnsPoly:
         """Select the rows of a key-basis polynomial matching level+specials."""
@@ -333,18 +345,22 @@ class CkksEvaluator:
         hit = self._ksk_cache.get(cache_key)
         if hit is not None and hit[0] is ksk:
             return hit[1]
-        num_cipher = len(self.cipher_basis)
-        idx = list(range(level + 1)) + list(
-            range(num_cipher, len(self.key_basis))
-        )
-        stack = np.stack(
-            [
-                [ksk.pairs[j][h].residues[idx] for j in range(level + 1)]
-                for h in range(2)
-            ]
-        )
-        self._ksk_cache[cache_key] = (ksk, stack)
-        return stack
+        with self._cache_lock:
+            hit = self._ksk_cache.get(cache_key)
+            if hit is not None and hit[0] is ksk:
+                return hit[1]
+            num_cipher = len(self.cipher_basis)
+            idx = list(range(level + 1)) + list(
+                range(num_cipher, len(self.key_basis))
+            )
+            stack = np.stack(
+                [
+                    [ksk.pairs[j][h].residues[idx] for j in range(level + 1)]
+                    for h in range(2)
+                ]
+            )
+            self._ksk_cache[cache_key] = (ksk, stack)
+            return stack
 
     def _decompose(self, d: RnsPoly) -> HoistedDecomposition:
         """Digit decomposition + mod-up of ``d`` (the hoistable half).
@@ -463,7 +479,8 @@ class CkksEvaluator:
                 g = rotation_galois_element(bit, n)
                 ksk = self.keys.rotation_key(g)
                 out = self._apply_galois(out, g, ksk)
-                self.rotation_fallback_count += 1
+                with self._fallback_lock:
+                    self.rotation_fallback_count += 1
             remaining >>= 1
             bit <<= 1
         return out

@@ -32,6 +32,7 @@ matrices) and available to tests as a reference for the compiler output.
 from __future__ import annotations
 
 import math
+import threading
 import weakref
 
 import numpy as np
@@ -90,15 +91,23 @@ class LinearTransform:
         # encoded-diagonal memo: evaluator -> {(level, d, shift): Plaintext}
         self._plain_cache: weakref.WeakKeyDictionary = weakref.WeakKeyDictionary()
         self._nonzero: dict[int, bool] = {}
+        # guards first-miss population of both memos: the parallel
+        # executor applies one transform from several threads (e.g.
+        # bootstrap CoeffToSlot halves running concurrently)
+        self._cache_lock = threading.Lock()
 
     def diagonal(self, d: int) -> np.ndarray:
         idx = np.arange(self.n)
         return self.matrix[idx, (idx + d) % self.n]
 
     def _diag_nonzero(self, d: int) -> bool:
-        if d not in self._nonzero:
-            self._nonzero[d] = bool(np.any(self.diagonal(d)))
-        return self._nonzero[d]
+        hit = self._nonzero.get(d)
+        if hit is None:
+            # compute outside the lock (pure, idempotent), publish under it
+            hit = bool(np.any(self.diagonal(d)))
+            with self._cache_lock:
+                self._nonzero[d] = hit
+        return hit
 
     def required_rotations(self) -> list[int]:
         """Rotation steps the transform needs keys for."""
@@ -133,8 +142,14 @@ class LinearTransform:
 
     def _encode_diag(self, ev: CkksEvaluator, ct: Ciphertext, d: int,
                      shift: int) -> Plaintext:
-        """Encoded (optionally pre-rotated) diagonal, memoised per level."""
-        per_ev = self._plain_cache.setdefault(ev, {})
+        """Encoded (optionally pre-rotated) diagonal, memoised per level.
+
+        First-miss encodes run outside the lock (encoding is pure and two
+        racing threads produce identical plaintexts); insertion is
+        double-checked under the lock so exactly one entry is published.
+        """
+        with self._cache_lock:
+            per_ev = self._plain_cache.setdefault(ev, {})
         key = (ct.level, d, shift)
         plain = per_ev.get(key)
         if plain is None:
@@ -142,7 +157,8 @@ class LinearTransform:
             if shift:
                 diag = np.roll(diag, shift)
             plain = ev.encode(diag, scale=float(ev.params.scale), level=ct.level)
-            per_ev[key] = plain
+            with self._cache_lock:
+                plain = per_ev.setdefault(key, plain)
         return plain
 
     def _apply_diagonal(self, ev: CkksEvaluator, ct: Ciphertext,

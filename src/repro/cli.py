@@ -95,7 +95,8 @@ def _run(args) -> int:
     else:
         tensor = np.random.default_rng(args.seed).normal(size=shape) * 0.5
     backend = program.make_sim_backend(seed=args.seed)
-    outputs = program.run(backend, tensor, check_plan=False)
+    outputs = program.run(backend, tensor, check_plan=False,
+                          jobs=args.jobs)
     for index, out in enumerate(outputs):
         print(f"output[{index}]: {np.round(out.ravel(), 5).tolist()}")
     return 0
@@ -126,6 +127,7 @@ def _serve(args) -> int:
         num_threads=args.workers, queue_size=args.queue_size,
         max_wait_s=args.max_wait_ms / 1000.0,
         request_timeout_s=args.timeout_s,
+        exec_jobs=args.jobs,
     )
     print(f"serving model {model_id!r} on {server.host}:{server.port} "
           f"(fingerprint {entry.fingerprint}, "
@@ -184,6 +186,9 @@ def main(argv=None) -> int:
     _add_compile_options(p_run)
     p_run.add_argument("--input", help="optional .npy input tensor")
     p_run.add_argument("--seed", type=int, default=0)
+    p_run.add_argument("--jobs", type=int, default=None,
+                       help="executor threads for op-level parallelism "
+                            "(default: $REPRO_JOBS or 1)")
     p_run.set_defaults(fn=_run)
 
     p_serve = sub.add_parser(
@@ -207,6 +212,10 @@ def main(argv=None) -> int:
     p_serve.add_argument("--scale-bits", type=int, default=30)
     p_serve.add_argument("--first-prime-bits", type=int, default=40)
     p_serve.add_argument("--levels", type=int, default=4)
+    p_serve.add_argument("--jobs", type=int, default=None,
+                         help="executor threads shared across workers for "
+                              "op-level parallelism (default: $REPRO_JOBS "
+                              "or 1)")
     p_serve.add_argument("--port-file", default=None,
                          help="write the bound port here once listening")
     p_serve.set_defaults(fn=_serve)

@@ -19,7 +19,7 @@ import numpy as np
 
 from repro.backend import ExactBackend, SchemeConfig, SimBackend
 from repro.errors import CompileError, LoweringError
-from repro.ir import Module, Pass, PassManager
+from repro.ir import Module, Pass, PassManager, schedule_pass
 from repro.ir.printer import print_function
 from repro.onnx.protos import ModelProto
 from repro.params import ParameterSelector, SelectedParameters
@@ -173,22 +173,31 @@ class CompiledProgram:
             for b in range(count)
         ]
 
-    def run_batch(self, backend, images, check_plan: bool = False):
+    def run_batch(self, backend, images, check_plan: bool = False,
+                  jobs: int | None = None):
         """Encrypted inference over up to ``batch_size`` images at once."""
         packed = self.pack_batch(images)
         fn = self.module.main()
         outs = run_ckks_function(
-            self.module, fn, backend, [packed], check_plan=check_plan
+            self.module, fn, backend, [packed], check_plan=check_plan,
+            jobs=jobs,
         )
         vec = backend.decrypt(outs[0], num_values=self.scheme.num_slots)
         return self.unpack_batch(vec, len(images))
 
-    def run(self, backend, *tensors, check_plan: bool = True) -> list[np.ndarray]:
-        """Encrypt inputs, run the compiled CKKS program, decrypt outputs."""
+    def run(self, backend, *tensors, check_plan: bool = True,
+            jobs: int | None = None) -> list[np.ndarray]:
+        """Encrypt inputs, run the compiled CKKS program, decrypt outputs.
+
+        ``jobs`` controls op-level parallel execution (None resolves
+        ``REPRO_JOBS``, default 1); results are bit-identical at any job
+        count.
+        """
         packed = [self.pack_input(t, i) for i, t in enumerate(tensors)]
         fn = self.module.main()
         outs = run_ckks_function(
-            self.module, fn, backend, packed, check_plan=check_plan
+            self.module, fn, backend, packed, check_plan=check_plan,
+            jobs=jobs,
         )
         results = []
         for i, out in enumerate(outs):
@@ -277,6 +286,7 @@ class ACECompiler:
         stats = {
             "ckks_ops": module.main().op_count(),
             "rotations": len(context["rotation_steps"]),
+            "schedule": context["schedules"][module.main().name].describe(),
         }
         if opts.poly_mode != "off":
             stats["poly"] = self._poly_stage(timers, module, context, scheme)
@@ -379,6 +389,9 @@ class ACECompiler:
             "rescale/relin/bootstrap placement, key analysis",
         ))
         pm.add(Pass("ckks-cleanup", "CKKS", lambda m, c: run_cleanups(m, c)))
+        # wavefront/DAG analysis of the final op list for the parallel
+        # executor and for stats reporting (must follow every rewrite)
+        pm.add(schedule_pass())
         pm.run(module, context)
 
     def _poly_stage(self, timers, module, context, scheme) -> dict:

@@ -30,6 +30,12 @@ from repro.ir.builder import IRBuilder
 from repro.ir.printer import print_function, print_module
 from repro.ir.verifier import verify_function, verify_module
 from repro.ir.passmanager import Pass, PassManager
+from repro.ir.schedule import (
+    OpSchedule,
+    build_op_dag,
+    compute_schedule,
+    schedule_pass,
+)
 
 # importing the dialects registers every opcode with the global registry
 from repro.ir import dialects as _dialects  # noqa: E402,F401
@@ -57,4 +63,8 @@ __all__ = [
     "verify_module",
     "Pass",
     "PassManager",
+    "OpSchedule",
+    "build_op_dag",
+    "compute_schedule",
+    "schedule_pass",
 ]

@@ -1,0 +1,161 @@
+"""Dependency-DAG analysis and wavefront scheduling for flat functions.
+
+Inference graphs are DAGs (paper §3.2), and the fully scheduled CKKS-IR
+op list a compiled program executes still contains abundant
+instruction-level independence the sequential interpreter ignores:
+parallel residual branches of a ResNet, the giant steps of a BSGS matrix
+multiply, per-channel convolutions.  This module recovers that structure
+from a :class:`~repro.ir.core.Function` body:
+
+* :func:`build_op_dag` maps each op to the ops producing its operands
+  (and the reverse user lists) — pure SSA def-use wiring;
+* :func:`compute_schedule` levelises the DAG into *wavefronts* (stage
+  ``k`` holds every op whose predecessors all sit in stages ``< k``) and
+  folds in the interpreter's last-use liveness as per-value consumer
+  refcounts, so a parallel executor can still drop dead ciphertexts the
+  moment their final consumer completes;
+* :func:`schedule_pass` exposes the analysis through the pass manager
+  (level "Others": it is dialect-agnostic and runs on every IR level).
+
+The schedule itself is *descriptive*: executors are free to dispatch
+ready ops in any order that respects ``deps`` (the bundled
+:class:`~repro.runtime.executor.ParallelExecutor` uses completion-driven
+list scheduling rather than stage barriers), but the wavefront widths are
+the capacity signal — ``max_width`` bounds the useful number of jobs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ir.core import Function
+from repro.ir.passmanager import Pass
+
+
+@dataclass
+class OpSchedule:
+    """Dependency DAG + wavefront levelisation of one function body.
+
+    Attributes:
+        deps: per op index, the sorted indices of ops producing its
+            operands (function parameters contribute no edge).
+        users: per op index, the sorted indices of ops consuming any of
+            its results.
+        stages: the wavefront schedule — ``stages[k]`` lists op indices
+            whose dependencies all complete in stages ``< k``; every
+            stage's ops are mutually independent.
+        stage_of: per op index, its stage number.
+        consumers: value id -> number of *distinct ops* consuming it
+            (an op using a value twice counts once); the executor
+            decrements this as consumers retire and frees the value at
+            zero.  Returned values are excluded (never freed).
+    """
+
+    deps: list[tuple[int, ...]]
+    users: list[tuple[int, ...]]
+    stages: list[list[int]]
+    stage_of: list[int]
+    consumers: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def num_ops(self) -> int:
+        return len(self.deps)
+
+    @property
+    def depth(self) -> int:
+        """Critical-path length in ops (number of wavefronts)."""
+        return len(self.stages)
+
+    @property
+    def max_width(self) -> int:
+        """Widest wavefront: the peak exploitable parallelism."""
+        return max((len(s) for s in self.stages), default=0)
+
+    @property
+    def mean_width(self) -> float:
+        """Average ops per wavefront (total work / critical path)."""
+        if not self.stages:
+            return 0.0
+        return self.num_ops / len(self.stages)
+
+    def width_histogram(self) -> dict[int, int]:
+        """``{wavefront width: number of stages of that width}``."""
+        hist: dict[int, int] = {}
+        for stage in self.stages:
+            hist[len(stage)] = hist.get(len(stage), 0) + 1
+        return hist
+
+    def describe(self) -> dict:
+        """JSON-safe summary (benchmarks record this)."""
+        return {
+            "ops": self.num_ops,
+            "stages": self.depth,
+            "max_width": self.max_width,
+            "mean_width": round(self.mean_width, 3),
+        }
+
+
+def build_op_dag(fn: Function) -> tuple[list[tuple[int, ...]], list[tuple[int, ...]]]:
+    """SSA def-use edges of ``fn.body`` as (deps, users) index lists.
+
+    Works on any dialect: only ``op.operands`` / ``op.results`` wiring is
+    inspected, never opcodes.
+    """
+    producer: dict[int, int] = {}
+    for index, op in enumerate(fn.body):
+        for res in op.results:
+            producer[res.id] = index
+    deps: list[tuple[int, ...]] = []
+    users: list[set[int]] = [set() for _ in fn.body]
+    for index, op in enumerate(fn.body):
+        pred = set()
+        for operand in op.operands:
+            src = producer.get(operand.id)
+            if src is not None and src != index:
+                pred.add(src)
+                users[src].add(index)
+        deps.append(tuple(sorted(pred)))
+    return deps, [tuple(sorted(u)) for u in users]
+
+
+def compute_schedule(fn: Function) -> OpSchedule:
+    """Wavefront schedule of ``fn`` with liveness refcounts folded in."""
+    deps, users = build_op_dag(fn)
+    stage_of = [0] * len(deps)
+    for index, pred in enumerate(deps):
+        # fn.body is topologically ordered, so predecessors are resolved
+        stage_of[index] = 1 + max((stage_of[p] for p in pred), default=-1)
+    depth = 1 + max(stage_of, default=-1) if deps else 0
+    stages: list[list[int]] = [[] for _ in range(depth)]
+    for index, stage in enumerate(stage_of):
+        stages[stage].append(index)
+    keep = {v.id for v in fn.returns}
+    consumers: dict[int, int] = {}
+    for op in fn.body:
+        for vid in {operand.id for operand in op.operands}:
+            if vid not in keep:
+                consumers[vid] = consumers.get(vid, 0) + 1
+    return OpSchedule(
+        deps=deps, users=users, stages=stages, stage_of=stage_of,
+        consumers=consumers,
+    )
+
+
+def schedule_pass(result_key: str = "schedules") -> Pass:
+    """A pass that schedules every function into ``context[result_key]``.
+
+    The analysis is read-only (the module is untouched); downstream
+    consumers — the parallel executor, benchmarks reporting wavefront
+    width — pick the :class:`OpSchedule` out of the pass context by
+    function name.
+    """
+
+    def run(module, context) -> None:
+        out = context.setdefault(result_key, {})
+        for name, fn in module.functions.items():
+            out[name] = compute_schedule(fn)
+
+    return Pass(
+        "op-schedule", "Others", run,
+        "dependency DAG + wavefront schedule for parallel execution",
+    )

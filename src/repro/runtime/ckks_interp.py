@@ -6,6 +6,13 @@ interpreter simply issues the ops.  When the compiler annotated values
 with expected scales/levels (``Value.meta``), the interpreter verifies
 the runtime state matches the plan — a strong check on the
 scale-management pass.
+
+Op *issue* is delegated to :class:`repro.runtime.executor.ParallelExecutor`:
+the classic sequential walk is the ``jobs=1`` case of the same
+dependency-DAG scheduler, and ``jobs > 1`` dispatches independent ops
+(parallel residual branches, BSGS giant steps) onto a thread pool with
+bit-identical results.  This module keeps the per-op dispatch table
+(:func:`_eval`) and the plan check (:func:`_check`).
 """
 
 from __future__ import annotations
@@ -21,6 +28,26 @@ from repro.ir.types import CipherType
 from repro.runtime.vector_interp import _eval as eval_vector_op
 
 
+def prepare_env(fn: Function, backend: HEBackend, inputs: list) -> dict[int, object]:
+    """Bind inputs to parameter value ids (encrypting cleartext ciphers).
+
+    Runs on the calling thread before any parallel dispatch, so
+    encryption randomness is drawn in parameter order regardless of the
+    job count.
+    """
+    env: dict[int, object] = {}
+    for param, value in zip(fn.params, inputs):
+        if isinstance(param.type, CipherType):
+            if isinstance(value, np.ndarray) or np.isscalar(value):
+                handle = backend.encrypt(value)
+            else:
+                handle = value  # already a ciphertext (Figure-2 protocol)
+        else:
+            handle = np.asarray(value, dtype=np.float64)
+        env[param.id] = handle
+    return env
+
+
 def run_ckks_function(
     module: Module,
     fn: Function,
@@ -28,47 +55,26 @@ def run_ckks_function(
     inputs: list,
     check_plan: bool = True,
     region_tags: dict[int, str] | None = None,
+    jobs: int | None = None,
+    budget=None,
 ) -> list:
     """Execute a CKKS-IR function.
 
     Args:
         region_tags: optional map op-index -> tag; ops are recorded under
             that tag in the backend trace (feeds Figure 6's breakdown).
+        jobs: worker threads for op-level parallelism (None resolves the
+            ``REPRO_JOBS`` environment variable, default 1).  Results are
+            bit-identical at every job count.
+        budget: optional shared :class:`repro.runtime.executor.JobBudget`
+            capping total threads across concurrent executions.
     """
-    be = backend
-    env: dict[int, object] = {}
-    for param, value in zip(fn.params, inputs):
-        if isinstance(param.type, CipherType):
-            if isinstance(value, np.ndarray) or np.isscalar(value):
-                handle = be.encrypt(value)
-            else:
-                handle = value  # already a ciphertext (Figure-2 protocol)
-        else:
-            handle = np.asarray(value, dtype=np.float64)
-        env[param.id] = handle
-    # liveness: drop intermediates after their last use (an encrypted
-    # ResNet otherwise accumulates gigabytes of dead ciphertexts)
-    last_use: dict[int, int] = {}
-    for index, op in enumerate(fn.body):
-        for operand in op.operands:
-            last_use[operand.id] = index
-    keep = {v.id for v in fn.returns}
-    trace = getattr(be, "trace", None)
-    for index, op in enumerate(fn.body):
-        args = [env[o.id] for o in op.operands]
-        tag = (region_tags or {}).get(index) or op.attrs.get("region")
-        if trace is not None and tag:
-            with trace.region(tag):
-                result = _eval(module, op, args, be)
-        else:
-            result = _eval(module, op, args, be)
-        env[op.results[0].id] = result
-        if check_plan and op.results[0].meta.get("scale") is not None:
-            _check(op, result, be)
-        for operand in op.operands:
-            if last_use.get(operand.id) == index and operand.id not in keep:
-                env.pop(operand.id, None)
-    return [env[v.id] for v in fn.returns]
+    from repro.runtime.executor import ParallelExecutor
+
+    executor = ParallelExecutor(backend, jobs=jobs, budget=budget)
+    return executor.run(
+        module, fn, inputs, check_plan=check_plan, region_tags=region_tags
+    )
 
 
 def _check(op, result, be) -> None:

@@ -1,0 +1,267 @@
+"""Operation-level parallel executor for compiled CKKS programs.
+
+The sequential interpreter issues one homomorphic op at a time, even
+though PR 2 vectorised every kernel (numpy releases the GIL inside the
+NTT/modmul hot loops) and the compiled op list is full of independent
+work — parallel residual branches, independent BSGS giant steps,
+per-channel convolutions.  :class:`ParallelExecutor` runs the same op
+list through the :mod:`repro.ir.schedule` dependency DAG instead:
+
+* ready ops (all producers retired) are dispatched onto a
+  ``concurrent.futures.ThreadPoolExecutor``; completion-driven list
+  scheduling, not stage barriers, so a long branch never stalls short
+  ones;
+* the coordinator thread owns the environment: workers receive
+  pre-gathered arguments and return a result, all bookkeeping (env
+  insertion, liveness refcounts, dependent wake-up) is single-threaded;
+* dead ciphertexts are dropped the moment their last consumer retires
+  (the schedule's ``consumers`` refcounts — same eager freeing as the
+  sequential interpreter);
+* ``jobs=1`` executes the identical dispatch/liveness code in program
+  order on the calling thread — the sequential interpreter is literally
+  the one-job case of this scheduler.
+
+**Determinism contract**: backends must evaluate each op as a pure
+function of its arguments (both bundled backends do — see
+``docs/INTERNALS.md`` "Parallel execution"), so results are bit-identical
+to sequential execution regardless of completion order.
+
+``jobs`` resolution: explicit argument, else the ``REPRO_JOBS``
+environment variable, else 1.  A shared :class:`JobBudget` caps the
+*total* worker threads across concurrent executions (the serving layer
+hands every worker the same budget so serve threads × executor threads
+cannot oversubscribe the host).
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import weakref
+from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
+
+from repro.errors import ReproError, RuntimeBackendError
+from repro.ir.core import Function, Module
+from repro.ir.schedule import OpSchedule, compute_schedule
+
+
+def resolve_jobs(jobs: int | None = None) -> int:
+    """Effective job count: explicit > ``REPRO_JOBS`` env > 1."""
+    if jobs is None:
+        raw = os.environ.get("REPRO_JOBS", "").strip()
+        if raw:
+            try:
+                jobs = int(raw)
+            except ValueError:
+                raise ReproError(
+                    f"REPRO_JOBS must be an integer, got {raw!r}"
+                ) from None
+        else:
+            jobs = 1
+    if jobs < 1:
+        raise ReproError(f"jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+class JobBudget:
+    """A shared cap on concurrent executor worker threads.
+
+    Each execution requests its desired job count and is granted what is
+    available — but always at least one, so progress is guaranteed even
+    when the budget is exhausted (the grantee then runs sequentially).
+    The serving layer creates one budget per process so N serve workers
+    each asking for J jobs collectively stay at ~``limit`` threads
+    instead of ``N * J``.
+    """
+
+    def __init__(self, limit: int):
+        if limit < 1:
+            raise ReproError(f"job budget must be >= 1, got {limit}")
+        self.limit = limit
+        self._available = limit
+        self._lock = threading.Lock()
+
+    def acquire(self, want: int) -> int:
+        """Grant between 1 and ``want`` jobs without blocking."""
+        if want <= 1:
+            return 1
+        with self._lock:
+            extra = max(0, min(want - 1, self._available - 1))
+            self._available -= 1 + extra
+            return 1 + extra
+
+    def release(self, granted: int) -> None:
+        with self._lock:
+            self._available += granted
+            if self._available > self.limit:  # defensive: double release
+                self._available = self.limit
+
+    @property
+    def available(self) -> int:
+        with self._lock:
+            return self._available
+
+
+#: schedules are cheap but serve recomputes per request otherwise;
+#: keyed by Function (weak), invalidated when the body length changes
+_schedule_cache: "weakref.WeakKeyDictionary[Function, tuple[int, OpSchedule]]"
+_schedule_cache = weakref.WeakKeyDictionary()
+_schedule_cache_lock = threading.Lock()
+
+
+def cached_schedule(fn: Function) -> OpSchedule:
+    """Per-function memoised :func:`compute_schedule` (thread-safe)."""
+    with _schedule_cache_lock:
+        hit = _schedule_cache.get(fn)
+        if hit is not None and hit[0] == len(fn.body):
+            return hit[1]
+    schedule = compute_schedule(fn)
+    with _schedule_cache_lock:
+        _schedule_cache[fn] = (len(fn.body), schedule)
+    return schedule
+
+
+class ParallelExecutor:
+    """Executes a scheduled CKKS-IR function with ``jobs`` worker threads.
+
+    Args:
+        backend: the :class:`~repro.backend.interface.HEBackend` issuing
+            homomorphic ops; must satisfy the pure-op determinism and
+            thread-safety contract for ``jobs > 1``.
+        jobs: worker threads (None = ``REPRO_JOBS`` env, default 1).
+        budget: optional shared :class:`JobBudget`; the executor acquires
+            its thread count from the budget per run and releases it
+            after, so concurrent executions cannot oversubscribe.
+    """
+
+    def __init__(self, backend, jobs: int | None = None,
+                 budget: JobBudget | None = None):
+        self.backend = backend
+        self.jobs = resolve_jobs(jobs)
+        self.budget = budget
+
+    # -- public API ---------------------------------------------------------
+
+    def run(
+        self,
+        module: Module,
+        fn: Function,
+        inputs: list,
+        check_plan: bool = True,
+        region_tags: dict[int, str] | None = None,
+        schedule: OpSchedule | None = None,
+    ) -> list:
+        """Execute ``fn``; bit-identical to the sequential interpreter."""
+        # interpreter dispatch lives in ckks_interp; imported lazily to
+        # keep the module dependency one-directional at import time
+        from repro.runtime.ckks_interp import prepare_env
+
+        env = prepare_env(fn, self.backend, inputs)
+        if schedule is None:
+            schedule = cached_schedule(fn)
+        granted = self.budget.acquire(self.jobs) if self.budget else self.jobs
+        try:
+            if granted == 1:
+                self._run_sequential(module, fn, env, schedule,
+                                     check_plan, region_tags)
+            else:
+                self._run_parallel(module, fn, env, schedule,
+                                   check_plan, region_tags, granted)
+        finally:
+            if self.budget:
+                self.budget.release(granted)
+        return [env[v.id] for v in fn.returns]
+
+    # -- shared per-op machinery -------------------------------------------
+
+    def _issue(self, module, op, args, tag, check_plan):
+        """Evaluate one op (worker thread or sequential loop)."""
+        from repro.runtime.ckks_interp import _check, _eval
+
+        trace = getattr(self.backend, "trace", None)
+        if trace is not None and tag:
+            with trace.region(tag):
+                result = _eval(module, op, args, self.backend)
+        else:
+            result = _eval(module, op, args, self.backend)
+        if check_plan and op.results[0].meta.get("scale") is not None:
+            _check(op, result, self.backend)
+        return result
+
+    def _retire(self, fn, env, schedule, index, result, live) -> None:
+        """Coordinator-side bookkeeping after op ``index`` completes."""
+        op = fn.body[index]
+        env[op.results[0].id] = result
+        for vid in {operand.id for operand in op.operands}:
+            remaining = live.get(vid)
+            if remaining is None:
+                continue
+            if remaining <= 1:
+                del live[vid]
+                env.pop(vid, None)
+            else:
+                live[vid] = remaining - 1
+
+    @staticmethod
+    def _tag_for(op, index, region_tags) -> str | None:
+        return (region_tags or {}).get(index) or op.attrs.get("region")
+
+    # -- sequential (jobs=1) ------------------------------------------------
+
+    def _run_sequential(self, module, fn, env, schedule, check_plan,
+                        region_tags) -> None:
+        live = dict(schedule.consumers)
+        for index, op in enumerate(fn.body):
+            args = [env[o.id] for o in op.operands]
+            tag = self._tag_for(op, index, region_tags)
+            result = self._issue(module, op, args, tag, check_plan)
+            self._retire(fn, env, schedule, index, result, live)
+
+    # -- parallel -----------------------------------------------------------
+
+    def _run_parallel(self, module, fn, env, schedule, check_plan,
+                      region_tags, jobs) -> None:
+        body = fn.body
+        live = dict(schedule.consumers)
+        remaining_deps = [len(d) for d in schedule.deps]
+        # within-wavefront dispatch follows program order (ready is seeded
+        # and extended in index order), which keeps trace interleaving and
+        # completion scanning deterministic-ish; results are order-free
+        ready = [i for i, d in enumerate(remaining_deps) if d == 0]
+        submitted = 0
+        completed = 0
+        with ThreadPoolExecutor(
+            max_workers=jobs, thread_name_prefix="repro-exec"
+        ) as pool:
+            pending = {}
+            try:
+                while completed < len(body):
+                    while ready:
+                        index = ready.pop(0)
+                        op = body[index]
+                        args = [env[o.id] for o in op.operands]
+                        tag = self._tag_for(op, index, region_tags)
+                        future = pool.submit(
+                            self._issue, module, op, args, tag, check_plan
+                        )
+                        pending[future] = index
+                        submitted += 1
+                    if not pending:
+                        raise RuntimeBackendError(
+                            "scheduler stalled: dependency cycle in op list"
+                        )
+                    done, _ = wait(pending, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        index = pending.pop(future)
+                        result = future.result()  # re-raises op errors
+                        self._retire(fn, env, schedule, index, result, live)
+                        completed += 1
+                        for user in schedule.users[index]:
+                            remaining_deps[user] -= 1
+                            if remaining_deps[user] == 0:
+                                ready.append(user)
+                        ready.sort()
+            except BaseException:
+                for future in pending:
+                    future.cancel()
+                raise

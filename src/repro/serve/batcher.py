@@ -98,12 +98,20 @@ def combine_requests(entry: ModelEntry, requests: list[PendingRequest]):
 
 
 def execute_batch(entry: ModelEntry,
-                  requests: list[PendingRequest]) -> list[BatchResult]:
+                  requests: list[PendingRequest],
+                  jobs: int | None = None,
+                  budget=None) -> list[BatchResult]:
     """Run one program execution serving ``requests`` (1..max_batch).
 
     Returns one :class:`BatchResult` per request, in order.  The entry
     lock serialises use of the shared evaluator/key material; worker
     threads still execute different models concurrently.
+
+    ``jobs``/``budget`` enable op-level parallel execution of the
+    compiled program (:class:`repro.runtime.ParallelExecutor`); a shared
+    :class:`repro.runtime.JobBudget` keeps *serve threads × executor
+    threads* from oversubscribing the machine when several batches run
+    at once.
     """
     with entry.lock:
         if len(requests) == 1:
@@ -112,7 +120,8 @@ def execute_batch(entry: ModelEntry,
             packed = combine_requests(entry, requests)
         fn = entry.program.module.main()
         outs = run_ckks_function(entry.program.module, fn, entry.backend,
-                                 [packed], check_plan=False)
+                                 [packed], check_plan=False,
+                                 jobs=jobs, budget=budget)
         payload = serialize_ciphertext(outs[0])
     return [
         BatchResult(

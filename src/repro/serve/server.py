@@ -92,6 +92,7 @@ class InferenceServer:
         queue_size: int = 64,
         max_wait_s: float = 0.005,
         request_timeout_s: float = 30.0,
+        exec_jobs: int | None = None,
     ):
         self.registry = registry
         self.metrics = metrics or Metrics()
@@ -102,6 +103,7 @@ class InferenceServer:
             queue_size=queue_size,
             max_wait_s=max_wait_s,
             request_timeout_s=request_timeout_s,
+            exec_jobs=exec_jobs,
         )
         self._sock = socket.create_server((host, port))
         self.host, self.port = self._sock.getsockname()[:2]

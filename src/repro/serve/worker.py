@@ -33,6 +33,7 @@ from repro.errors import (
     RequestTimeoutError,
     ServerShutdownError,
 )
+from repro.runtime.executor import JobBudget, resolve_jobs
 from repro.serve.batcher import (
     PendingRequest,
     can_join,
@@ -84,12 +85,22 @@ class InferenceWorker:
         queue_size: int = 64,
         max_wait_s: float = 0.005,
         request_timeout_s: float = 30.0,
+        exec_jobs: int | None = None,
     ):
         if num_threads < 1:
             raise ReproError("need at least one worker thread")
         self.metrics = metrics or Metrics()
         self.max_wait_s = max_wait_s
         self.request_timeout_s = request_timeout_s
+        # Op-level parallelism inside one batch execution.  All worker
+        # threads draw executor threads from ONE shared budget, so the
+        # total (serve threads x executor threads) stays bounded by
+        # exec_jobs: concurrent batches degrade toward sequential
+        # execution instead of oversubscribing the machine.
+        self.exec_jobs = resolve_jobs(exec_jobs)
+        self.exec_budget = (
+            JobBudget(self.exec_jobs) if self.exec_jobs > 1 else None
+        )
         self._queue: queue.Queue = queue.Queue(maxsize=queue_size)
         self._ids = itertools.count(1)
         self._stopping = False
@@ -210,7 +221,8 @@ class InferenceWorker:
         entry = batch[0].entry
         started = time.monotonic()
         try:
-            results = execute_batch(entry, batch)
+            results = execute_batch(entry, batch, jobs=self.exec_jobs,
+                                    budget=self.exec_budget)
         except Exception as exc:  # noqa: BLE001 — worker must survive
             self.metrics.inc("serve_requests_failed_total", len(batch))
             for req in batch:
