@@ -4,6 +4,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro import chaos
 from repro.backend.interface import HEBackend, SchemeConfig
 from repro.backend.trace import OpTrace
 from repro.ckks import CkksContext, CkksParameters
@@ -54,6 +55,10 @@ class ExactBackend(HEBackend):
             )
 
     def _rec(self, op: str, handle) -> None:
+        # every homomorphic op funnels through here, making it the
+        # backend-level fault-injection point (forced noise exhaustion,
+        # latency spikes on the key-switch-heavy ops)
+        chaos.on_backend_op(op)
         self.trace.record(op, self.level_of(handle) + 1)
 
     # -- data movement ------------------------------------------------------
@@ -96,7 +101,7 @@ class ExactBackend(HEBackend):
 
     def mul(self, a, b):
         self._rec("mul", a)
-        return self.ev.multiply(a, b)
+        return chaos.corrupt_result("mul", self.ev.multiply(a, b))
 
     def mul_plain(self, a, p):
         self._rec("mul_plain", a)
@@ -135,7 +140,7 @@ class ExactBackend(HEBackend):
 
     def rotate(self, a, steps):
         self._rec("rotate", a)
-        return self.ev.rotate(a, steps)
+        return chaos.corrupt_result("rotate", self.ev.rotate(a, steps))
 
     def rotate_hoisted(self, a, steps_list):
         """Batch-rotate one ciphertext, sharing the key-switch decomposition."""

@@ -26,6 +26,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro import chaos
 from repro.backend.interface import HEBackend, SchemeConfig
 from repro.backend.trace import OpTrace
 from repro.errors import (
@@ -154,7 +155,33 @@ class SimBackend(HEBackend):
             )
 
     def _rec(self, op: str, level: int) -> None:
+        # same fault-injection funnel as ExactBackend._rec, so chaos
+        # plans behave identically on both backends
+        chaos.on_backend_op(op)
         self.trace.record(op, level + 1)
+
+    def _guard_mul_capacity(self, a, b) -> None:
+        """Refuse a multiply whose product scale cannot fit the chain.
+
+        Without this, a multiply at the bottom of the modulus chain
+        silently wraps the scale past the remaining capacity and decrypt
+        returns garbage.  Fires only on *guaranteed* overflow (product
+        scale >= total remaining modulus), so legitimate lazy-rescaling
+        chains never trip it.
+        """
+        from repro.ckks.noise import remaining_depth
+
+        capacity_bits = sum(
+            math.log2(self.moduli[lvl]) for lvl in range(a.level + 1)
+        )
+        product_bits = math.log2(a.scale) + math.log2(b.scale)
+        if product_bits >= capacity_bits:
+            raise NoiseBudgetExhausted(
+                f"multiply would overflow the modulus chain: product scale "
+                f"2^{product_bits:.1f} >= remaining capacity "
+                f"2^{capacity_bits:.1f} at level {a.level} "
+                f"(remaining_depth={remaining_depth(a)}); bootstrap first"
+            )
 
     def _pad(self, values) -> np.ndarray:
         arr = np.atleast_1d(np.asarray(values, dtype=np.complex128))
@@ -241,13 +268,15 @@ class SimBackend(HEBackend):
         if a.size != 2 or b.size != 2:
             raise ParameterError("relinearise before multiplying again")
         self._check_levels(a, b)
+        self._guard_mul_capacity(a, b)
         self._rec("mul", a.level)
-        return SimCipher(
+        return chaos.corrupt_result("mul", SimCipher(
             a.values * b.values, a.scale * b.scale, a.level, 3, a.slots_in_use
-        )
+        ))
 
     def mul_plain(self, a, p):
         self._check_levels(a, p)
+        self._guard_mul_capacity(a, p)
         self._rec("mul_plain", a.level)
         return SimCipher(
             a.values * p.values, a.scale * p.scale, a.level, a.size,
@@ -271,6 +300,12 @@ class SimBackend(HEBackend):
         self._rec("rescale", a.level)
         prime = self.moduli[a.level]
         new_scale = a.scale / prime
+        if new_scale < 1.0:
+            raise NoiseBudgetExhausted(
+                f"rescale would drop the scale below 1 "
+                f"(2^{math.log2(a.scale):.1f} / 2^{math.log2(prime):.1f}): "
+                "the message would be destroyed"
+            )
         vec = self._noise(a.values, self._round_noise / new_scale)
         return SimCipher(vec, new_scale, a.level - 1, a.size, a.slots_in_use)
 
@@ -319,7 +354,8 @@ class SimBackend(HEBackend):
             return a.copy()
         self._rec("rotate", a.level)
         vec = self._noise(np.roll(a.values, -steps), self._ks_noise_std(a.level))
-        return SimCipher(vec, a.scale, a.level, 2, a.slots_in_use)
+        return chaos.corrupt_result(
+            "rotate", SimCipher(vec, a.scale, a.level, 2, a.slots_in_use))
 
     def conjugate(self, a):
         self._rec("conjugate", a.level)

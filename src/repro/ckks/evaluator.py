@@ -55,6 +55,29 @@ def _same_scale(a: float, b: float) -> bool:
     return math.isclose(a, b, rel_tol=_SCALE_RTOL)
 
 
+def _guard_product_scale(a: Ciphertext, other_scale: float, what: str) -> None:
+    """Refuse a multiply whose product scale cannot fit the basis.
+
+    A product scale at or past the full remaining modulus wraps the
+    message mod Q and decrypt returns garbage with no error anywhere
+    downstream — the classic scale-mismanagement failure CHET's
+    invariant checking guards against.  Fires only on *guaranteed*
+    overflow, so legitimate lazy-rescaling chains never trip it.
+    """
+    # lazy import: repro.ckks.noise imports this module at its top level
+    from repro.ckks.noise import remaining_depth
+
+    capacity_bits = sum(math.log2(q) for q in a.basis.moduli)
+    product_bits = math.log2(a.scale) + math.log2(other_scale)
+    if product_bits >= capacity_bits:
+        raise NoiseBudgetExhausted(
+            f"{what} would overflow the modulus chain: product scale "
+            f"2^{product_bits:.1f} >= remaining capacity "
+            f"2^{capacity_bits:.1f} "
+            f"(remaining_depth={remaining_depth(a)}); bootstrap first"
+        )
+
+
 @dataclass
 class HoistedDecomposition:
     """The shared (expensive) half of a key switch.
@@ -218,6 +241,7 @@ class CkksEvaluator:
             raise LevelMismatchError(
                 "operands at different levels; insert modswitch first"
             )
+        _guard_product_scale(a, b.scale, "multiply")
         d0 = a.parts[0] * b.parts[0]
         d1 = a.parts[0] * b.parts[1] + a.parts[1] * b.parts[0]
         d2 = a.parts[1] * b.parts[1]
@@ -230,6 +254,7 @@ class CkksEvaluator:
             raise LevelMismatchError(
                 "plaintext encoded at wrong level; re-encode or modswitch"
             )
+        _guard_product_scale(a, plain.scale, "multiply_plain")
         parts = [p * plain.poly for p in a.parts]
         return Ciphertext(parts, a.scale * plain.scale, a.slots_in_use)
 
@@ -247,6 +272,12 @@ class CkksEvaluator:
                 "no levels left to rescale; bootstrap required"
             )
         q_last = a.basis.moduli[-1]
+        if a.scale / q_last < 1.0:
+            raise NoiseBudgetExhausted(
+                f"rescale would drop the scale below 1 "
+                f"(2^{math.log2(a.scale):.1f} / 2^{math.log2(q_last):.1f}): "
+                "the message would be destroyed"
+            )
         parts = [p.rescale_last() for p in a.parts]
         return Ciphertext(parts, a.scale / q_last, a.slots_in_use)
 

@@ -83,10 +83,39 @@ def _compile(args) -> int:
     return 0
 
 
+def _install_chaos(args) -> None:
+    """Activate fault injection from ``--chaos-seed``/``--chaos-spec``.
+
+    The environment variable ``REPRO_CHAOS`` (handled at import time by
+    :mod:`repro.chaos`) offers the same knob to uninstrumented entry
+    points; the explicit flags win when both are present.
+    """
+    from repro import chaos
+
+    spec = getattr(args, "chaos_spec", None)
+    seed = getattr(args, "chaos_seed", None)
+    if spec:
+        chaos.install(chaos.ChaosPlan.from_spec(spec))
+    elif seed is not None:
+        chaos.install(chaos.ChaosPlan.default(seed))
+
+
+def _add_chaos_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--chaos-seed", type=int, default=None,
+                        help="enable the default deterministic "
+                             "fault-injection plan with this seed "
+                             "(repro.chaos)")
+    parser.add_argument("--chaos-spec", default=None,
+                        help="full chaos spec, e.g. "
+                             "'seed=42;wire.reset=0.05@4' "
+                             "(overrides --chaos-seed)")
+
+
 def _run(args) -> int:
     from repro.compiler import ACECompiler
     from repro.onnx import load_model
 
+    _install_chaos(args)
     program = ACECompiler(load_model(args.model),
                           _options_from(args)).compile()
     shape = program.input_layouts[0].shape
@@ -116,6 +145,7 @@ def _serve_params(args):
 def _serve(args) -> int:
     from repro.serve import InferenceServer, ModelRegistry
 
+    _install_chaos(args)
     registry = ModelRegistry()
     model_id = args.model_id or Path(args.model).stem
     entry = registry.register(
@@ -189,6 +219,7 @@ def main(argv=None) -> int:
     p_run.add_argument("--jobs", type=int, default=None,
                        help="executor threads for op-level parallelism "
                             "(default: $REPRO_JOBS or 1)")
+    _add_chaos_options(p_run)
     p_run.set_defaults(fn=_run)
 
     p_serve = sub.add_parser(
@@ -218,6 +249,7 @@ def main(argv=None) -> int:
                               "or 1)")
     p_serve.add_argument("--port-file", default=None,
                          help="write the bound port here once listening")
+    _add_chaos_options(p_serve)
     p_serve.set_defaults(fn=_serve)
 
     p_client = sub.add_parser(

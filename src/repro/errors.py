@@ -9,7 +9,16 @@ from __future__ import annotations
 
 
 class ReproError(Exception):
-    """Base class for all errors raised by this library."""
+    """Base class for all errors raised by this library.
+
+    ``transient`` classifies an error for retry purposes: transient
+    errors (connection resets, backpressure, deadline misses, injected
+    chaos) may succeed if the caller simply tries again, while permanent
+    errors (unknown model, fingerprint mismatch) will fail identically
+    on every attempt and must never be retried.
+    """
+
+    transient: bool = False
 
 
 class ParameterError(ReproError):
@@ -86,6 +95,22 @@ class RuntimeBackendError(ReproError):
     """An FHE runtime backend failed to execute a program."""
 
 
+class ExecutorStalledError(RuntimeBackendError):
+    """The parallel executor's watchdog declared a job thread stalled/dead.
+
+    Transient: the stall poisons only the execution it interrupted; the
+    pool keeps serving and a retry gets fresh threads.
+    """
+
+    transient = True
+
+
+class ChaosError(ReproError):
+    """A fault injected by :mod:`repro.chaos` (always transient)."""
+
+    transient = True
+
+
 class ServeError(ReproError):
     """Base class for inference-serving failures (:mod:`repro.serve`)."""
 
@@ -103,12 +128,50 @@ class SessionMismatchError(ServeError):
 
 
 class QueueFullError(ServeError):
-    """The server's bounded request queue rejected a request (backpressure)."""
+    """The server's bounded request queue rejected a request (backpressure).
+
+    Transient: backpressure clears as the worker drains the queue.
+    """
+
+    transient = True
 
 
 class RequestTimeoutError(ServeError):
-    """A request missed its deadline before or during execution."""
+    """A request missed its deadline before or during execution.
+
+    Transient: the deadline miss reflects momentary load, not a property
+    of the request.
+    """
+
+    transient = True
 
 
 class ServerShutdownError(ServeError):
     """The server is shutting down and will not take new work."""
+
+
+class MessageTooLargeError(ServeError):
+    """A wire frame's length prefix exceeds the configured bound.
+
+    Raised *before* any allocation is attempted, so a hostile or corrupt
+    length prefix cannot drive the receiver out of memory.
+    """
+
+
+class ConnectionClosedError(ServeError):
+    """The peer closed the connection mid-conversation.
+
+    Transient: reconnecting and resending is the standard cure.
+    """
+
+    transient = True
+
+
+class CircuitOpenError(ServeError):
+    """The per-model circuit breaker is open; request rejected cheaply.
+
+    Transient: the breaker half-opens after its reset timeout and closes
+    again once a probe succeeds.
+    """
+
+    transient = True

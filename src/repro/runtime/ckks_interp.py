@@ -57,6 +57,7 @@ def run_ckks_function(
     region_tags: dict[int, str] | None = None,
     jobs: int | None = None,
     budget=None,
+    watchdog_s: float | None = None,
 ) -> list:
     """Execute a CKKS-IR function.
 
@@ -68,10 +69,13 @@ def run_ckks_function(
             bit-identical at every job count.
         budget: optional shared :class:`repro.runtime.executor.JobBudget`
             capping total threads across concurrent executions.
+        watchdog_s: optional stall bound for parallel execution; see
+            :class:`repro.runtime.executor.ParallelExecutor`.
     """
     from repro.runtime.executor import ParallelExecutor
 
-    executor = ParallelExecutor(backend, jobs=jobs, budget=budget)
+    executor = ParallelExecutor(backend, jobs=jobs, budget=budget,
+                                watchdog_s=watchdog_s)
     return executor.run(
         module, fn, inputs, check_plan=check_plan, region_tags=region_tags
     )

@@ -40,7 +40,12 @@ import threading
 import weakref
 from concurrent.futures import FIRST_COMPLETED, ThreadPoolExecutor, wait
 
-from repro.errors import ReproError, RuntimeBackendError
+from repro import chaos
+from repro.errors import (
+    ExecutorStalledError,
+    ReproError,
+    RuntimeBackendError,
+)
 from repro.ir.core import Function, Module
 from repro.ir.schedule import OpSchedule, compute_schedule
 
@@ -132,13 +137,21 @@ class ParallelExecutor:
         budget: optional shared :class:`JobBudget`; the executor acquires
             its thread count from the budget per run and releases it
             after, so concurrent executions cannot oversubscribe.
+        watchdog_s: if set, the coordinator declares the execution
+            stalled when *no* in-flight op completes for this long
+            (a wedged kernel, a dead worker thread), raises the
+            transient :class:`repro.errors.ExecutorStalledError`, and
+            abandons the stuck threads without joining them — only this
+            execution fails; the process keeps serving.
     """
 
     def __init__(self, backend, jobs: int | None = None,
-                 budget: JobBudget | None = None):
+                 budget: JobBudget | None = None,
+                 watchdog_s: float | None = None):
         self.backend = backend
         self.jobs = resolve_jobs(jobs)
         self.budget = budget
+        self.watchdog_s = watchdog_s
 
     # -- public API ---------------------------------------------------------
 
@@ -178,6 +191,9 @@ class ParallelExecutor:
         """Evaluate one op (worker thread or sequential loop)."""
         from repro.runtime.ckks_interp import _check, _eval
 
+        # every execution path (jobs=1 included) funnels through here,
+        # making it the executor-level fault-injection point
+        chaos.on_executor_op(op.opcode)
         trace = getattr(self.backend, "trace", None)
         if trace is not None and tag:
             with trace.region(tag):
@@ -230,38 +246,52 @@ class ParallelExecutor:
         ready = [i for i, d in enumerate(remaining_deps) if d == 0]
         submitted = 0
         completed = 0
-        with ThreadPoolExecutor(
-            max_workers=jobs, thread_name_prefix="repro-exec"
-        ) as pool:
-            pending = {}
-            try:
-                while completed < len(body):
-                    while ready:
-                        index = ready.pop(0)
-                        op = body[index]
-                        args = [env[o.id] for o in op.operands]
-                        tag = self._tag_for(op, index, region_tags)
-                        future = pool.submit(
-                            self._issue, module, op, args, tag, check_plan
-                        )
-                        pending[future] = index
-                        submitted += 1
-                    if not pending:
-                        raise RuntimeBackendError(
-                            "scheduler stalled: dependency cycle in op list"
-                        )
-                    done, _ = wait(pending, return_when=FIRST_COMPLETED)
-                    for future in done:
-                        index = pending.pop(future)
-                        result = future.result()  # re-raises op errors
-                        self._retire(fn, env, schedule, index, result, live)
-                        completed += 1
-                        for user in schedule.users[index]:
-                            remaining_deps[user] -= 1
-                            if remaining_deps[user] == 0:
-                                ready.append(user)
-                        ready.sort()
-            except BaseException:
-                for future in pending:
-                    future.cancel()
-                raise
+        # manual pool lifecycle (no ``with``): when the watchdog fires,
+        # the stalled worker threads must be *abandoned*, not joined —
+        # a ``with`` exit would block on them forever
+        pool = ThreadPoolExecutor(max_workers=jobs,
+                                  thread_name_prefix="repro-exec")
+        pending = {}
+        wait_on_exit = True
+        try:
+            while completed < len(body):
+                while ready:
+                    index = ready.pop(0)
+                    op = body[index]
+                    args = [env[o.id] for o in op.operands]
+                    tag = self._tag_for(op, index, region_tags)
+                    future = pool.submit(
+                        self._issue, module, op, args, tag, check_plan
+                    )
+                    pending[future] = index
+                    submitted += 1
+                if not pending:
+                    raise RuntimeBackendError(
+                        "scheduler stalled: dependency cycle in op list"
+                    )
+                done, _ = wait(pending, return_when=FIRST_COMPLETED,
+                               timeout=self.watchdog_s)
+                if not done:
+                    wait_on_exit = False
+                    stuck = sorted(body[i].opcode for i in pending.values())
+                    raise ExecutorStalledError(
+                        f"watchdog: no op completed within "
+                        f"{self.watchdog_s}s; abandoning {len(pending)} "
+                        f"in-flight ops ({', '.join(stuck[:4])}...)"
+                    )
+                for future in done:
+                    index = pending.pop(future)
+                    result = future.result()  # re-raises op errors
+                    self._retire(fn, env, schedule, index, result, live)
+                    completed += 1
+                    for user in schedule.users[index]:
+                        remaining_deps[user] -= 1
+                        if remaining_deps[user] == 0:
+                            ready.append(user)
+                    ready.sort()
+        except BaseException:
+            for future in pending:
+                future.cancel()
+            raise
+        finally:
+            pool.shutdown(wait=wait_on_exit, cancel_futures=True)

@@ -12,10 +12,20 @@ serving subsystem:
   unused CKKS slot blocks of one ciphertext (one program execution
   serves the whole batch);
 * :mod:`repro.serve.worker` — bounded-queue thread pool with deadlines,
-  backpressure and graceful shutdown;
+  backpressure, batch-failure bisection, per-model circuit breakers and
+  graceful shutdown;
+* :mod:`repro.serve.breaker` — the three-state circuit breaker;
+* :mod:`repro.serve.retry` — client-side capped exponential backoff;
 * :mod:`repro.serve.metrics` — request/batch/latency/byte accounting;
 * :mod:`repro.serve.server` — length-prefixed socket protocol plus the
   ``repro serve`` / ``repro client`` CLI entry points' machinery.
+
+Failure semantics (containment validated by :mod:`repro.chaos` fault
+injection — see "Failure model & chaos testing" in docs/INTERNALS.md):
+a poisoned request fails alone while its batchmates are re-executed
+individually; transient wire/server failures are healed by client-side
+retry; a model whose executions keep failing trips a circuit breaker
+instead of burning worker threads.
 
 Quick in-process use::
 
@@ -35,7 +45,9 @@ from repro.serve.batcher import (
     combine_requests,
     execute_batch,
 )
+from repro.serve.breaker import CircuitBreaker
 from repro.serve.metrics import Histogram, Metrics
+from repro.serve.retry import RetryPolicy, is_transient
 from repro.serve.registry import (
     ModelEntry,
     ModelRegistry,
@@ -51,6 +63,7 @@ from repro.serve.worker import InferenceWorker, ServeResponse
 
 __all__ = [
     "BatchResult",
+    "CircuitBreaker",
     "Histogram",
     "InferenceServer",
     "InferenceWorker",
@@ -59,6 +72,7 @@ __all__ = [
     "ModelRegistry",
     "PendingRequest",
     "RemoteModelClient",
+    "RetryPolicy",
     "ServeClient",
     "ServeResponse",
     "Session",
@@ -67,4 +81,5 @@ __all__ = [
     "combine_requests",
     "default_serve_params",
     "execute_batch",
+    "is_transient",
 ]

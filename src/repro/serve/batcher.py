@@ -34,6 +34,7 @@ from concurrent.futures import Future
 from dataclasses import dataclass, field
 
 from repro.ckks.serialize import serialize_ciphertext
+from repro.errors import ChaosError
 from repro.runtime.ckks_interp import run_ckks_function
 from repro.serve.registry import ModelEntry
 
@@ -50,6 +51,9 @@ class PendingRequest:
     future: Future = field(default_factory=Future)
     enqueued_at: float = field(default_factory=time.monotonic)
     deadline: float | None = None
+    # Chaos-marked at submit time; detonates inside execute_batch so the
+    # failure exercises the worker's batch-bisection containment.
+    poisoned: bool = False
 
     def expired(self, now: float | None = None) -> bool:
         if self.deadline is None:
@@ -100,7 +104,8 @@ def combine_requests(entry: ModelEntry, requests: list[PendingRequest]):
 def execute_batch(entry: ModelEntry,
                   requests: list[PendingRequest],
                   jobs: int | None = None,
-                  budget=None) -> list[BatchResult]:
+                  budget=None,
+                  watchdog_s: float | None = None) -> list[BatchResult]:
     """Run one program execution serving ``requests`` (1..max_batch).
 
     Returns one :class:`BatchResult` per request, in order.  The entry
@@ -111,8 +116,14 @@ def execute_batch(entry: ModelEntry,
     compiled program (:class:`repro.runtime.ParallelExecutor`); a shared
     :class:`repro.runtime.JobBudget` keeps *serve threads × executor
     threads* from oversubscribing the machine when several batches run
-    at once.
+    at once.  ``watchdog_s`` bounds how long the executor waits for any
+    single op before declaring a job thread stalled.
     """
+    for req in requests:
+        if req.poisoned:
+            raise ChaosError(
+                f"chaos: request {req.request_id} poisoned at execution"
+            )
     with entry.lock:
         if len(requests) == 1:
             packed = requests[0].ciphertext
@@ -121,7 +132,8 @@ def execute_batch(entry: ModelEntry,
         fn = entry.program.module.main()
         outs = run_ckks_function(entry.program.module, fn, entry.backend,
                                  [packed], check_plan=False,
-                                 jobs=jobs, budget=budget)
+                                 jobs=jobs, budget=budget,
+                                 watchdog_s=watchdog_s)
         payload = serialize_ciphertext(outs[0])
     return [
         BatchResult(

@@ -63,6 +63,11 @@ class ModelEntry:
     #: keygen seed: (params, seed) determines the key material, standing
     #: in for an out-of-band key exchange with the secret-key holder
     keygen_seed: int = 0
+    #: per-model circuit-breaker overrides (None = the worker's default):
+    #: a flaky experimental model can trip fast while a battle-tested one
+    #: tolerates more consecutive failures before opening
+    breaker_failures: int | None = None
+    breaker_reset_s: float | None = None
     #: serialisation lock: the backend's evaluator is shared by workers
     lock: threading.Lock = field(default_factory=threading.Lock)
 
@@ -154,6 +159,8 @@ class ModelRegistry:
         options: CompileOptions | None = None,
         max_batch: int = 4,
         seed: int = 0,
+        breaker_failures: int | None = None,
+        breaker_reset_s: float | None = None,
     ) -> ModelEntry:
         """Compile ``model`` and cache every serving artifact for it.
 
@@ -167,6 +174,8 @@ class ModelRegistry:
             seed: keygen seed; in this reproduction the client derives the
                 same secret from (params, seed), standing in for an
                 out-of-band key exchange.
+            breaker_failures / breaker_reset_s: per-model circuit-breaker
+                overrides applied by the worker (None = worker defaults).
         """
         if isinstance(model, (str, Path)):
             model = load_model(model)
@@ -197,6 +206,8 @@ class ModelRegistry:
             encryptor=encryptor,
             decryptor=decryptor,
             keygen_seed=seed,
+            breaker_failures=breaker_failures,
+            breaker_reset_s=breaker_reset_s,
         )
         if entry.supports_batching:
             backend.ctx.add_rotation_keys(_batching_rotation_steps(entry))

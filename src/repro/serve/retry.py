@@ -1,0 +1,67 @@
+"""Client-side retry policy: capped exponential backoff with jitter.
+
+Only errors classified transient (``exc.transient`` on the
+:class:`repro.errors.ReproError` hierarchy, plus raw ``OSError`` from
+the socket layer) are retried — a ``SessionMismatchError`` will fail
+identically forever, and retrying it would only mask a real bug.
+
+Jitter is full-spectrum on the upper half of the window
+(``delay = backoff * uniform(0.5, 1.0)``) so a burst of clients knocked
+over by one server restart does not reconverge as a synchronised
+thundering herd.  The RNG is seedable for deterministic tests.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.errors import ReproError
+
+
+def is_transient(exc: BaseException) -> bool:
+    """Should this failure be retried?"""
+    if isinstance(exc, ReproError):
+        return exc.transient
+    return isinstance(exc, (ConnectionError, OSError))
+
+
+class RetryPolicy:
+    """``max_attempts`` tries with capped exponential backoff + jitter."""
+
+    def __init__(self, max_attempts: int = 4, base_delay_s: float = 0.02,
+                 max_delay_s: float = 1.0, seed: int | None = None,
+                 sleep=time.sleep):
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        self.max_attempts = max_attempts
+        self.base_delay_s = base_delay_s
+        self.max_delay_s = max_delay_s
+        self._rng = random.Random(seed)
+        self._sleep = sleep
+
+    def delay_s(self, attempt: int) -> float:
+        """Backoff before retry ``attempt`` (1-based), jittered."""
+        backoff = min(self.max_delay_s,
+                      self.base_delay_s * (2 ** (attempt - 1)))
+        return backoff * (0.5 + 0.5 * self._rng.random())
+
+    def call(self, fn, *, on_retry=None):
+        """Run ``fn()``; retry transient failures up to ``max_attempts``.
+
+        ``on_retry(exc, attempt)`` fires before each backoff sleep (the
+        client uses it to reconnect a dead socket).  The last failure is
+        re-raised once attempts are exhausted; permanent errors pass
+        straight through on the first occurrence.
+        """
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                return fn()
+            except BaseException as exc:  # noqa: BLE001 — reclassified below
+                if not is_transient(exc) or attempt >= self.max_attempts:
+                    raise
+                if on_retry is not None:
+                    on_retry(exc, attempt)
+                self._sleep(self.delay_s(attempt))

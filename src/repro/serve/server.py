@@ -24,21 +24,33 @@ import json
 import socket
 import struct
 import threading
+import time
 
 import numpy as np
 
+from repro import chaos
 from repro.ckks import CkksContext, CkksParameters
 from repro.ckks.serialize import (
     deserialize_ciphertext,
     serialize_ciphertext,
 )
-from repro.errors import DeserializationError, ReproError, ServeError
+from repro.errors import (
+    ConnectionClosedError,
+    DeserializationError,
+    MessageTooLargeError,
+    ReproError,
+    ServeError,
+)
 from repro.serve.metrics import Metrics
 from repro.serve.registry import ModelRegistry
+from repro.serve.retry import RetryPolicy
 from repro.serve.session import SessionManager
 from repro.serve.worker import InferenceWorker, ServeResponse
 
-_MAX_FRAME = 1 << 28  # 256 MiB: far above any toy-parameter ciphertext
+#: default cap on either length prefix of an inbound frame.  64 MiB is
+#: far above any toy-parameter ciphertext yet small enough that a
+#: hostile/corrupt prefix cannot drive the receiver out of memory.
+DEFAULT_MAX_MESSAGE_BYTES = 64 << 20
 
 
 # -- framing ---------------------------------------------------------------
@@ -59,21 +71,33 @@ def _recv_exact(sock: socket.socket, count: int) -> bytes:
     return b"".join(chunks)
 
 
-def recv_message(sock: socket.socket) -> tuple[dict, bytes] | None:
+def recv_message(
+    sock: socket.socket,
+    max_message_bytes: int = DEFAULT_MAX_MESSAGE_BYTES,
+) -> tuple[dict, bytes] | None:
+    """Receive one framed message; ``None`` on peer close.
+
+    A peer that disappears mid-frame (truncated send, reset) is a clean
+    close — the frame is simply gone, never a struct/JSON parse error.
+    A length prefix above ``max_message_bytes`` raises the typed
+    :class:`repro.errors.MessageTooLargeError` *before* any allocation.
+    """
     try:
         prefix = _recv_exact(sock, 8)
+        header_len, body_len = struct.unpack("<II", prefix)
+        if header_len > max_message_bytes or body_len > max_message_bytes:
+            raise MessageTooLargeError(
+                f"frame length prefix {header_len}+{body_len} bytes exceeds "
+                f"max_message_bytes={max_message_bytes}"
+            )
+        try:
+            header = json.loads(_recv_exact(sock, header_len))
+        except json.JSONDecodeError as exc:
+            raise DeserializationError(
+                f"corrupt frame header: {exc}") from exc
+        body = _recv_exact(sock, body_len) if body_len else b""
     except ConnectionError:
         return None
-    header_len, body_len = struct.unpack("<II", prefix)
-    if header_len > _MAX_FRAME or body_len > _MAX_FRAME:
-        raise DeserializationError(
-            f"frame too large ({header_len}+{body_len} bytes)"
-        )
-    try:
-        header = json.loads(_recv_exact(sock, header_len))
-    except json.JSONDecodeError as exc:
-        raise DeserializationError(f"corrupt frame header: {exc}") from exc
-    body = _recv_exact(sock, body_len) if body_len else b""
     return header, body
 
 
@@ -93,10 +117,19 @@ class InferenceServer:
         max_wait_s: float = 0.005,
         request_timeout_s: float = 30.0,
         exec_jobs: int | None = None,
+        exec_watchdog_s: float | None = None,
+        breaker_failures: int = 5,
+        breaker_reset_s: float = 30.0,
+        max_message_bytes: int = DEFAULT_MAX_MESSAGE_BYTES,
+        recv_timeout_s: float | None = None,
     ):
         self.registry = registry
         self.metrics = metrics or Metrics()
         self.sessions = SessionManager(registry)
+        self.max_message_bytes = max_message_bytes
+        # bounds how long one recv may sit idle: a slow-loris client
+        # trickling bytes cannot pin a connection thread forever
+        self.recv_timeout_s = recv_timeout_s
         self.worker = InferenceWorker(
             metrics=self.metrics,
             num_threads=num_threads,
@@ -104,6 +137,9 @@ class InferenceServer:
             max_wait_s=max_wait_s,
             request_timeout_s=request_timeout_s,
             exec_jobs=exec_jobs,
+            exec_watchdog_s=exec_watchdog_s,
+            breaker_failures=breaker_failures,
+            breaker_reset_s=breaker_reset_s,
         )
         self._sock = socket.create_server((host, port))
         self.host, self.port = self._sock.getsockname()[:2]
@@ -152,9 +188,21 @@ class InferenceServer:
 
     def _serve_connection(self, conn: socket.socket) -> None:
         with conn:
+            if self.recv_timeout_s is not None:
+                conn.settimeout(self.recv_timeout_s)
             while not self._stopping.is_set():
                 try:
-                    message = recv_message(conn)
+                    message = recv_message(conn, self.max_message_bytes)
+                except MessageTooLargeError as exc:
+                    # the refused body is still on the wire, so the
+                    # stream cannot be resynced: report, then close
+                    self.metrics.inc("serve_frames_oversize_total")
+                    try:
+                        send_message(
+                            conn, ServeResponse.failure(exc).header())
+                    except OSError:
+                        pass
+                    break
                 except (DeserializationError, OSError):
                     break
                 if message is None:
@@ -218,18 +266,81 @@ class InferenceServer:
 # -- clients ---------------------------------------------------------------
 
 class ServeClient:
-    """Low-level RPC client speaking the framed protocol."""
+    """Low-level RPC client speaking the framed protocol.
 
-    def __init__(self, host: str, port: int, timeout_s: float = 120.0):
-        self._sock = socket.create_connection((host, port),
-                                              timeout=timeout_s)
+    Wire-level failures — connection resets, truncated replies, a dead
+    server socket — surface as the transient
+    :class:`repro.errors.ConnectionClosedError`; :meth:`rpc` heals them
+    by reconnecting and resending under ``retry`` (capped exponential
+    backoff + jitter).  This is also where :mod:`repro.chaos` injects
+    its wire faults, so the healing path is exercised by the chaos
+    suite, not just trusted.
+    """
+
+    def __init__(self, host: str, port: int, timeout_s: float = 120.0,
+                 retry: RetryPolicy | None = None,
+                 max_message_bytes: int = DEFAULT_MAX_MESSAGE_BYTES):
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+        self.retry = retry or RetryPolicy()
+        self.max_message_bytes = max_message_bytes
+        self._sock: socket.socket | None = None
+        self._connect()
+
+    def _connect(self) -> None:
+        self.close()
+        self._sock = socket.create_connection((self.host, self.port),
+                                              timeout=self.timeout_s)
+
+    def _reconnect(self, _exc: BaseException, _attempt: int) -> None:
+        try:
+            self._connect()
+        except OSError:
+            self._sock = None  # next attempt raises transiently again
 
     def rpc(self, header: dict, body: bytes = b"") -> tuple[dict, bytes]:
-        send_message(self._sock, header, body)
-        message = recv_message(self._sock)
+        return self.retry.call(lambda: self._rpc_once(header, body),
+                               on_retry=self._reconnect)
+
+    def _rpc_once(self, header: dict, body: bytes) -> tuple[dict, bytes]:
+        if self._sock is None:
+            raise ConnectionClosedError("client socket is not connected")
+        self._send_with_chaos(header, body)
+        message = recv_message(self._sock, self.max_message_bytes)
         if message is None:
-            raise ServeError("server closed the connection")
+            raise ConnectionClosedError("server closed the connection")
         return message
+
+    def _send_with_chaos(self, header: dict, body: bytes) -> None:
+        fault = chaos.wire_fault()
+        if fault is None:
+            send_message(self._sock, header, body)
+            return
+        site, spec = fault
+        blob = json.dumps(header).encode()
+        frame = struct.pack("<II", len(blob), len(body)) + blob + body
+        if site == chaos.WIRE_RESET:
+            self.close()
+            raise ConnectionClosedError("chaos: injected connection reset")
+        if site == chaos.WIRE_TRUNCATE:
+            try:
+                self._sock.sendall(frame[:max(1, len(frame) // 2)])
+            finally:
+                self.close()
+            raise ConnectionClosedError("chaos: injected truncated frame")
+        if site == chaos.WIRE_OVERSIZE:
+            try:
+                self._sock.sendall(struct.pack("<II", 0xFFFFFFFF, 0xFFFFFFFF))
+            finally:
+                self.close()
+            raise ConnectionClosedError("chaos: injected oversized frame")
+        # WIRE_SLOW: trickle the frame out, then proceed normally
+        delay = spec.value if spec.value is not None else 0.005
+        step = max(1024, len(frame) // 8)
+        for off in range(0, len(frame), step):
+            self._sock.sendall(frame[off:off + step])
+            time.sleep(delay)
 
     def models(self) -> list[str]:
         reply, _ = self.rpc({"op": "models"})
@@ -240,10 +351,13 @@ class ServeClient:
         return reply
 
     def close(self) -> None:
+        if self._sock is None:
+            return
         try:
             self._sock.close()
         except OSError:
             pass
+        self._sock = None
 
     def __enter__(self) -> "ServeClient":
         return self
@@ -262,8 +376,15 @@ class RemoteModelClient:
     """
 
     def __init__(self, host: str, port: int, model_id: str,
-                 timeout_s: float = 120.0):
-        self.rpc_client = ServeClient(host, port, timeout_s=timeout_s)
+                 timeout_s: float = 120.0,
+                 retry: RetryPolicy | None = None):
+        # one policy for both layers: the ServeClient heals wire faults
+        # (reconnect + resend), while infer_bytes retries *typed*
+        # transient server failures (backpressure, deadline misses,
+        # chaos, open breakers) that arrive as ok=false headers
+        self._retry = retry or RetryPolicy()
+        self.rpc_client = ServeClient(host, port, timeout_s=timeout_s,
+                                      retry=self._retry)
         info, _ = self.rpc_client.rpc(
             {"op": "open_session", "model_id": model_id})
         if not info.get("ok"):
@@ -309,10 +430,17 @@ class RemoteModelClient:
         header = {"op": "infer", "session_id": self.session_id}
         if timeout_s is not None:
             header["timeout_s"] = timeout_s
-        reply, body = self.rpc_client.rpc(header, payload)
-        if not reply.get("ok"):
-            raise _error_from(reply)
-        return reply, body
+
+        def attempt() -> tuple[dict, bytes]:
+            reply, body = self.rpc_client.rpc(header, payload)
+            if not reply.get("ok"):
+                # typed reconstruction: transient errors (QueueFull,
+                # RequestTimeout, CircuitOpen, Chaos...) get retried by
+                # the policy; permanent ones propagate on first sight
+                raise _error_from(reply)
+            return reply, body
+
+        return self._retry.call(attempt)
 
     def infer(self, tensor: np.ndarray,
               timeout_s: float | None = None) -> np.ndarray:

@@ -14,6 +14,16 @@ bounded request queue:
   completed with a structured timeout failure, never executed;
 * execution errors complete the affected requests with structured
   failures — a poisoned request cannot crash the server;
+* a failed *batched* execution is **bisected**: every member is retried
+  as a singleton, so one poisoned request fails alone while its
+  batchmates still return results bit-identical to an unbatched run
+  (``serve_batch_bisections`` metric);
+* every model is guarded by a per-model **circuit breaker**
+  (:mod:`repro.serve.breaker`): after N consecutive execution failures
+  new requests are rejected cheaply with
+  :class:`repro.errors.CircuitOpenError` until a half-open probe
+  succeeds (``serve_circuit_state_<model>`` gauge,
+  ``serve_circuit_open_total`` counter);
 * ``close`` drains and fails pending work, then joins the threads.
 """
 
@@ -27,7 +37,9 @@ from concurrent.futures import Future
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass
 
+from repro import chaos
 from repro.errors import (
+    CircuitOpenError,
     QueueFullError,
     ReproError,
     RequestTimeoutError,
@@ -39,6 +51,7 @@ from repro.serve.batcher import (
     can_join,
     execute_batch,
 )
+from repro.serve.breaker import HALF_OPEN, OPEN, STATE_CODES, CircuitBreaker
 from repro.serve.metrics import Metrics
 from repro.serve.registry import ModelEntry
 
@@ -86,12 +99,20 @@ class InferenceWorker:
         max_wait_s: float = 0.005,
         request_timeout_s: float = 30.0,
         exec_jobs: int | None = None,
+        exec_watchdog_s: float | None = None,
+        breaker_failures: int = 5,
+        breaker_reset_s: float = 30.0,
     ):
         if num_threads < 1:
             raise ReproError("need at least one worker thread")
         self.metrics = metrics or Metrics()
         self.max_wait_s = max_wait_s
         self.request_timeout_s = request_timeout_s
+        self.exec_watchdog_s = exec_watchdog_s
+        self.breaker_failures = breaker_failures
+        self.breaker_reset_s = breaker_reset_s
+        self._breakers: dict[str, CircuitBreaker] = {}
+        self._breakers_lock = threading.Lock()
         # Op-level parallelism inside one batch execution.  All worker
         # threads draw executor threads from ONE shared budget, so the
         # total (serve threads x executor threads) stays bounded by
@@ -124,23 +145,37 @@ class InferenceWorker:
     ) -> Future:
         """Enqueue one request; returns a Future of :class:`ServeResponse`.
 
-        Raises :class:`ServerShutdownError` after :meth:`close` and
-        :class:`QueueFullError` when the bounded queue is full.
+        Raises :class:`ServerShutdownError` after :meth:`close`,
+        :class:`QueueFullError` when the bounded queue is full, and
+        :class:`CircuitOpenError` while the model's breaker is open.
         """
         if self._stopping:
             raise ServerShutdownError("server is shutting down")
+        breaker = self.breaker(entry)
+        probing = breaker.state == HALF_OPEN
+        if not breaker.allow():
+            self.metrics.inc("serve_requests_rejected_total")
+            self.metrics.inc("serve_circuit_rejected_total")
+            raise CircuitOpenError(
+                f"circuit open for model {entry.model_id!r}")
         timeout_s = self.request_timeout_s if timeout_s is None else timeout_s
+        request_id = next(self._ids)
         req = PendingRequest(
-            request_id=next(self._ids),
+            request_id=request_id,
             session_id=session_id,
             fingerprint=entry.fingerprint,
             entry=entry,
             ciphertext=ciphertext,
             deadline=time.monotonic() + timeout_s if timeout_s else None,
+            poisoned=chaos.poison_request(request_id),
         )
         try:
             self._queue.put_nowait(req)
         except queue.Full:
+            if probing:
+                # the half-open probe never reached execution; reopen so
+                # the breaker does not wedge with a probe in flight
+                breaker.record_failure()
             self.metrics.inc("serve_requests_rejected_total")
             raise QueueFullError(
                 f"request queue full ({self._queue.maxsize} pending)"
@@ -217,17 +252,57 @@ class InferenceWorker:
                 live.append(req)
         return live
 
+    def breaker(self, entry: ModelEntry) -> CircuitBreaker:
+        """The (lazily created) circuit breaker guarding ``entry``.
+
+        The registry entry may override the worker-wide threshold/reset
+        defaults (see :class:`repro.serve.registry.ModelEntry`).
+        """
+        with self._breakers_lock:
+            breaker = self._breakers.get(entry.model_id)
+            if breaker is None:
+                breaker = self._breakers[entry.model_id] = CircuitBreaker(
+                    failure_threshold=(entry.breaker_failures
+                                       or self.breaker_failures),
+                    reset_timeout_s=(entry.breaker_reset_s
+                                     if entry.breaker_reset_s is not None
+                                     else self.breaker_reset_s),
+                )
+                self.metrics.set_gauge(
+                    f"serve_circuit_state_{entry.model_id}",
+                    STATE_CODES[breaker.state])
+            return breaker
+
+    def _record_outcome(self, entry: ModelEntry, success: bool) -> None:
+        model_id = entry.model_id
+        breaker = self.breaker(entry)
+        before = breaker.state
+        if success:
+            breaker.record_success()
+        else:
+            breaker.record_failure()
+        after = breaker.state
+        if after == OPEN and before != OPEN:
+            self.metrics.inc("serve_circuit_open_total")
+        self.metrics.set_gauge(
+            f"serve_circuit_state_{model_id}", STATE_CODES[after])
+
     def _execute(self, batch: list[PendingRequest]) -> None:
         entry = batch[0].entry
         started = time.monotonic()
         try:
             results = execute_batch(entry, batch, jobs=self.exec_jobs,
-                                    budget=self.exec_budget)
+                                    budget=self.exec_budget,
+                                    watchdog_s=self.exec_watchdog_s)
         except Exception as exc:  # noqa: BLE001 — worker must survive
-            self.metrics.inc("serve_requests_failed_total", len(batch))
-            for req in batch:
-                self._fail(req, exc)
+            if len(batch) > 1:
+                self._bisect(batch)
+            else:
+                self._record_outcome(entry, success=False)
+                self.metrics.inc("serve_requests_failed_total")
+                self._fail(batch[0], exc)
             return
+        self._record_outcome(entry, success=True)
         finished = time.monotonic()
         self.metrics.inc("serve_batches_total")
         self.metrics.observe("serve_batch_occupancy", len(batch))
@@ -245,6 +320,27 @@ class InferenceWorker:
                 batch_size=result.batch_size,
                 latency_s=latency,
             ))
+
+    def _bisect(self, batch: list[PendingRequest]) -> None:
+        """Isolate a batch failure by retrying each request alone.
+
+        Splitting straight to singletons (not halves) is deliberate: a
+        surviving 2-batch still shares a ciphertext, and the encode
+        rounding of slot packing perturbs its results relative to an
+        unbatched run.  Singleton retries keep every healthy request's
+        result bit-identical to what an unbatched server would return,
+        while the poisoned request fails alone with its typed error.
+        """
+        self.metrics.inc("serve_batch_bisections")
+        now = time.monotonic()
+        for req in batch:
+            if req.expired(now):
+                self.metrics.inc("serve_requests_timeout_total")
+                self._fail(req, RequestTimeoutError(
+                    f"request {req.request_id} expired during batch "
+                    "bisection"))
+            else:
+                self._execute([req])
 
     def _fail(self, req: PendingRequest, exc: BaseException) -> None:
         latency = time.monotonic() - req.enqueued_at

@@ -130,6 +130,87 @@ def test_metrics_over_the_wire(server):
     assert hists["serve_request_latency_s"]["count"] >= 1
 
 
+def test_server_survives_oversized_frame(server):
+    """A hostile length prefix gets a typed reply, never an allocation;
+    the connection is closed because the stream cannot be resynced."""
+    import socket
+    import struct
+
+    from repro.serve.server import recv_message
+
+    srv, _ = server
+    with socket.create_connection((srv.host, srv.port), timeout=30) as sock:
+        sock.sendall(struct.pack("<II", 0xFFFFFFFF, 0xFFFFFFFF))
+        message = recv_message(sock)
+        assert message is not None
+        reply, _ = message
+        assert not reply["ok"]
+        assert reply["error"] == "MessageTooLargeError"
+        assert recv_message(sock) is None  # server closed after replying
+    with ServeClient(srv.host, srv.port) as rpc:
+        counters = rpc.metrics()["snapshot"]["counters"]
+        assert counters["serve_frames_oversize_total"] >= 1
+        assert rpc.models() == ["credit"]  # and the server still serves
+
+
+def _wire_error_classes():
+    """Every ReproError subclass reachable from the errors module.
+
+    ``_error_from`` reconstructs errors by name from :mod:`repro.errors`,
+    so this is exactly the set that round-trips typed over the wire.
+    """
+    import repro.errors as errors_mod
+    from repro.errors import ReproError
+
+    seen, stack = [], [ReproError]
+    while stack:
+        cls = stack.pop()
+        seen.append(cls)
+        stack.extend(cls.__subclasses__())
+    return sorted({c for c in seen
+                   if getattr(errors_mod, c.__name__, None) is c},
+                  key=lambda c: c.__name__)
+
+
+def test_library_error_classes_all_round_trip():
+    # an error class defined outside repro.errors would silently
+    # degrade to a bare ServeError on the client; catch that drift here
+    import repro.errors as errors_mod
+    from repro.errors import ReproError
+
+    stack = [ReproError]
+    while stack:
+        cls = stack.pop()
+        if cls.__module__.startswith("repro"):
+            assert getattr(errors_mod, cls.__name__, None) is cls, (
+                f"{cls.__module__}.{cls.__name__} is not importable from "
+                "repro.errors and cannot round-trip over the wire")
+        stack.extend(cls.__subclasses__())
+
+
+@pytest.mark.parametrize("cls", _wire_error_classes(),
+                         ids=lambda c: c.__name__)
+def test_error_header_round_trips_typed(cls):
+    from repro.serve.server import _error_from
+    from repro.serve.worker import ServeResponse
+
+    reply = ServeResponse.failure(cls("boom")).header()
+    rebuilt = _error_from(reply)
+    assert type(rebuilt) is cls
+    assert rebuilt.transient is cls.transient  # retryability survives
+    assert "boom" in str(rebuilt)
+
+
+def test_error_from_unknown_names_fall_back_to_serve_error():
+    from repro.errors import ServeError
+    from repro.serve.server import _error_from
+
+    for name in ("InternalError", "ValueError", None):
+        rebuilt = _error_from({"error": name, "message": "x"})
+        assert type(rebuilt) is ServeError
+        assert not rebuilt.transient
+
+
 def test_cli_serve_and_client(tmp_path, capsys):
     """The ``repro serve`` / ``repro client`` pair over a real socket."""
     model_path = tmp_path / "credit.onnx"
