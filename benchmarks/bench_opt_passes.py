@@ -1,0 +1,276 @@
+"""Benchmark of the algebraic op-reduction optimizer (``--opt-level``).
+
+Two rows:
+
+* **bsgs-heads** (gated) — a multi-head BSGS GEMM: several attention-
+  style heads share one input, so every head re-derives the same
+  baby-step rotations and the optimizer's cross-head CSE merges them.
+  Compiled at ``--opt-level 0`` (raw lowering) and ``2`` (default) and
+  executed on one :class:`ExactBackend` with one shared pre-encrypted
+  input, which makes the runs directly comparable and lets the bench
+  assert *ciphertext bit-identity* between opt levels — on this model
+  only bit-exact rewrites fire, so the optimized program must produce
+  residue-for-residue identical output.  Gates:
+
+  - key-switch ops (relin + rotate + conjugate) reduced by >= 15%;
+  - end-to-end execution speedup >= 1.15x;
+  - bit-identical ExactBackend ciphertexts at opt 0 vs opt 2.
+
+* **relu-lazy-relin** (recorded, not gated) — a GEMM+ReLU model whose
+  sign-polynomial evaluation exercises the lazy-relinearisation
+  patterns (relin/rescale commutation).  Records the rewrite count and
+  checks opt-0/opt-2 agreement on a noiseless ``SimBackend``, where
+  every level-2 rewrite is exact arithmetic.
+
+Results are written to ``BENCH_opt_passes.json`` (override with
+``--out``).
+
+Run:   PYTHONPATH=src python benchmarks/bench_opt_passes.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import time
+
+import numpy as np
+
+from repro.backend import ExactBackend
+from repro.ckks import CkksParameters
+from repro.compiler import ACECompiler, CompileOptions
+from repro.onnx import OnnxGraphBuilder, load_model_bytes, model_to_bytes
+from repro.passes.opt import key_switch_count
+from repro.runtime.ckks_interp import run_ckks_function
+
+KEY_SWITCH_REDUCTION_TARGET = 0.15
+SPEEDUP_TARGET = 1.15
+
+
+def _median_time(fn, repeats: int) -> float:
+    times = []
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - t0)
+    return statistics.median(times)
+
+
+def build_heads_model(features: int, heads: int, seed: int = 0):
+    """`heads` parallel GEMMs (distinct weights) on one input, summed.
+
+    Each head's BSGS lowering emits the same baby-step rotations of the
+    shared input; only the plaintext diagonal weights differ.  The raw
+    lowering performs them per head — the optimizer merges them.
+    """
+    rng = np.random.default_rng(seed)
+    builder = OnnxGraphBuilder("bsgs_heads")
+    builder.add_input("x", [1, features])
+    outs = []
+    for h in range(heads):
+        w = (rng.normal(size=(features, features)) * 0.3).astype(
+            np.float32)
+        bias = (rng.normal(size=(features,)) * 0.1).astype(np.float32)
+        wn = builder.add_initializer(f"w{h}", w)
+        bn = builder.add_initializer(f"b{h}", bias)
+        outs.append(builder.add_node("Gemm", ["x", wn, bn], transB=1))
+    current = outs[0]
+    for h in range(1, heads):
+        current = builder.add_node(
+            "Add", [current, outs[h]],
+            outputs=["output"] if h == heads - 1 else None)
+    builder.add_output("output", [1, features])
+    return load_model_bytes(model_to_bytes(builder.build()))
+
+
+def bench_bsgs_heads(features: int, heads: int, poly_degree: int,
+                     repeats: int) -> dict:
+    """The gated row: opt 0 vs opt 2 on one exact backend."""
+    model = build_heads_model(features, heads)
+    params = CkksParameters(poly_degree=poly_degree, scale_bits=30,
+                            first_prime_bits=40, num_levels=4)
+    programs = {}
+    for level in (0, 2):
+        programs[level] = ACECompiler(model, CompileOptions(
+            exact_params=params, bootstrap_enabled=False, poly_mode="off",
+            gemm_strategy="bsgs", opt_level=level)).compile()
+    key_switches = {level: key_switch_count(p.module)
+                    for level, p in programs.items()}
+    ops = {level: sum(fn.op_count() for fn in p.module.functions.values())
+           for level, p in programs.items()}
+
+    # one backend + one encrypted input: the two executions differ only
+    # in the compiled op sequence, so ciphertexts must match bit for bit
+    steps = sorted(set(programs[0].rotation_steps)
+                   | set(programs[2].rotation_steps))
+    backend = ExactBackend(params, rotation_steps=steps, seed=0)
+    x = np.random.default_rng(1).normal(size=(1, features)) * 0.5
+    ct = backend.encrypt(programs[0].pack_input(x))
+
+    def once(level):
+        module = programs[level].module
+        return run_ckks_function(module, module.main(), backend, [ct],
+                                 check_plan=False)[0]
+
+    out0 = once(0)  # also warms NTT tables / key stacks
+    out2 = once(2)
+    bit_identical = len(out0.parts) == len(out2.parts) and all(
+        np.array_equal(a.residues, b.residues)
+        for a, b in zip(out0.parts, out2.parts)
+    )
+    times = {level: _median_time(lambda: once(level), repeats)
+             for level in (0, 2)}
+    reduction = (key_switches[0] - key_switches[2]) / key_switches[0]
+    return {
+        "model": "bsgs-heads",
+        "features": features,
+        "heads": heads,
+        "poly_degree": poly_degree,
+        "ops": {"opt0": ops[0], "opt2": ops[2]},
+        "key_switches": {"opt0": key_switches[0], "opt2": key_switches[2]},
+        "key_switch_reduction": reduction,
+        "opt0_s": times[0],
+        "opt2_s": times[2],
+        "speedup": times[0] / times[2],
+        "bit_identical": bit_identical,
+        "opt_rows": programs[2].stats["opt"]["rows"],
+        "gated": True,
+    }
+
+
+def bench_relu_lazy_relin(features: int) -> dict:
+    """The showcase row: lazy relin around the ReLU sign polynomial."""
+    rng = np.random.default_rng(3)
+    builder = OnnxGraphBuilder("relu")
+    builder.add_input("x", [1, features])
+    w = (rng.normal(size=(features, features)) * 0.3).astype(np.float32)
+    bias = (rng.normal(size=(features,)) * 0.1).astype(np.float32)
+    h = builder.add_node(
+        "Gemm", ["x", builder.add_initializer("w", w),
+                 builder.add_initializer("b", bias)], transB=1)
+    r = builder.add_node("Relu", [h])
+    w2 = (rng.normal(size=(4, features)) * 0.3).astype(np.float32)
+    builder.add_node("Gemm", [r, builder.add_initializer("w2", w2)],
+                     outputs=["output"], transB=1)
+    builder.add_output("output", [1, 4])
+    model = load_model_bytes(model_to_bytes(builder.build()))
+    image = rng.normal(size=(1, features)) * 0.5
+
+    outputs, programs = {}, {}
+    for level in (0, 2):
+        programs[level] = ACECompiler(model, CompileOptions(
+            poly_mode="off", opt_level=level)).compile()
+        backend = programs[level].make_sim_backend(inject_noise=False,
+                                                   seed=0)
+        outputs[level] = programs[level].run(backend, image)[0]
+    rows = programs[2].stats["opt"]["rows"]
+    lazy = sum(r["rewrites"] for r in rows if r["pass"] == "lazy-relin")
+    return {
+        "model": "relu-lazy-relin",
+        "features": features,
+        "ops": {
+            level: sum(fn.op_count()
+                       for fn in programs[level].module.functions.values())
+            for level in (0, 2)
+        },
+        "lazy_relin_rewrites": lazy,
+        "noiseless_sim_identical": bool(
+            np.array_equal(outputs[0], outputs[2])),
+        "gated": False,
+    }
+
+
+def run(quick: bool) -> dict:
+    if quick:
+        heads = bench_bsgs_heads(features=32, heads=4, poly_degree=256,
+                                 repeats=3)
+        relu = bench_relu_lazy_relin(features=12)
+    else:
+        heads = bench_bsgs_heads(features=64, heads=4, poly_degree=512,
+                                 repeats=5)
+        relu = bench_relu_lazy_relin(features=16)
+    return {
+        "benchmark": "bench_opt_passes",
+        "mode": "quick" if quick else "full",
+        "key_switch_reduction_target": KEY_SWITCH_REDUCTION_TARGET,
+        "speedup_target": SPEEDUP_TARGET,
+        "runs": [heads, relu],
+    }
+
+
+def check(results: dict) -> list[str]:
+    """Gate failures (empty list = pass)."""
+    failures = []
+    for row in results["runs"]:
+        name = row["model"]
+        if row.get("noiseless_sim_identical") is False:
+            failures.append(
+                f"{name}: opt levels disagree on the noiseless simulator")
+        if not row["gated"]:
+            continue
+        if not row["bit_identical"]:
+            failures.append(
+                f"{name}: opt-2 ExactBackend ciphertext is not "
+                f"bit-identical to opt-0")
+        if (row["key_switch_reduction"]
+                < results["key_switch_reduction_target"]):
+            failures.append(
+                f"{name}: key-switch reduction "
+                f"{row['key_switch_reduction']:.1%} below the "
+                f"{results['key_switch_reduction_target']:.0%} target")
+        if row["speedup"] < results["speedup_target"]:
+            failures.append(
+                f"{name}: opt-2 speedup {row['speedup']:.2f}x below "
+                f"the {results['speedup_target']:.2f}x target")
+    return failures
+
+
+def test_opt_passes_reduce_key_switches():
+    results = run(quick=True)
+    assert not check(results), check(results)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--quick", action="store_true",
+                        help="small sizes / fewer repeats for CI")
+    parser.add_argument("--out", default="BENCH_opt_passes.json",
+                        help="where to write the JSON results")
+    args = parser.parse_args()
+    results = run(quick=args.quick)
+    for row in results["runs"]:
+        if row["model"] == "bsgs-heads":
+            ks = row["key_switches"]
+            print(
+                f"{row['model']:16s} N={row['poly_degree']} "
+                f"heads={row['heads']}: key switches {ks['opt0']} -> "
+                f"{ks['opt2']} (-{row['key_switch_reduction']:.1%})  "
+                f"opt0 {row['opt0_s']:.3f}s  opt2 {row['opt2_s']:.3f}s  "
+                f"speedup {row['speedup']:.2f}x  "
+                f"bit-identical={row['bit_identical']}"
+            )
+        else:
+            print(
+                f"{row['model']:16s} ops {row['ops'][0]} -> "
+                f"{row['ops'][2]}  lazy-relin rewrites "
+                f"{row['lazy_relin_rewrites']}  noiseless-sim "
+                f"identical={row['noiseless_sim_identical']}  [not gated]"
+            )
+    failures = check(results)
+    results["failures"] = failures
+    with open(args.out, "w") as fh:
+        json.dump(results, fh, indent=2)
+    print(f"results written to {args.out}")
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        return 1
+    print(
+        f"targets (key switches -{KEY_SWITCH_REDUCTION_TARGET:.0%}, "
+        f"speedup >= {SPEEDUP_TARGET:.2f}x, exact bit-identity): PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

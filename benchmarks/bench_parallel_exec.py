@@ -42,6 +42,7 @@ import numpy as np
 from repro.backend import ExactBackend, SchemeConfig, SimBackend
 from repro.ckks import CkksParameters
 from repro.ir import CipherType, IRBuilder, Module, compute_schedule
+from repro.passes.opt import optimize_module
 from repro.runtime.ckks_interp import run_ckks_function
 
 SPEEDUP_TARGET = 1.3
@@ -84,6 +85,21 @@ def build_branchy_program(slots: int, branches: int, chain: int) -> tuple:
         ]
     b.ret(tips)
     return module, b.function
+
+
+def _schedules_around_opt(slots: int, branches: int, chain: int) -> dict:
+    """Wavefront stats before and after the op-reduction optimizer.
+
+    Built on a fresh copy so the benchmarked (unoptimized) program is
+    untouched: the rotation chains compose to one rotation per branch,
+    which shortens the critical path without narrowing the usable width.
+    """
+    pre_module, pre_fn = build_branchy_program(slots, branches, chain)
+    pre = compute_schedule(pre_fn).describe()
+    post_module, post_fn = build_branchy_program(slots, branches, chain)
+    optimize_module(post_module, "ckks", opt_level=2)
+    post = compute_schedule(post_fn).describe()
+    return {"schedule_pre_opt": pre, "schedule_post_opt": post}
 
 
 class LatencyBackend:
@@ -190,6 +206,7 @@ def bench_real_model(poly_degree: int, num_levels: int, branches: int,
         "num_levels": num_levels,
         "ops": len(fn.body),
         "schedule": compute_schedule(fn).describe(),
+        **_schedules_around_opt(slots, branches, chain),
         "usable_cpus": cpus,
         "sequential_s": sequential_s,
         "parallel_s": parallel_s,

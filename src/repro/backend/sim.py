@@ -30,6 +30,7 @@ from repro import chaos
 from repro.backend.interface import HEBackend, SchemeConfig
 from repro.backend.trace import OpTrace
 from repro.errors import (
+    CiphertextDegreeError,
     LevelMismatchError,
     NoiseBudgetExhausted,
     ParameterError,
@@ -147,6 +148,14 @@ class SimBackend(HEBackend):
             )
 
     @staticmethod
+    def _check_degrees(a, b) -> None:
+        if a.size != b.size:
+            raise CiphertextDegreeError(
+                f"ciphertext degrees differ: size {a.size} vs {b.size}; "
+                "relinearise (or defer both relins) before adding"
+            )
+
+    @staticmethod
     def _check_scales(a, b) -> None:
         if not math.isclose(a.scale, b.scale, rel_tol=_SCALE_RTOL):
             raise ScaleMismatchError(
@@ -231,9 +240,10 @@ class SimBackend(HEBackend):
     def add(self, a, b):
         self._check_levels(a, b)
         self._check_scales(a, b)
+        self._check_degrees(a, b)
         self._rec("add", a.level)
         return SimCipher(
-            a.values + b.values, a.scale, a.level, max(a.size, b.size),
+            a.values + b.values, a.scale, a.level, a.size,
             a.slots_in_use,
         )
 
@@ -247,9 +257,10 @@ class SimBackend(HEBackend):
     def sub(self, a, b):
         self._check_levels(a, b)
         self._check_scales(a, b)
+        self._check_degrees(a, b)
         self._rec("sub", a.level)
         return SimCipher(
-            a.values - b.values, a.scale, a.level, max(a.size, b.size),
+            a.values - b.values, a.scale, a.level, a.size,
             a.slots_in_use,
         )
 

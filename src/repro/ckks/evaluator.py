@@ -31,6 +31,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import (
+    CiphertextDegreeError,
     LevelMismatchError,
     NoiseBudgetExhausted,
     ParameterError,
@@ -190,30 +191,23 @@ class CkksEvaluator:
                 f"2^{math.log2(b_scale):.3f}"
             )
 
+    def _check_degrees(self, a: Ciphertext, b: Ciphertext) -> None:
+        if a.size != b.size:
+            raise CiphertextDegreeError(
+                f"ciphertext degrees differ: size {a.size} vs {b.size}; "
+                "relinearise (or defer both relins) before adding"
+            )
+
     def add(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
         self._check_binary(a, b)
-        size = max(a.size, b.size)
-        parts = []
-        for i in range(size):
-            if i < a.size and i < b.size:
-                parts.append(a.parts[i] + b.parts[i])
-            elif i < a.size:
-                parts.append(a.parts[i].copy())
-            else:
-                parts.append(b.parts[i].copy())
+        self._check_degrees(a, b)
+        parts = [pa + pb for pa, pb in zip(a.parts, b.parts)]
         return Ciphertext(parts, a.scale, max(a.slots_in_use, b.slots_in_use))
 
     def sub(self, a: Ciphertext, b: Ciphertext) -> Ciphertext:
         self._check_binary(a, b)
-        size = max(a.size, b.size)
-        parts = []
-        for i in range(size):
-            if i < a.size and i < b.size:
-                parts.append(a.parts[i] - b.parts[i])
-            elif i < a.size:
-                parts.append(a.parts[i].copy())
-            else:
-                parts.append(-b.parts[i])
+        self._check_degrees(a, b)
+        parts = [pa - pb for pa, pb in zip(a.parts, b.parts)]
         return Ciphertext(parts, a.scale, max(a.slots_in_use, b.slots_in_use))
 
     def negate(self, a: Ciphertext) -> Ciphertext:

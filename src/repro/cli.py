@@ -34,6 +34,12 @@ def _add_compile_options(parser: argparse.ArgumentParser) -> None:
                         choices=("auto", "dedup", "bsgs"))
     parser.add_argument("--poly-mode", default="stats",
                         choices=("off", "stats", "full"))
+    parser.add_argument("--opt-level", type=int, default=2,
+                        choices=(0, 1, 2),
+                        help="op-reduction optimizer: 0 = raw lowering, "
+                             "1 = bit-exact rewrites (CSE, dedup, folds), "
+                             "2 = + rotation composition, lazy relin, "
+                             "rescale sinking (default)")
 
 
 def _options_from(args):
@@ -45,7 +51,40 @@ def _options_from(args):
         batch_size=args.batch_size,
         gemm_strategy=args.gemm_strategy,
         poly_mode=args.poly_mode,
+        opt_level=args.opt_level,
     )
+
+
+def _opt_summary_line(program) -> str:
+    """One-line optimizer summary, e.g. for ``repro run`` logs."""
+    opt = program.stats.get("opt", {})
+    before = opt.get("key_switches_before")
+    after = opt.get("key_switches_after")
+    if before is None or not before:
+        return (f"opt: level {opt.get('opt_level', '?')}, "
+                f"no rewrites recorded")
+    saved = 100.0 * (before - after) / before
+    return (f"opt: level {opt['opt_level']}, key switches "
+            f"{before} -> {after} (-{saved:.1f}%), ops "
+            f"{opt['ops_before']} -> {opt['ops_after']}")
+
+
+def _explain_table(program) -> str:
+    """Per-pass op-delta table from ``program.stats['opt']``."""
+    rows = program.stats.get("opt", {}).get("rows", [])
+    if not rows:
+        return "no optimizer passes ran (--opt-level 0)"
+    header = (f"{'stage':<6} {'pass':<18} {'rewrites':>8} "
+              f"{'ops':>12} {'key-switches':>14} {'levels':>10}")
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(
+            f"{row['stage']:<6} {row['pass']:<18} {row['rewrites']:>8} "
+            f"{row['ops_before']:>5} -> {row['ops_after']:<4} "
+            f"{row['key_switches_before']:>6} -> {row['key_switches_after']:<5} "
+            f"{row['level_span_before']:>4} -> {row['level_span_after']:<3}"
+        )
+    return "\n".join(lines)
 
 
 def _compile(args) -> int:
@@ -69,6 +108,7 @@ def _compile(args) -> int:
         },
         "ckks_ops": program.stats["ckks_ops"],
         "rotation_keys": len(program.rotation_steps),
+        "opt": program.stats.get("opt", {}),
         "compile_seconds": {
             k: round(v, 3) for k, v in program.pass_timers.items()
         },
@@ -79,6 +119,9 @@ def _compile(args) -> int:
     print(f"generated program: {py_path}")
     print(f"client tools:      {tools_path}")
     print(f"report:            {out_dir / 'report.json'}")
+    if args.explain:
+        print(_explain_table(program))
+    print(_opt_summary_line(program))
     print(json.dumps(report["selection"]))
     return 0
 
@@ -123,6 +166,7 @@ def _run(args) -> int:
         tensor = np.load(args.input)
     else:
         tensor = np.random.default_rng(args.seed).normal(size=shape) * 0.5
+    print(_opt_summary_line(program))
     backend = program.make_sim_backend(seed=args.seed)
     outputs = program.run(backend, tensor, check_plan=False,
                           jobs=args.jobs)
@@ -210,6 +254,9 @@ def main(argv=None) -> int:
     p_compile = sub.add_parser("compile", help="compile an ONNX model")
     _add_compile_options(p_compile)
     p_compile.add_argument("-o", "--output", default="fhe_out")
+    p_compile.add_argument("--explain", action="store_true",
+                           help="print the optimizer's per-pass op-delta "
+                                "table (ops, key switches, levels)")
     p_compile.set_defaults(fn=_compile)
 
     p_run = sub.add_parser("run", help="compile and run one inference")

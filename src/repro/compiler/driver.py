@@ -23,8 +23,12 @@ from repro.ir import Module, Pass, PassManager, schedule_pass
 from repro.ir.printer import print_function
 from repro.onnx.protos import ModelProto
 from repro.params import ParameterSelector, SelectedParameters
-from repro.passes.common import run_cleanups
 from repro.passes.frontend import onnx_to_nn
+from repro.passes.opt import (
+    make_opt_pass,
+    recompute_rotation_steps,
+    summarize_opt_stats,
+)
 from repro.passes.lowering.nn_to_vector import NnToVectorLowering
 from repro.passes.lowering.sihe_to_ckks import (
     DepthAnalysis,
@@ -92,6 +96,10 @@ class CompileOptions:
     #: homomorphic ops are shared, so throughput scales by the factor
     #: (Table 2 "Batching"); must be a power of two
     batch_size: int = 1
+    #: op-reduction optimizer: 0 = raw lowering output, 1 = bit-exact
+    #: rewrites only (CSE, dedup, folds), 2 = + rotation composition,
+    #: lazy relinearization, rescale sinking (see repro.passes.opt)
+    opt_level: int = 2
 
 
 @dataclass
@@ -287,6 +295,8 @@ class ACECompiler:
             "ckks_ops": module.main().op_count(),
             "rotations": len(context["rotation_steps"]),
             "schedule": context["schedules"][module.main().name].describe(),
+            "opt": summarize_opt_stats(context.get("opt_stats", []),
+                                       opts.opt_level),
         }
         if opts.poly_mode != "off":
             stats["poly"] = self._poly_stage(timers, module, context, scheme)
@@ -350,14 +360,23 @@ class ACECompiler:
                                opts.batch_size).run,
             "data layout selection, batching, conv/matmul optimisation",
         ))
-        pm2.add(Pass("vector-cleanup", "VECTOR",
-                     lambda m, c: run_cleanups(m, c)))
+        if opts.opt_level >= 1:
+            pm2.add(Pass(
+                "vector-opt", "VECTOR",
+                make_opt_pass("vector", opts.opt_level),
+                "op reduction: CSE, roll dedup/composition",
+            ))
         pm2.add(Pass(
             "vector-to-sihe", "SIHE",
             VectorToSiheLowering(opts.sign_iterations, opts.relu_bound).run,
             "FHE computation recognition, nonlinear approximation",
         ))
-        pm2.add(Pass("sihe-cleanup", "SIHE", lambda m, c: run_cleanups(m, c)))
+        if opts.opt_level >= 1:
+            pm2.add(Pass(
+                "sihe-opt", "SIHE",
+                make_opt_pass("sihe", opts.opt_level),
+                "op reduction: CSE, rotation dedup/composition",
+            ))
         pm2.add(Pass(
             "sihe-depth-analysis", "CKKS",
             lambda m, c: c.__setitem__(
@@ -379,6 +398,12 @@ class ACECompiler:
             moduli = [float(2**scheme.first_prime_bits)] + [
                 float(2**scheme.scale_bits)
             ] * scheme.num_levels
+        from repro.evalharness.costmodel import CostModel
+
+        context["cost_model"] = CostModel(
+            poly_degree=scheme.poly_degree,
+            num_special_primes=scheme.num_special_primes,
+        )
         pm = PassManager(timers=timers.timers)
         pm.add(Pass(
             "sihe-to-ckks", "CKKS",
@@ -388,9 +413,18 @@ class ACECompiler:
             ).run,
             "rescale/relin/bootstrap placement, key analysis",
         ))
-        pm.add(Pass("ckks-cleanup", "CKKS", lambda m, c: run_cleanups(m, c)))
-        # wavefront/DAG analysis of the final op list for the parallel
-        # executor and for stats reporting (must follow every rewrite)
+        if self.options.opt_level >= 1:
+            pm.add(Pass(
+                "ckks-opt", "CKKS",
+                make_opt_pass("ckks", self.options.opt_level),
+                "op reduction: CSE, rotation composition, lazy relin, "
+                "rescale sinking",
+            ))
+        # the rotation-key working set and the wavefront/DAG schedule
+        # are both properties of the *final* op list, so they follow
+        # every rewrite (at all opt levels)
+        pm.add(Pass("rotation-key-analysis", "CKKS",
+                    recompute_rotation_steps))
         pm.add(schedule_pass())
         pm.run(module, context)
 

@@ -45,6 +45,16 @@ class LevelMismatchError(ReproError):
     """Homomorphic operands live at different levels."""
 
 
+class CiphertextDegreeError(ReproError):
+    """Homomorphic operands have incompatible ciphertext degrees.
+
+    Adding a size-2 to a size-3 ciphertext would silently drop the
+    quadratic part on one side; the optimizer's lazy-relinearization
+    pass guarantees both operands carry the same number of parts, so a
+    mismatch at runtime is always a compiler bug, never user error.
+    """
+
+
 class DeserializationError(ParameterError):
     """A serialized payload is malformed, truncated, or corrupted.
 

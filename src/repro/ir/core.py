@@ -93,6 +93,30 @@ class Function:
             return len(self.body)
         return sum(1 for op in self.body if op.opcode == opcode)
 
+    def use_counts(self) -> dict[int, int]:
+        """Map ``value.id`` to its total number of uses (returns count)."""
+        counts: dict[int, int] = {}
+        for op in self.body:
+            for operand in op.operands:
+                counts[operand.id] = counts.get(operand.id, 0) + 1
+        for v in self.returns:
+            counts[v.id] = counts.get(v.id, 0) + 1
+        return counts
+
+    def replace_uses(self, old: Value, new: Value) -> int:
+        """Rewrite every use of ``old`` (operands + returns) to ``new``."""
+        replaced = 0
+        for op in self.body:
+            for i, operand in enumerate(op.operands):
+                if operand is old:
+                    op.operands[i] = new
+                    replaced += 1
+        for i, v in enumerate(self.returns):
+            if v is old:
+                self.returns[i] = new
+                replaced += 1
+        return replaced
+
     def dce(self) -> int:
         """Remove ops whose results are unused; returns ops removed."""
         removed_total = 0

@@ -70,9 +70,22 @@ def _c_neg(types, attrs):
 
 @OPS.define("ckks.mul", 2)
 def _c_mul(types, attrs):
-    """mul x y — Cipher*Plain -> Cipher; Cipher*Cipher -> Cipher3."""
-    a = _cipher(types, 0, "ckks.mul")
+    """mul x y — Cipher*Plain -> Cipher; Cipher*Cipher -> Cipher3.
+
+    Cipher3*Plain -> Cipher3 is also legal (part-wise plaintext
+    multiplication): the lazy-relinearisation pass uses it to push a
+    plaintext multiply below a deferred relin.
+    """
+    a = types[0]
     b = types[1]
+    if isinstance(a, Cipher3Type):
+        if not isinstance(b, PlainType):
+            raise IRTypeError("ckks.mul on cipher3 needs a plain operand; "
+                              "relinearise before cipher-cipher mul")
+        if a.slots != b.slots:
+            raise IRTypeError("ckks.mul slot mismatch")
+        return [Cipher3Type(a.slots)]
+    a = _cipher(types, 0, "ckks.mul")
     if isinstance(b, CipherType):
         return [Cipher3Type(a.slots)]
     if isinstance(b, PlainType):
