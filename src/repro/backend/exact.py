@@ -21,6 +21,10 @@ class ExactBackend(HEBackend):
             key-analysis pass); None = the power-of-two default set.
         enable_bootstrap: build the bootstrapper (requires a long enough
             chain and generates its rotation/conjugation keys).
+        keychain: an existing :class:`~repro.ckks.keys.KeyChain` — e.g.
+            one rebuilt from serialized evaluation keys — instead of
+            generating keys from ``seed``.  The usual secret-less chain
+            can evaluate and encrypt but never decrypt or mint keys.
     """
 
     def __init__(
@@ -30,14 +34,18 @@ class ExactBackend(HEBackend):
         enable_bootstrap: bool = False,
         bootstrap_target_level: int | None = None,
         seed: int | None = None,
+        keychain=None,
     ):
         self.params = params
-        self.ctx = CkksContext(
-            params,
-            rotation_steps=rotation_steps,
-            need_conjugation=True,
-            seed=seed,
-        )
+        if keychain is not None:
+            self.ctx = CkksContext.from_keychain(params, keychain, seed=seed)
+        else:
+            self.ctx = CkksContext(
+                params,
+                rotation_steps=rotation_steps,
+                need_conjugation=True,
+                seed=seed,
+            )
         self.ev = self.ctx.evaluator
         self.trace = OpTrace()
         self.config = SchemeConfig(

@@ -73,6 +73,18 @@ EXECUTOR_STALL = "executor.stall"
 EXECUTOR_THREAD_DEATH = "executor.thread_death"
 #: serve: poison one inbound request (fails at execution, not submit)
 SERVE_POISON = "serve.poison"
+#: serve: server computes a result, then drops the connection instead of
+#: replying — the client must treat the silence as transient and retry
+SERVE_DROP_REPLY = "serve.drop_reply"
+#: serve: server flips bytes in the outbound reply frame
+SERVE_CORRUPT_REPLY = "serve.corrupt_reply"
+#: serve: server sleeps ``value`` seconds *after* committing the result,
+#: before replying (client may have timed out / retried by then)
+SERVE_DELAY_REPLY = "serve.delay_reply"
+#: serve: server sends the reply frame twice
+SERVE_DUP_REPLY = "serve.dup_reply"
+#: router: kill a shard process right as a request is forwarded to it
+ROUTER_SHARD_KILL = "router.shard_kill"
 #: wire: client sends half a frame, then drops the connection
 WIRE_TRUNCATE = "wire.truncate"
 #: wire: client sends a frame whose length prefix exceeds any sane bound
@@ -85,7 +97,9 @@ WIRE_SLOW = "wire.slow"
 ALL_SITES = (
     BACKEND_CORRUPT, BACKEND_NOISE, BACKEND_LATENCY,
     EXECUTOR_JOB_EXCEPTION, EXECUTOR_STALL, EXECUTOR_THREAD_DEATH,
-    SERVE_POISON,
+    SERVE_POISON, SERVE_DROP_REPLY, SERVE_CORRUPT_REPLY,
+    SERVE_DELAY_REPLY, SERVE_DUP_REPLY,
+    ROUTER_SHARD_KILL,
     WIRE_TRUNCATE, WIRE_OVERSIZE, WIRE_RESET, WIRE_SLOW,
 )
 
@@ -101,6 +115,7 @@ _DEFAULT_VALUES = {
     BACKEND_LATENCY: 0.02,
     EXECUTOR_STALL: 0.25,
     EXECUTOR_THREAD_DEATH: 2.0,
+    SERVE_DELAY_REPLY: 0.05,
     WIRE_SLOW: 0.005,
 }
 
@@ -420,6 +435,34 @@ def wire_fault() -> tuple[str, SiteSpec] | None:
         if spec:
             return site, spec
     return None
+
+
+def reply_fault(detail: str = "") -> tuple[str, SiteSpec] | None:
+    """Server-side reply faults: drop/corrupt/dup/delay the outbound frame.
+
+    Fired *after* the server computed (committed) the result — these
+    exercise the client's at-most-once machinery: a dropped or corrupt
+    reply must surface as a transient error and a retry, a duplicated
+    reply must be discarded by request-id correlation, and a delayed
+    reply must not pair with the wrong request.
+    """
+    inj = _INJECTOR
+    if inj is None:
+        return None
+    for site in (SERVE_DROP_REPLY, SERVE_CORRUPT_REPLY,
+                 SERVE_DUP_REPLY, SERVE_DELAY_REPLY):
+        spec = inj.should_fire(site, detail)
+        if spec:
+            return site, spec
+    return None
+
+
+def shard_kill(detail: str = "") -> bool:
+    """Router-level: should this forwarded request's shard be killed?"""
+    inj = _INJECTOR
+    if inj is None:
+        return False
+    return inj.should_fire(ROUTER_SHARD_KILL, detail) is not None
 
 
 # -- environment activation ------------------------------------------------

@@ -65,6 +65,28 @@ class CkksContext:
         self.evaluator = CkksEvaluator(params, self.keys, self.rng)
         self.encoder = self.evaluator.encoder
 
+    @classmethod
+    def from_keychain(cls, params: CkksParameters, keys: KeyChain,
+                      seed: int | None = None) -> "CkksContext":
+        """A context around an existing key chain — no key generation.
+
+        This is how a model shard loads serialized public/evaluation keys
+        (:func:`repro.ckks.serialize.deserialize_eval_keys`): the chain
+        typically has ``secret=None``, so the context can encrypt and
+        evaluate but any decryption attempt raises a typed
+        :class:`repro.errors.KeyError_`.  Key *minting* is impossible too
+        (:meth:`add_rotation_keys` raises): an evaluator that was shipped
+        keys can never widen its own key set.
+        """
+        self = cls.__new__(cls)
+        self.params = params
+        self.rng = np.random.default_rng(seed)
+        self.keys = keys
+        self._keygen = None
+        self.evaluator = CkksEvaluator(params, keys, self.rng)
+        self.encoder = self.evaluator.encoder
+        return self
+
     def _power_of_two_steps(self) -> list[int]:
         """The default key set FHE libraries generate (paper §2.2)."""
         slots = self.params.num_slots
@@ -97,6 +119,14 @@ class CkksContext:
         return self.evaluator.encode(values, scale, level)
 
     def add_rotation_keys(self, steps: list[int]) -> None:
+        if self._keygen is None:
+            from repro.errors import KeyError_
+
+            raise KeyError_(
+                "context was built from shipped evaluation keys and cannot "
+                "generate new rotation keys; the key owner must include "
+                "every required step in the serialized key blob"
+            )
         new = self._keygen.gen_rotation_keys(self.keys.secret, steps)
         self.keys.rotations.update(new)
 

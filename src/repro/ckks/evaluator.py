@@ -32,6 +32,7 @@ import numpy as np
 
 from repro.errors import (
     CiphertextDegreeError,
+    KeyError_,
     LevelMismatchError,
     NoiseBudgetExhausted,
     ParameterError,
@@ -164,6 +165,12 @@ class CkksEvaluator:
         return Ciphertext([c0, c1], plain.scale)
 
     def decrypt(self, cipher: Ciphertext) -> Plaintext:
+        if self.keys.secret is None:
+            raise KeyError_(
+                "evaluation-only key chain holds no secret key; only the "
+                "key owner (the client side of the Figure-2 protocol) can "
+                "decrypt"
+            )
         basis = cipher.basis
         s = self.keys.secret.restrict(basis)
         acc = cipher.parts[0] + cipher.parts[1] * s

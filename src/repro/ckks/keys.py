@@ -87,9 +87,15 @@ class KeySwitchKey:
 
 @dataclass
 class KeyChain:
-    """All key material for one context."""
+    """All key material for one context.
 
-    secret: SecretKey
+    ``secret`` is ``None`` for an *evaluation-only* chain rebuilt from
+    serialized public/evaluation keys (the scale-out serving key
+    exchange: :func:`repro.ckks.serialize.serialize_eval_keys` never
+    includes the secret, so a model shard can evaluate but not decrypt).
+    """
+
+    secret: SecretKey | None
     public: PublicKey
     relin: KeySwitchKey | None = None
     rotations: dict[int, KeySwitchKey] = field(default_factory=dict)
@@ -106,15 +112,25 @@ class KeyChain:
 
     def byte_size(self, include_secret: bool = False) -> int:
         """Total evaluation-key memory in bytes (Figure 7 input)."""
-        total = self.public.b.byte_size() + self.public.a.byte_size()
+        sizes = self.byte_sizes()
+        total = sizes["public"] + sizes["relin"] + sizes["conjugation"] \
+            + sizes["rotations"]
         if include_secret:
-            total += self.secret.poly.byte_size()
-        if self.relin is not None:
-            total += self.relin.byte_size()
-        if self.conjugation is not None:
-            total += self.conjugation.byte_size()
-        total += sum(k.byte_size() for k in self.rotations.values())
+            total += sizes["secret"]
         return total
+
+    def byte_sizes(self) -> dict[str, int]:
+        """Per-component breakdown of :meth:`byte_size` (Figure 7 rows)."""
+        return {
+            "secret": (self.secret.poly.byte_size()
+                       if self.secret is not None else 0),
+            "public": self.public.b.byte_size() + self.public.a.byte_size(),
+            "relin": self.relin.byte_size() if self.relin else 0,
+            "conjugation": (self.conjugation.byte_size()
+                            if self.conjugation else 0),
+            "rotations": sum(k.byte_size()
+                             for k in self.rotations.values()),
+        }
 
 
 class KeyGenerator:

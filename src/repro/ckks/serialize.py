@@ -22,10 +22,12 @@ import struct
 import numpy as np
 
 from repro.ckks.cipher import Ciphertext, Plaintext
+from repro.ckks.keys import KeyChain, KeySwitchKey, PublicKey
 from repro.errors import DeserializationError, ParameterError
 from repro.polymath.rns import RnsBasis, RnsPoly
 
 _MAGIC = b"ACEct010"
+_KEY_MAGIC = b"ACEek010"
 
 #: upper bound on the JSON header blob; real headers are < 300 bytes
 _MAX_HEADER_BYTES = 1 << 16
@@ -200,3 +202,142 @@ def deserialize_plaintext(data: bytes, basis: RnsBasis) -> Plaintext:
     poly = RnsPoly(sub_basis, flat.reshape(limbs, degree).copy(),
                    meta["is_ntt"])
     return Plaintext(poly, meta["scale"])
+
+
+# -- evaluation keys (the scale-out serving key exchange) -------------------
+#
+# ``serialize_eval_keys`` encodes everything an untrusted evaluator needs —
+# public key, relinearisation key, rotation keys, conjugation key — and
+# *nothing else*: the secret key is structurally absent from the format, so
+# shipping a key blob to a model shard can never replicate the secret.  The
+# receiving side rebuilds a :class:`~repro.ckks.keys.KeyChain` with
+# ``secret=None`` (decryption raises a typed error).
+
+def _poly_bytes(poly: RnsPoly) -> bytes:
+    return np.ascontiguousarray(poly.residues).tobytes()
+
+
+def serialize_eval_keys(keys: KeyChain) -> bytes:
+    """Encode the public/evaluation keys (never the secret) as bytes."""
+    cipher_basis = keys.public.b.basis
+    galois = sorted(keys.rotations)
+    ksks: list[KeySwitchKey] = [keys.rotations[g] for g in galois]
+    if keys.relin is not None:
+        ksks.append(keys.relin)
+    if keys.conjugation is not None:
+        ksks.append(keys.conjugation)
+    if ksks:
+        key_basis = ksks[0].pairs[0][0].basis
+    else:
+        key_basis = cipher_basis
+    meta = {
+        "kind": "evalkeys",
+        "degree": cipher_basis.degree,
+        "cipher_limbs": len(cipher_basis),
+        "key_limbs": len(key_basis),
+        "fingerprint": basis_fingerprint(cipher_basis),
+        "key_fingerprint": basis_fingerprint(key_basis),
+        "relin": keys.relin is not None,
+        "conjugation": keys.conjugation is not None,
+        "rotations": galois,
+        "num_cipher_primes": (ksks[0].num_cipher_primes if ksks else 0),
+        "num_special_primes": (ksks[0].num_special_primes if ksks else 0),
+    }
+    chunks = [_poly_bytes(keys.public.b), _poly_bytes(keys.public.a)]
+    for ksk in ksks:
+        for b, a in ksk.pairs:
+            chunks.append(_poly_bytes(b))
+            chunks.append(_poly_bytes(a))
+    blob = json.dumps(meta).encode()
+    return _KEY_MAGIC + struct.pack("<I", len(blob)) + blob + b"".join(chunks)
+
+
+def _unpack_key_header(data: bytes) -> tuple[dict, int]:
+    if data[: len(_KEY_MAGIC)] != _KEY_MAGIC:
+        raise DeserializationError("not an ACE evaluation-key payload")
+    if len(data) < len(_KEY_MAGIC) + 4:
+        raise DeserializationError("key payload truncated inside the header")
+    (length,) = struct.unpack_from("<I", data, len(_KEY_MAGIC))
+    if length > _MAX_HEADER_BYTES:
+        raise DeserializationError(
+            f"key header length {length} exceeds the "
+            f"{_MAX_HEADER_BYTES}-byte cap"
+        )
+    start = len(_KEY_MAGIC) + 4
+    if len(data) < start + length:
+        raise DeserializationError("key payload truncated inside the header")
+    try:
+        meta = json.loads(data[start : start + length])
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise DeserializationError(f"corrupt key header JSON: {exc}") from exc
+    if not isinstance(meta, dict) or meta.get("kind") != "evalkeys":
+        raise DeserializationError("payload is not an evaluation-key blob")
+    return meta, start + length
+
+
+def eval_keys_fingerprint(data: bytes) -> str:
+    """The cipher-basis fingerprint of a serialized key blob (header only)."""
+    meta, _ = _unpack_key_header(data)
+    fingerprint = meta.get("fingerprint")
+    if not isinstance(fingerprint, str):
+        raise DeserializationError("key header carries no fingerprint")
+    return fingerprint
+
+
+def deserialize_eval_keys(data: bytes, cipher_basis: RnsBasis,
+                          key_basis: RnsBasis) -> KeyChain:
+    """Rebuild an evaluation-only :class:`KeyChain` (``secret=None``).
+
+    ``cipher_basis``/``key_basis`` are the receiver's own chains (from
+    :meth:`repro.ckks.params.CkksParameters.make_bases`); fingerprints in
+    the untrusted header must match both, so keys generated under foreign
+    parameters fail loudly before any polynomial is built.
+    """
+    meta, offset = _unpack_key_header(data)
+    degree = _require(meta, "degree", int)
+    if degree != cipher_basis.degree:
+        raise ParameterError(
+            f"key blob ring degree {degree} does not match the receiver's "
+            f"{cipher_basis.degree}"
+        )
+    for field_name, basis in (("fingerprint", cipher_basis),
+                              ("key_fingerprint", key_basis)):
+        if _require(meta, field_name, str) != basis_fingerprint(basis):
+            raise ParameterError(
+                "evaluation keys were generated under a different "
+                "parameter set"
+            )
+    cipher_limbs = _require(meta, "cipher_limbs", int)
+    key_limbs = _require(meta, "key_limbs", int)
+    if cipher_limbs != len(cipher_basis) or key_limbs != len(key_basis):
+        raise DeserializationError(
+            f"key blob limb counts ({cipher_limbs}, {key_limbs}) do not "
+            f"match the receiver's ({len(cipher_basis)}, {len(key_basis)})"
+        )
+    galois = meta.get("rotations")
+    if not isinstance(galois, list) or not all(
+            isinstance(g, int) and not isinstance(g, bool) for g in galois):
+        raise DeserializationError("key header rotations must be integers")
+    num_cipher = _require(meta, "num_cipher_primes", int)
+    num_special = _require(meta, "num_special_primes", int)
+
+    def read_poly(basis: RnsBasis, limbs: int) -> RnsPoly:
+        nonlocal offset
+        flat = _read_body(data, offset, limbs * degree)
+        offset += limbs * degree * 8
+        return RnsPoly(basis, flat.reshape(limbs, degree).copy(), True)
+
+    def read_ksk() -> KeySwitchKey:
+        pairs = [(read_poly(key_basis, key_limbs),
+                  read_poly(key_basis, key_limbs))
+                 for _ in range(num_cipher)]
+        return KeySwitchKey(pairs=pairs, num_cipher_primes=num_cipher,
+                            num_special_primes=num_special)
+
+    public = PublicKey(b=read_poly(cipher_basis, cipher_limbs),
+                       a=read_poly(cipher_basis, cipher_limbs))
+    rotations = {g: read_ksk() for g in galois}
+    relin = read_ksk() if meta.get("relin") else None
+    conjugation = read_ksk() if meta.get("conjugation") else None
+    return KeyChain(secret=None, public=public, relin=relin,
+                    rotations=rotations, conjugation=conjugation)

@@ -10,7 +10,11 @@ Commands:
 * ``report`` — regenerate the paper's figures/tables
   (same as ``python -m repro.evalharness.report``).
 * ``serve`` — compile a model once and serve encrypted inference over a
-  local socket, with cross-request CKKS slot batching (``repro.serve``).
+  local socket, with cross-request CKKS slot batching (``repro.serve``);
+  ``--shard`` starts an empty router-managed shard instead.
+* ``router`` — scale-out serving: spawn N shard processes and route the
+  same wire protocol to them with key-memory-aware placement
+  (``repro.serve.router``).
 * ``client`` — connect to a running server, encrypt inputs locally, and
   run the Figure-2 protocol over the wire.
 """
@@ -187,25 +191,42 @@ def _serve_params(args):
 
 
 def _serve(args) -> int:
-    from repro.serve import InferenceServer, ModelRegistry
+    from repro.serve import InferenceServer, ModelRegistry, ShardServer
 
     _install_chaos(args)
     registry = ModelRegistry()
-    model_id = args.model_id or Path(args.model).stem
-    entry = registry.register(
-        model_id, str(args.model), params=_serve_params(args),
-        max_batch=args.batch_size, seed=args.seed,
-    )
-    server = InferenceServer(
-        registry, host=args.host, port=args.port,
-        num_threads=args.workers, queue_size=args.queue_size,
-        max_wait_s=args.max_wait_ms / 1000.0,
-        request_timeout_s=args.timeout_s,
-        exec_jobs=args.jobs,
-    )
-    print(f"serving model {model_id!r} on {server.host}:{server.port} "
-          f"(fingerprint {entry.fingerprint}, "
-          f"batch up to {entry.max_batch} requests/ciphertext)")
+    if args.shard:
+        # shard mode: an empty server whose models (and secret-free
+        # evaluation keys) are pushed over the wire by a router
+        server = ShardServer(
+            registry, host=args.host, port=args.port,
+            num_threads=args.workers, queue_size=args.queue_size,
+            max_wait_s=args.max_wait_ms / 1000.0,
+            request_timeout_s=args.timeout_s,
+            exec_jobs=args.jobs,
+        )
+        print(f"shard ready on {server.host}:{server.port} "
+              "(models arrive via register_model)")
+    else:
+        if not args.model:
+            print("error: a model path is required unless --shard is given",
+                  file=sys.stderr)
+            return 2
+        model_id = args.model_id or Path(args.model).stem
+        entry = registry.register(
+            model_id, str(args.model), params=_serve_params(args),
+            max_batch=args.batch_size, seed=args.seed,
+        )
+        server = InferenceServer(
+            registry, host=args.host, port=args.port,
+            num_threads=args.workers, queue_size=args.queue_size,
+            max_wait_s=args.max_wait_ms / 1000.0,
+            request_timeout_s=args.timeout_s,
+            exec_jobs=args.jobs,
+        )
+        print(f"serving model {model_id!r} on {server.host}:{server.port} "
+              f"(fingerprint {entry.fingerprint}, "
+              f"batch up to {entry.max_batch} requests/ciphertext)")
     if args.port_file:
         Path(args.port_file).write_text(str(server.port))
     try:
@@ -214,6 +235,42 @@ def _serve(args) -> int:
         pass
     finally:
         server.stop()
+    return 0
+
+
+def _router(args) -> int:
+    from repro.serve import RouterServer
+
+    _install_chaos(args)
+    router = RouterServer(
+        num_shards=args.shards,
+        host=args.host, port=args.port,
+        key_budget=args.key_budget,
+        dispatch_threads=args.dispatch_threads,
+        request_timeout_s=args.timeout_s,
+        shard_workers=args.workers,
+        shard_jobs=args.jobs,
+        shard_mem_budget=args.mem_budget,
+    )
+    try:
+        for index, path in enumerate(args.models):
+            model_id = Path(path).stem
+            spec = router.add_model(
+                model_id, path, params=_serve_params(args),
+                max_batch=args.batch_size, seed=args.seed + index,
+            )
+            shard = router.placement.shard_of(model_id)
+            print(f"model {model_id!r}: {spec.key_bytes} key bytes "
+                  f"-> shard {shard}")
+        print(f"routing {len(args.models)} model(s) across "
+              f"{args.shards} shard(s) on {router.host}:{router.port}")
+        if args.port_file:
+            Path(args.port_file).write_text(str(router.port))
+        router.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        router.stop()
     return 0
 
 
@@ -271,7 +328,13 @@ def main(argv=None) -> int:
 
     p_serve = sub.add_parser(
         "serve", help="serve encrypted inference over a local socket")
-    p_serve.add_argument("model", help="path to an .onnx file")
+    p_serve.add_argument("model", nargs="?", default=None,
+                         help="path to an .onnx file (optional with "
+                              "--shard: models then arrive over the wire)")
+    p_serve.add_argument("--shard", action="store_true",
+                         help="run as a router-managed shard: start empty "
+                              "and accept register_model pushes carrying "
+                              "model bytes + serialized evaluation keys")
     p_serve.add_argument("--model-id", default=None,
                          help="id clients use (default: model file stem)")
     p_serve.add_argument("--host", default="127.0.0.1")
@@ -298,6 +361,43 @@ def main(argv=None) -> int:
                          help="write the bound port here once listening")
     _add_chaos_options(p_serve)
     p_serve.set_defaults(fn=_serve)
+
+    p_router = sub.add_parser(
+        "router",
+        help="scale-out serving: route requests across shard processes")
+    p_router.add_argument("models", nargs="+",
+                          help="paths to .onnx files (model id = file stem)")
+    p_router.add_argument("--shards", type=int, default=2,
+                          help="shard processes to spawn (default 2)")
+    p_router.add_argument("--host", default="127.0.0.1")
+    p_router.add_argument("--port", type=int, default=7707,
+                          help="TCP port (0 = pick a free one)")
+    p_router.add_argument("--batch-size", type=int, default=4)
+    p_router.add_argument("--workers", type=int, default=2,
+                          help="worker threads per shard")
+    p_router.add_argument("--dispatch-threads", type=int, default=8)
+    p_router.add_argument("--timeout-s", type=float, default=60.0)
+    p_router.add_argument("--seed", type=int, default=7,
+                          help="keygen seed for the first model; model i "
+                               "uses seed+i")
+    p_router.add_argument("--key-budget", type=int, default=None,
+                          help="per-shard resident evaluation-key byte "
+                               "budget; exceeding it LRU-evicts idle "
+                               "models' key material")
+    p_router.add_argument("--mem-budget", type=int, default=None,
+                          help="per-shard live-ciphertext byte budget "
+                               "(caps executor issue width, "
+                               "$REPRO_MEM_BUDGET)")
+    p_router.add_argument("--jobs", type=int, default=None,
+                          help="executor threads per shard")
+    p_router.add_argument("--poly-degree", type=int, default=256)
+    p_router.add_argument("--scale-bits", type=int, default=30)
+    p_router.add_argument("--first-prime-bits", type=int, default=40)
+    p_router.add_argument("--levels", type=int, default=4)
+    p_router.add_argument("--port-file", default=None,
+                          help="write the bound port here once listening")
+    _add_chaos_options(p_router)
+    p_router.set_defaults(fn=_router)
 
     p_client = sub.add_parser(
         "client", help="run the Figure-2 protocol against a server")

@@ -177,6 +177,17 @@ class ConnectionClosedError(ServeError):
     transient = True
 
 
+class ShardUnavailableError(ServeError):
+    """A router could not reach (or revive) the shard owning a model.
+
+    Transient: the router respawns dead shard processes and re-registers
+    their models from serialized evaluation keys; a retried request
+    lands on the recovered shard.
+    """
+
+    transient = True
+
+
 class CircuitOpenError(ServeError):
     """The per-model circuit breaker is open; request rejected cheaply.
 

@@ -31,6 +31,18 @@ environment variable, else 1.  A shared :class:`JobBudget` caps the
 *total* worker threads across concurrent executions (the serving layer
 hands every worker the same budget so serve threads × executor threads
 cannot oversubscribe the host).
+
+**Memory-aware dispatch bounding**: parallelism widens the *working
+set* — every in-flight op pins its operands and will materialise a
+result ciphertext.  With ``mem_budget`` set (explicit argument or the
+``REPRO_MEM_BUDGET`` environment variable, bytes), the coordinator
+stops issuing ready ops once live ciphertext bytes plus the Figure-7
+projection of in-flight results would exceed the budget — width
+degrades toward sequential under memory pressure instead of thrashing
+a shard past its container limit.  At least one op always stays in
+flight, so progress (and the one-job case) is untouched.  Capped
+dispatch decisions are counted in :func:`width_capped_total` (exported
+as ``executor_width_capped_total`` by the serving metrics).
 """
 
 from __future__ import annotations
@@ -48,6 +60,41 @@ from repro.errors import (
 )
 from repro.ir.core import Function, Module
 from repro.ir.schedule import OpSchedule, compute_schedule
+
+
+_width_capped_lock = threading.Lock()
+_width_capped_total = 0
+
+
+def width_capped_total() -> int:
+    """Process-wide count of dispatch rounds the memory budget capped."""
+    with _width_capped_lock:
+        return _width_capped_total
+
+
+def _record_width_cap() -> None:
+    global _width_capped_total
+    with _width_capped_lock:
+        _width_capped_total += 1
+
+
+def resolve_mem_budget(budget: int | None = None) -> int | None:
+    """Effective live-ciphertext byte budget: explicit >
+    ``REPRO_MEM_BUDGET`` env > None (unbounded)."""
+    if budget is None:
+        raw = os.environ.get("REPRO_MEM_BUDGET", "").strip()
+        if not raw:
+            return None
+        try:
+            budget = int(raw)
+        except ValueError:
+            raise ReproError(
+                f"REPRO_MEM_BUDGET must be an integer byte count, "
+                f"got {raw!r}"
+            ) from None
+    if budget <= 0:
+        raise ReproError(f"mem_budget must be positive, got {budget}")
+    return budget
 
 
 def resolve_jobs(jobs: int | None = None) -> int:
@@ -147,11 +194,16 @@ class ParallelExecutor:
 
     def __init__(self, backend, jobs: int | None = None,
                  budget: JobBudget | None = None,
-                 watchdog_s: float | None = None):
+                 watchdog_s: float | None = None,
+                 mem_budget: int | None = None):
         self.backend = backend
         self.jobs = resolve_jobs(jobs)
         self.budget = budget
         self.watchdog_s = watchdog_s
+        self.mem_budget = resolve_mem_budget(mem_budget)
+        #: dispatch rounds this instance stopped issuing early because
+        #: projected live bytes exceeded ``mem_budget``
+        self.width_capped = 0
 
     # -- public API ---------------------------------------------------------
 
@@ -222,6 +274,51 @@ class ParallelExecutor:
     def _tag_for(op, index, region_tags) -> str | None:
         return (region_tags or {}).get(index) or op.attrs.get("region")
 
+    # -- memory-aware dispatch bounding -------------------------------------
+
+    @staticmethod
+    def _value_bytes(value) -> int:
+        """Resident bytes of one env value (exact or sim ciphertext)."""
+        byte_size = getattr(value, "byte_size", None)
+        if callable(byte_size):
+            return byte_size()
+        values = getattr(value, "values", None)
+        nbytes = getattr(values, "nbytes", None)
+        return int(nbytes) if nbytes is not None else 0
+
+    def _live_bytes(self, env) -> int:
+        return sum(self._value_bytes(value) for value in env.values())
+
+    def _projected_result_bytes(self) -> int:
+        """Figure-7 projection for one in-flight op's result.
+
+        Conservative: a fresh 2-part ciphertext over the full modulus
+        chain (``parts * (levels+1) * N * 8``).  Ops that rescale or
+        return plaintext overshoot, which errs toward narrower width —
+        the safe direction for a budget.
+        """
+        config = getattr(self.backend, "config", None)
+        if config is None:
+            return 0
+        return 2 * (config.num_levels + 1) * config.poly_degree * 8
+
+    def _may_dispatch(self, env, in_flight: int) -> bool:
+        """Can one more op be issued without busting ``mem_budget``?
+
+        The first op of a round always dispatches (progress guarantee);
+        beyond that, live env bytes + a Figure-7 projection for every
+        in-flight result (including the candidate) must fit.
+        """
+        if self.mem_budget is None or in_flight == 0:
+            return True
+        projected = (self._live_bytes(env)
+                     + (in_flight + 1) * self._projected_result_bytes())
+        if projected <= self.mem_budget:
+            return True
+        self.width_capped += 1
+        _record_width_cap()
+        return False
+
     # -- sequential (jobs=1) ------------------------------------------------
 
     def _run_sequential(self, module, fn, env, schedule, check_plan,
@@ -256,6 +353,8 @@ class ParallelExecutor:
         try:
             while completed < len(body):
                 while ready:
+                    if not self._may_dispatch(env, len(pending)):
+                        break  # memory budget: leftover ready ops wait
                     index = ready.pop(0)
                     op = body[index]
                     args = [env[o.id] for o in op.operands]

@@ -18,7 +18,15 @@ serving subsystem:
 * :mod:`repro.serve.retry` — client-side capped exponential backoff;
 * :mod:`repro.serve.metrics` — request/batch/latency/byte accounting;
 * :mod:`repro.serve.server` — length-prefixed socket protocol plus the
-  ``repro serve`` / ``repro client`` CLI entry points' machinery.
+  ``repro serve`` / ``repro client`` CLI entry points' machinery;
+* :mod:`repro.serve.router` — scale-out front-end: a selectors event
+  loop holding many idle connections cheaply, routing requests to N
+  shard *processes* with key-memory-aware placement, LRU key eviction
+  and cross-process failure containment (``repro router``);
+* :mod:`repro.serve.shard` — the shard process: a full server whose
+  models and (secret-free) evaluation keys arrive over the wire;
+* :mod:`repro.serve.placement` — the Figure-7 key-byte cost model
+  behind shard assignment and eviction.
 
 Failure semantics (containment validated by :mod:`repro.chaos` fault
 injection — see "Failure model & chaos testing" in docs/INTERNALS.md):
@@ -47,7 +55,10 @@ from repro.serve.batcher import (
 )
 from repro.serve.breaker import CircuitBreaker
 from repro.serve.metrics import Histogram, Metrics
+from repro.serve.placement import KeyMemoryPlacement, Placement
 from repro.serve.retry import RetryPolicy, is_transient
+from repro.serve.router import ModelSpec, RouterServer, ShardHandle
+from repro.serve.shard import ShardServer, params_from_describe
 from repro.serve.registry import (
     ModelEntry,
     ModelRegistry,
@@ -67,19 +78,26 @@ __all__ = [
     "Histogram",
     "InferenceServer",
     "InferenceWorker",
+    "KeyMemoryPlacement",
     "Metrics",
     "ModelEntry",
     "ModelRegistry",
+    "ModelSpec",
     "PendingRequest",
+    "Placement",
     "RemoteModelClient",
     "RetryPolicy",
+    "RouterServer",
     "ServeClient",
     "ServeResponse",
     "Session",
     "SessionManager",
+    "ShardHandle",
+    "ShardServer",
     "can_join",
     "combine_requests",
     "default_serve_params",
     "execute_batch",
     "is_transient",
+    "params_from_describe",
 ]

@@ -27,8 +27,10 @@ from repro.ckks import CkksParameters
 from repro.ckks.serialize import (
     basis_fingerprint,
     deserialize_ciphertext,
+    deserialize_eval_keys,
     serialize_ciphertext,
 )
+from repro.polymath.poly import rotation_galois_element
 from repro.compiler import ACECompiler, CompileOptions
 from repro.compiler.artifacts import client_tools
 from repro.errors import (
@@ -61,8 +63,11 @@ class ModelEntry:
     encryptor: object
     decryptor: object
     #: keygen seed: (params, seed) determines the key material, standing
-    #: in for an out-of-band key exchange with the secret-key holder
-    keygen_seed: int = 0
+    #: in for an out-of-band key exchange with the secret-key holder.
+    #: ``None`` when the entry was registered from *serialized* evaluation
+    #: keys (scale-out shards): this process never saw the seed or the
+    #: secret and can evaluate but not decrypt.
+    keygen_seed: int | None = 0
     #: per-model circuit-breaker overrides (None = the worker's default):
     #: a flaky experimental model can trip fast while a battle-tested one
     #: tolerates more consecutive failures before opening
@@ -88,6 +93,12 @@ class ModelEntry:
     @property
     def max_batch(self) -> int:
         return self.program.batch_size
+
+    @property
+    def key_bytes(self) -> int:
+        """Resident evaluation-key memory (the Figure-7 meter the
+        scale-out router's LRU eviction reads)."""
+        return self.backend.ctx.keys.byte_size()
 
     @property
     def supports_batching(self) -> bool:
@@ -145,11 +156,35 @@ def _batching_rotation_steps(entry: ModelEntry) -> list[int]:
 
 
 class ModelRegistry:
-    """Thread-safe map of model id -> compiled, key-loaded entry."""
+    """Thread-safe map of model id -> compiled, key-loaded entry.
 
-    def __init__(self):
+    ``metrics`` (optional, settable after construction) receives a
+    per-model ``serve_key_bytes_<model_id>`` gauge on every register /
+    unregister — the Figure-7 key-memory meter the scale-out router's
+    placement and LRU eviction read.
+    """
+
+    def __init__(self, metrics=None):
         self._lock = threading.Lock()
         self._entries: dict[str, ModelEntry] = {}
+        self.metrics = metrics
+
+    def _export_key_gauges(self, model_id: str, key_bytes: int) -> None:
+        if self.metrics is None:
+            return
+        self.metrics.set_gauge(f"serve_key_bytes_{model_id}", key_bytes)
+        with self._lock:
+            total = sum(e.key_bytes for e in self._entries.values())
+        self.metrics.set_gauge("serve_key_bytes_total", total)
+
+    def export_key_gauges(self, metrics) -> None:
+        """Adopt ``metrics`` and (re)export every entry's key gauge."""
+        self.metrics = metrics
+        for model_id in self.ids():
+            with self._lock:
+                entry = self._entries.get(model_id)
+            if entry is not None:
+                self._export_key_gauges(model_id, entry.key_bytes)
 
     def register(
         self,
@@ -161,6 +196,7 @@ class ModelRegistry:
         seed: int = 0,
         breaker_failures: int | None = None,
         breaker_reset_s: float | None = None,
+        eval_keys: bytes | None = None,
     ) -> ModelEntry:
         """Compile ``model`` and cache every serving artifact for it.
 
@@ -173,9 +209,16 @@ class ModelRegistry:
                 batching).
             seed: keygen seed; in this reproduction the client derives the
                 same secret from (params, seed), standing in for an
-                out-of-band key exchange.
+                out-of-band key exchange.  Ignored for key material when
+                ``eval_keys`` is given.
             breaker_failures / breaker_reset_s: per-model circuit-breaker
                 overrides applied by the worker (None = worker defaults).
+            eval_keys: serialized public/evaluation keys
+                (:func:`repro.ckks.serialize.serialize_eval_keys`).  The
+                real key exchange: the entry evaluates under the shipped
+                keys, never holds a secret, and cannot mint keys — the
+                blob must already contain the program's rotation steps
+                *and* the slot-batching steps.
         """
         if isinstance(model, (str, Path)):
             model = load_model(model)
@@ -193,8 +236,14 @@ class ModelRegistry:
         options.exact_params = params
         program = self._compile_with_batch_fallback(model, options,
                                                     params, max_batch)
-        backend = program.make_exact_backend(params, seed=seed)
-        cipher_basis, _ = params.make_bases()
+        cipher_basis, key_basis = params.make_bases()
+        if eval_keys is not None:
+            chain = deserialize_eval_keys(eval_keys, cipher_basis, key_basis)
+            backend = program.make_exact_backend(params, keychain=chain)
+            keygen_seed = None
+        else:
+            backend = program.make_exact_backend(params, seed=seed)
+            keygen_seed = seed
         encryptor, decryptor = client_tools(program)
         entry = ModelEntry(
             model_id=model_id,
@@ -205,15 +254,36 @@ class ModelRegistry:
             fingerprint=basis_fingerprint(cipher_basis),
             encryptor=encryptor,
             decryptor=decryptor,
-            keygen_seed=seed,
+            keygen_seed=keygen_seed,
             breaker_failures=breaker_failures,
             breaker_reset_s=breaker_reset_s,
         )
         if entry.supports_batching:
-            backend.ctx.add_rotation_keys(_batching_rotation_steps(entry))
+            if eval_keys is not None:
+                self._check_batching_keys(entry)
+            else:
+                backend.ctx.add_rotation_keys(
+                    _batching_rotation_steps(entry))
         with self._lock:
             self._entries[model_id] = entry
+        self._export_key_gauges(model_id, entry.key_bytes)
         return entry
+
+    @staticmethod
+    def _check_batching_keys(entry: ModelEntry) -> None:
+        """Shipped key blobs must cover the slot-batching rotations."""
+        rotations = entry.backend.ctx.keys.rotations
+        degree = entry.params.poly_degree
+        missing = [
+            step for step in _batching_rotation_steps(entry)
+            if rotation_galois_element(step, degree) not in rotations
+        ]
+        if missing:
+            raise ServeError(
+                f"evaluation-key blob for model {entry.model_id!r} lacks "
+                f"slot-batching rotation keys for steps {missing}; the key "
+                "owner must generate them before serializing"
+            )
 
     @staticmethod
     def _compile_with_batch_fallback(model, options, params, max_batch):
@@ -259,4 +329,6 @@ class ModelRegistry:
 
     def unregister(self, model_id: str) -> None:
         with self._lock:
-            self._entries.pop(model_id, None)
+            entry = self._entries.pop(model_id, None)
+        if entry is not None:
+            self._export_key_gauges(model_id, 0)

@@ -41,6 +41,7 @@ from repro.errors import (
     ReproError,
     ServeError,
 )
+from repro.runtime.executor import width_capped_total
 from repro.serve.metrics import Metrics
 from repro.serve.registry import ModelRegistry
 from repro.serve.retry import RetryPolicy
@@ -92,7 +93,7 @@ def recv_message(
             )
         try:
             header = json.loads(_recv_exact(sock, header_len))
-        except json.JSONDecodeError as exc:
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
             raise DeserializationError(
                 f"corrupt frame header: {exc}") from exc
         body = _recv_exact(sock, body_len) if body_len else b""
@@ -125,6 +126,9 @@ class InferenceServer:
     ):
         self.registry = registry
         self.metrics = metrics or Metrics()
+        # the registry exports per-model serve_key_bytes_* gauges (the
+        # Figure-7 key-memory meter) through the server's metrics
+        registry.export_key_gauges(self.metrics)
         self.sessions = SessionManager(registry)
         self.max_message_bytes = max_message_bytes
         # bounds how long one recv may sit idle: a slow-loris client
@@ -216,10 +220,54 @@ class InferenceServer:
                     reply = ServeResponse.failure(exc).header()
                     reply["error"] = "InternalError"
                     payload = b""
+                # echo the client's request id so its reply correlation
+                # can discard duplicated/stale frames (at-most-once)
+                rid = header.get("rid")
+                if rid is not None:
+                    reply["rid"] = rid
                 try:
-                    send_message(conn, reply, payload)
+                    if not self._send_reply(conn, reply, payload):
+                        break
                 except OSError:
                     break
+
+    def _send_reply(self, conn: socket.socket, reply: dict,
+                    payload: bytes) -> bool:
+        """Send one reply frame, subject to server-side chaos.
+
+        These faults fire *after* the result is committed, so they
+        exercise the client's at-most-once machinery: a dropped or
+        corrupt reply surfaces client-side as a transient connection
+        error (retry re-executes — safe, inference is deterministic),
+        a duplicated reply is discarded by request-id correlation, and
+        a delayed reply still pairs with the right request.  Returns
+        False when the connection must close.
+        """
+        fault = chaos.reply_fault(str(reply.get("rid", "")))
+        if fault is None:
+            send_message(conn, reply, payload)
+            return True
+        site, spec = fault
+        self.metrics.inc(f"serve_chaos_{site.split('.')[-1]}_total")
+        if site == chaos.SERVE_DROP_REPLY:
+            return False  # computed, never answered: client sees a close
+        if site == chaos.SERVE_CORRUPT_REPLY:
+            blob = json.dumps(reply).encode()
+            frame = bytearray(
+                struct.pack("<II", len(blob), len(payload)) + blob + payload)
+            for off in range(8, min(len(frame), 24)):
+                frame[off] ^= 0x01  # garble the header JSON, keep ASCII
+            conn.sendall(bytes(frame))
+            return False  # stream is poisoned beyond resync
+        if site == chaos.SERVE_DUP_REPLY:
+            send_message(conn, reply, payload)
+            send_message(conn, reply, payload)
+            return True
+        # SERVE_DELAY_REPLY: the result was committed a while ago as far
+        # as the client can tell
+        time.sleep(spec.value if spec.value is not None else 0.05)
+        send_message(conn, reply, payload)
+        return True
 
     def _dispatch(self, header: dict, body: bytes) -> tuple[dict, bytes]:
         op = header.get("op")
@@ -228,6 +276,10 @@ class InferenceServer:
         if op == "models":
             return {"ok": True, "models": self.registry.ids()}, b""
         if op == "metrics":
+            # process-wide: how often the executor narrowed dispatch to
+            # stay under REPRO_MEM_BUDGET (memory-aware width capping)
+            self.metrics.set_gauge(
+                "executor_width_capped_total", width_capped_total())
             return {
                 "ok": True,
                 "snapshot": self.metrics.snapshot(),
@@ -277,6 +329,10 @@ class ServeClient:
     suite, not just trusted.
     """
 
+    #: stale frames (duplicated or delayed-past-retry replies) one rpc
+    #: will discard before declaring the stream unsalvageable
+    MAX_STALE_REPLIES = 8
+
     def __init__(self, host: str, port: int, timeout_s: float = 120.0,
                  retry: RetryPolicy | None = None,
                  max_message_bytes: int = DEFAULT_MAX_MESSAGE_BYTES):
@@ -286,6 +342,7 @@ class ServeClient:
         self.retry = retry or RetryPolicy()
         self.max_message_bytes = max_message_bytes
         self._sock: socket.socket | None = None
+        self._rid = 0
         self._connect()
 
     def _connect(self) -> None:
@@ -306,11 +363,32 @@ class ServeClient:
     def _rpc_once(self, header: dict, body: bytes) -> tuple[dict, bytes]:
         if self._sock is None:
             raise ConnectionClosedError("client socket is not connected")
+        self._rid += 1
+        header = dict(header)
+        header["rid"] = rid = self._rid
         self._send_with_chaos(header, body)
-        message = recv_message(self._sock, self.max_message_bytes)
-        if message is None:
-            raise ConnectionClosedError("server closed the connection")
-        return message
+        # request-id correlation (at-most-once): a server may duplicate
+        # a reply or deliver one delayed past an earlier attempt —
+        # discard frames whose rid is not ours.  Replies without a rid
+        # (failure paths, old servers) are accepted as-is.
+        for _ in range(self.MAX_STALE_REPLIES):
+            try:
+                message = recv_message(self._sock, self.max_message_bytes)
+            except DeserializationError as exc:
+                # corrupt reply frame: the stream cannot be resynced, so
+                # drop the connection and let the retry policy heal it
+                self.close()
+                raise ConnectionClosedError(
+                    f"corrupt reply frame: {exc}") from exc
+            if message is None:
+                raise ConnectionClosedError("server closed the connection")
+            reply, payload = message
+            if reply.get("rid") in (None, rid):
+                return reply, payload
+        self.close()
+        raise ConnectionClosedError(
+            f"no reply matching rid={rid} within "
+            f"{self.MAX_STALE_REPLIES} frames")
 
     def _send_with_chaos(self, header: dict, body: bytes) -> None:
         fault = chaos.wire_fault()

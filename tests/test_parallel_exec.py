@@ -434,3 +434,54 @@ def test_executor_respects_shared_budget():
     assert np.allclose(backend.decrypt(out[0], 64), 4.0, atol=1e-6)
     budget.release(hog)
     assert budget.available == 2
+
+
+# -- memory-aware issue-width capping (REPRO_MEM_BUDGET) --------------------
+
+def _run_branchy(executor, module, fn):
+    return executor.run(module, fn, [np.ones(64)], check_plan=False)
+
+
+def test_mem_budget_capped_run_bit_identical():
+    """A starved budget narrows issue width but never changes results."""
+    from repro.runtime.executor import width_capped_total
+
+    module = Module("m")
+    fn = _branchy_ckks(module, branches=6, chain=2)
+    free = ParallelExecutor(_sim(seed=3), jobs=4)
+    want = _run_branchy(free, module, fn)
+    before = width_capped_total()
+    capped = ParallelExecutor(_sim(seed=3), jobs=4, mem_budget=2000)
+    got = _run_branchy(capped, module, fn)
+    assert [np.array_equal(a.values, b.values) for a, b in zip(want, got)]
+    assert capped.width_capped > 0
+    assert width_capped_total() > before
+    assert free.width_capped == 0  # no budget, no capping
+
+
+def test_mem_budget_huge_budget_never_caps():
+    module = Module("m")
+    fn = _branchy_ckks(module, branches=4, chain=2)
+    executor = ParallelExecutor(_sim(seed=1), jobs=4, mem_budget=1 << 40)
+    _run_branchy(executor, module, fn)
+    assert executor.width_capped == 0
+
+
+def test_mem_budget_resolved_from_env(monkeypatch):
+    from repro.runtime.executor import resolve_mem_budget
+
+    monkeypatch.setenv("REPRO_MEM_BUDGET", "4096")
+    assert resolve_mem_budget() == 4096
+    assert resolve_mem_budget(123) == 123  # explicit beats env
+    monkeypatch.delenv("REPRO_MEM_BUDGET")
+    assert resolve_mem_budget() is None
+    assert ParallelExecutor(_sim(), jobs=2).mem_budget is None
+
+
+@pytest.mark.parametrize("bad", ["0", "-5", "lots", "1.5"])
+def test_mem_budget_rejects_bad_values(monkeypatch, bad):
+    from repro.runtime.executor import resolve_mem_budget
+
+    monkeypatch.setenv("REPRO_MEM_BUDGET", bad)
+    with pytest.raises(ReproError):
+        resolve_mem_budget()

@@ -195,3 +195,86 @@ def test_truncated_plaintext_rejected(ctx):
     blob = serialize_plaintext(ctx.encode([1.0, 2.0]))
     with pytest.raises(DeserializationError):
         deserialize_plaintext(blob[:-8], _full_basis(ctx))
+
+
+# -- evaluation-key blobs (the scale-out router's key exchange) ------------
+
+
+@pytest.fixture(scope="module")
+def keyed_ctx():
+    params = CkksParameters(poly_degree=128, scale_bits=30,
+                            first_prime_bits=40, num_levels=3)
+    return CkksContext(params, rotation_steps=[1, 2, -1],
+                       need_conjugation=True, seed=5)
+
+
+def test_eval_keys_roundtrip_structure(keyed_ctx):
+    from repro.ckks.serialize import (
+        deserialize_eval_keys,
+        eval_keys_fingerprint,
+        serialize_eval_keys,
+    )
+
+    blob = serialize_eval_keys(keyed_ctx.keys)
+    chain = deserialize_eval_keys(blob, *keyed_ctx.params.make_bases())
+    assert chain.secret is None  # the blob structurally excludes it
+    assert chain.relin is not None and chain.conjugation is not None
+    assert set(chain.rotations) == set(keyed_ctx.keys.rotations)
+    # blob size tracks the Figure-7 key-memory meter (header overhead only)
+    assert abs(len(blob) - keyed_ctx.keys.byte_size()) < 4096
+    assert (eval_keys_fingerprint(blob)
+            == basis_fingerprint(_full_basis(keyed_ctx)))
+
+
+def test_eval_keys_evaluate_bit_identically(keyed_ctx):
+    """Shipped keys rotate/relinearize exactly like the owner's chain."""
+    from repro.ckks.evaluator import CkksEvaluator
+    from repro.ckks.serialize import deserialize_eval_keys, serialize_eval_keys
+
+    chain = deserialize_eval_keys(serialize_eval_keys(keyed_ctx.keys),
+                                  *keyed_ctx.params.make_bases())
+    shipped = CkksEvaluator(keyed_ctx.params, chain,
+                            np.random.default_rng(0))
+    msg = np.random.default_rng(2).uniform(-1, 1, size=64)
+    ct = keyed_ctx.encrypt(msg)
+    owner_rot = keyed_ctx.evaluator.rotate(ct, 1)
+    shipped_rot = shipped.rotate(ct, 1)
+    assert serialize_ciphertext(owner_rot) == serialize_ciphertext(shipped_rot)
+    owner_sq = keyed_ctx.evaluator.relinearize(
+        keyed_ctx.evaluator.multiply(ct, ct))
+    shipped_sq = shipped.relinearize(shipped.multiply(ct, ct))
+    assert serialize_ciphertext(owner_sq) == serialize_ciphertext(shipped_sq)
+
+
+def test_eval_keys_cannot_decrypt(keyed_ctx):
+    from repro.ckks import CkksContext
+    from repro.ckks.serialize import deserialize_eval_keys, serialize_eval_keys
+    from repro.errors import KeyError_
+
+    chain = deserialize_eval_keys(serialize_eval_keys(keyed_ctx.keys),
+                                  *keyed_ctx.params.make_bases())
+    shipped_ctx = CkksContext.from_keychain(keyed_ctx.params, chain, seed=0)
+    ct = shipped_ctx.encrypt([1.0, 2.0])  # public-key encryption works
+    with pytest.raises(KeyError_):
+        shipped_ctx.decrypt(ct)
+    with pytest.raises(KeyError_):
+        shipped_ctx.add_rotation_keys([4])  # and key minting is impossible
+
+
+def test_eval_keys_reject_corruption_and_foreign_params(keyed_ctx):
+    from repro.ckks.serialize import deserialize_eval_keys, serialize_eval_keys
+    from repro.errors import DeserializationError
+
+    blob = serialize_eval_keys(keyed_ctx.keys)
+    truncated = blob[:len(blob) // 2]
+    with pytest.raises(DeserializationError):
+        deserialize_eval_keys(truncated, *keyed_ctx.params.make_bases())
+    garbled = bytearray(blob)
+    garbled[4:8] = b"\xff\xff\xff\xff"
+    with pytest.raises(DeserializationError):
+        deserialize_eval_keys(bytes(garbled),
+                              *keyed_ctx.params.make_bases())
+    foreign = CkksParameters(poly_degree=128, scale_bits=32,
+                             first_prime_bits=42, num_levels=3)
+    with pytest.raises(ParameterError):
+        deserialize_eval_keys(blob, *foreign.make_bases())

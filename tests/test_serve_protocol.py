@@ -234,3 +234,64 @@ def test_cli_serve_and_client(tmp_path, capsys):
     out = capsys.readouterr().out
     assert "response[0]:" in out and "response[1]:" in out
     assert "serve_requests_total" in out
+
+
+# -- server-side chaos: the reply path exercises at-most-once delivery ------
+#
+# The client's contract is at-least-once *execution* (it re-sends after a
+# lost reply; inference is deterministic) and exactly-one *response*
+# (request ids correlate frames, stale duplicates are discarded).  Each
+# test arms one server-side fault site and asserts the client heals.
+
+def _chaos_infer(srv, weights, site, spec, repeats=1):
+    from repro import chaos
+    from repro.chaos import ChaosPlan, SiteSpec
+
+    features = np.random.default_rng(3).uniform(-1, 1, size=(1, 24))
+    expected = (features @ weights["w"].T + weights["b"]).ravel()
+    with RemoteModelClient(srv.host, srv.port, "credit") as client:
+        client.infer(features)  # session established before faults arm
+        with chaos.active(ChaosPlan(11, {site: SiteSpec(*spec)})):
+            for _ in range(repeats):
+                scores = client.infer(features)
+                assert np.allclose(scores.ravel(), expected, atol=1e-3)
+    return srv.metrics.counter(f"serve_chaos_{site.split('.')[-1]}_total")
+
+
+def test_dropped_reply_heals_by_reexecution(server):
+    from repro import chaos
+
+    srv, weights = server
+    before = srv.metrics.counter("serve_requests_total")
+    fired = _chaos_infer(srv, weights, chaos.SERVE_DROP_REPLY, (1.0, 1))
+    assert fired >= 1
+    # warm-up executed once; the lost reply forced the chaos-window
+    # request to execute twice (at-least-once execution)
+    assert srv.metrics.counter("serve_requests_total") >= before + 3
+
+
+def test_corrupt_reply_is_transient(server):
+    from repro import chaos
+
+    srv, weights = server
+    fired = _chaos_infer(srv, weights, chaos.SERVE_CORRUPT_REPLY, (1.0, 1))
+    assert fired >= 1
+
+
+def test_duplicated_replies_are_discarded_not_consumed(server):
+    from repro import chaos
+
+    srv, weights = server
+    # every reply doubled for a while: later rpcs must skip stale frames
+    fired = _chaos_infer(srv, weights, chaos.SERVE_DUP_REPLY, (1.0, 4),
+                         repeats=3)
+    assert fired >= 2
+
+
+def test_delayed_reply_still_correct(server):
+    from repro import chaos
+
+    srv, weights = server
+    fired = _chaos_infer(srv, weights, chaos.SERVE_DELAY_REPLY,
+                         (1.0, 2, 0.01))
+    assert fired >= 1
