@@ -405,7 +405,9 @@ class CkksEvaluator:
         level = len(d.basis) - 1
         ext = self._extended_basis(level)
         d_coeff = d.to_coeff()
-        lifted = np.mod(d_coeff.residues[:, None, :], ext.moduli_col[None, :, :])
+        lifted = modmath.mod_reduce(
+            d_coeff.residues[:, None, :], ext.moduli_col[None, :, :]
+        )
         return HoistedDecomposition(level, ext, ext.ntt_forward(lifted))
 
     def _inner_product(
@@ -422,7 +424,7 @@ class CkksEvaluator:
         q = ext.moduli_col[None, None, :, :]
         # one fused pass over both key halves: (2, digits, K, N)
         prods = modmath.mul_mod(digits[None, :, :, :], keys, q)
-        acc = np.mod(np.add.reduce(prods, axis=1), ext.moduli_col)
+        acc = modmath.mod_reduce(np.add.reduce(prods, axis=1), ext.moduli_col)
         return (
             RnsPoly(ext, acc[0], is_ntt=True),
             RnsPoly(ext, acc[1], is_ntt=True),

@@ -59,7 +59,7 @@ def _accumulate_products(ct_stack: np.ndarray, pt_stack: np.ndarray,
     prods = modmath.mul_mod(ct_stack, pt_stack, q_col[None, :, :])
     acc = None
     for start in range(0, prods.shape[0], _SAFE_ACC_TERMS):
-        part = np.mod(
+        part = modmath.mod_reduce(
             np.add.reduce(prods[start : start + _SAFE_ACC_TERMS], axis=0),
             q_col,
         )

@@ -158,11 +158,42 @@ def _add_chaos_options(parser: argparse.ArgumentParser) -> None:
                              "(overrides --chaos-seed)")
 
 
+def _install_kernel(args) -> None:
+    """Select the NTT/RNS kernel backend from ``--kernel`` and warm it up.
+
+    Without the flag the process keeps the lazy default
+    (``$REPRO_KERNEL`` or numpy, resolved on first use).  JIT backends
+    are warmed immediately so the first inference never pays
+    compilation latency.
+    """
+    choice = getattr(args, "kernel", None)
+    if choice is None:
+        return
+    from repro.polymath import kernels
+
+    backend = kernels.set_backend(choice)
+    seconds = kernels.warmup()
+    if backend.jit:
+        print(f"kernel backend: {backend.name} "
+              f"(warmed up in {seconds:.2f}s)")
+
+
+def _add_kernel_option(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--kernel", default=None,
+                        choices=("numpy", "numba", "cuda", "pyloops",
+                                 "auto"),
+                        help="NTT/RNS kernel backend (default: "
+                             "$REPRO_KERNEL or numpy); 'auto' probes "
+                             "cuda then numba and falls back to numpy "
+                             "with a warning")
+
+
 def _run(args) -> int:
     from repro.compiler import ACECompiler
     from repro.onnx import load_model
 
     _install_chaos(args)
+    _install_kernel(args)
     program = ACECompiler(load_model(args.model),
                           _options_from(args)).compile()
     shape = program.input_layouts[0].shape
@@ -194,6 +225,7 @@ def _serve(args) -> int:
     from repro.serve import InferenceServer, ModelRegistry, ShardServer
 
     _install_chaos(args)
+    _install_kernel(args)
     registry = ModelRegistry()
     if args.shard:
         # shard mode: an empty server whose models (and secret-free
@@ -242,6 +274,7 @@ def _router(args) -> int:
     from repro.serve import RouterServer
 
     _install_chaos(args)
+    _install_kernel(args)
     router = RouterServer(
         num_shards=args.shards,
         host=args.host, port=args.port,
@@ -251,6 +284,7 @@ def _router(args) -> int:
         shard_workers=args.workers,
         shard_jobs=args.jobs,
         shard_mem_budget=args.mem_budget,
+        shard_kernel=args.kernel,
     )
     try:
         for index, path in enumerate(args.models):
@@ -323,6 +357,7 @@ def main(argv=None) -> int:
     p_run.add_argument("--jobs", type=int, default=None,
                        help="executor threads for op-level parallelism "
                             "(default: $REPRO_JOBS or 1)")
+    _add_kernel_option(p_run)
     _add_chaos_options(p_run)
     p_run.set_defaults(fn=_run)
 
@@ -359,6 +394,7 @@ def main(argv=None) -> int:
                               "or 1)")
     p_serve.add_argument("--port-file", default=None,
                          help="write the bound port here once listening")
+    _add_kernel_option(p_serve)
     _add_chaos_options(p_serve)
     p_serve.set_defaults(fn=_serve)
 
@@ -396,6 +432,7 @@ def main(argv=None) -> int:
     p_router.add_argument("--levels", type=int, default=4)
     p_router.add_argument("--port-file", default=None,
                           help="write the bound port here once listening")
+    _add_kernel_option(p_router)
     _add_chaos_options(p_router)
     p_router.set_defaults(fn=_router)
 

@@ -23,6 +23,7 @@ from repro.ir import Module, Pass, PassManager, schedule_pass
 from repro.ir.printer import print_function
 from repro.onnx.protos import ModelProto
 from repro.params import ParameterSelector, SelectedParameters
+from repro.polymath import kernels
 from repro.passes.frontend import onnx_to_nn
 from repro.passes.opt import (
     make_opt_pass,
@@ -297,6 +298,9 @@ class ACECompiler:
             "schedule": context["schedules"][module.main().name].describe(),
             "opt": summarize_opt_stats(context.get("opt_stats", []),
                                        opts.opt_level),
+            # which NTT/RNS kernel backend executions will run on (the
+            # process-global --kernel / REPRO_KERNEL selection)
+            "kernel_backend": kernels.active_name(),
         }
         if opts.poly_mode != "off":
             stats["poly"] = self._poly_stage(timers, module, context, scheme)

@@ -29,6 +29,15 @@ class SecurityError(ParameterError):
     """Requested parameters cannot meet the requested security level."""
 
 
+class KernelUnavailableError(ParameterError):
+    """A requested kernel backend cannot run in this process.
+
+    Raised when an explicitly named backend (``--kernel numba``,
+    ``REPRO_KERNEL=cuda``) is missing its dependency or hardware;
+    ``--kernel auto`` never raises, it falls back to numpy instead.
+    """
+
+
 class EncodingError(ReproError):
     """A message cannot be encoded/decoded with the given encoder."""
 

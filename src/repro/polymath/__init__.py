@@ -12,18 +12,23 @@ Layers (bottom-up):
   (mod-up / mod-down), rescaling and automorphisms.
 * :mod:`repro.polymath.crt` — CRT reconstruction to arbitrary-precision
   integers (used by decryption and by tests).
+* :mod:`repro.polymath.kernels` — pluggable kernel backends (numpy /
+  numba CPU-JIT / CUDA) behind the hot paths of all of the above;
+  selected via ``--kernel`` / ``REPRO_KERNEL``.
 """
 
+from repro.polymath import kernels
 from repro.polymath.modmath import (
     MAX_MODULUS_BITS,
     add_mod,
     sub_mod,
     neg_mod,
     mul_mod,
+    mod_reduce,
     pow_mod,
     inv_mod,
 )
-from repro.polymath.ntt import NttContext
+from repro.polymath.ntt import NttContext, stacked_tables
 from repro.polymath.rns import RnsBasis, RnsPoly
 from repro.polymath.crt import crt_reconstruct, to_signed
 
@@ -33,6 +38,7 @@ __all__ = [
     "sub_mod",
     "neg_mod",
     "mul_mod",
+    "mod_reduce",
     "pow_mod",
     "inv_mod",
     "NttContext",
@@ -40,4 +46,6 @@ __all__ = [
     "RnsPoly",
     "crt_reconstruct",
     "to_signed",
+    "kernels",
+    "stacked_tables",
 ]

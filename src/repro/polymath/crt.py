@@ -6,7 +6,27 @@ and heavily in tests as the ground-truth interpretation of RNS data.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
+
+
+@lru_cache(maxsize=None)
+def _crt_basis(moduli: tuple[int, ...]) -> tuple[int, list[int]]:
+    """``(Q, [Q/q_j * [(Q/q_j)^-1]_{q_j}])`` memoised per modulus chain.
+
+    The basis elements are multi-hundred-bit Python ints rebuilt on
+    every decryption before this memo existed; chains recur constantly
+    (one per parameter set), so caching them is free real estate.
+    """
+    big_q = 1
+    for q in moduli:
+        big_q *= q
+    basis = []
+    for q in moduli:
+        q_hat = big_q // q
+        basis.append(q_hat * pow(q_hat % q, -1, q))
+    return big_q, basis
 
 
 def crt_reconstruct(residue_rows: np.ndarray, moduli: list[int]) -> list[int]:
@@ -14,14 +34,7 @@ def crt_reconstruct(residue_rows: np.ndarray, moduli: list[int]) -> list[int]:
 
     ``residue_rows`` has shape (len(moduli), N).
     """
-    big_q = 1
-    for q in moduli:
-        big_q *= q
-    # Precompute CRT basis elements as Python ints.
-    basis = []
-    for q in moduli:
-        q_hat = big_q // q
-        basis.append(q_hat * pow(q_hat % q, -1, q))
+    big_q, basis = _crt_basis(tuple(moduli))
     n = residue_rows.shape[1]
     out = [0] * n
     for row, element in zip(residue_rows, basis):
@@ -39,7 +52,5 @@ def to_signed(values: list[int], modulus: int) -> list[int]:
 
 def signed_coeffs(residue_rows: np.ndarray, moduli: list[int]) -> list[int]:
     """Convenience: CRT-reconstruct then centre."""
-    big_q = 1
-    for q in moduli:
-        big_q *= q
+    big_q, _ = _crt_basis(tuple(moduli))
     return to_signed(crt_reconstruct(residue_rows, moduli), big_q)

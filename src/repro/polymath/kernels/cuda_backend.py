@@ -1,0 +1,190 @@
+"""Experimental CuPy/CUDA kernel backend.
+
+Mirrors the numpy backend's float-reciprocal Barrett arithmetic on the
+GPU: elementwise ops and the blocked butterfly passes run as CuPy
+vector kernels over device arrays, with twiddle tables resident on the
+device (attached to the shared :class:`NttTables` via ``extras``).
+Inputs arrive as host numpy arrays and results return as host arrays,
+so the backend is a drop-in for the same call sites — the transfer cost
+makes it worthwhile only for large degrees/batches.
+
+Availability requires both the :mod:`cupy` package *and* a visible CUDA
+device; anything else (no package, no driver, zero devices) makes
+``available()`` False so ``--kernel auto`` skips it cleanly and the
+test suite marks its cases as skipped rather than failed.  The modulus
+ceiling matches numpy's 50-bit floor (same float quotient estimate).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.polymath.kernels import KernelBackend, NttTables
+
+_probe_detail = "not probed"
+
+
+def _cupy():
+    import cupy
+
+    return cupy
+
+
+class CudaBackend(KernelBackend):
+    name = "cuda"
+    jit = True  # first use pays CUDA kernel compilation
+    max_modulus_bits = 50
+
+    @classmethod
+    def available(cls) -> bool:
+        global _probe_detail
+        try:
+            cp = _cupy()
+            count = cp.cuda.runtime.getDeviceCount()
+        except ImportError:
+            _probe_detail = "the cupy package is not installed"
+            return False
+        except Exception as exc:  # driver/runtime errors
+            _probe_detail = f"CUDA runtime unavailable ({exc})"
+            return False
+        if count < 1:
+            _probe_detail = "no CUDA device visible"
+            return False
+        return True
+
+    @classmethod
+    def unavailable_reason(cls) -> str:
+        return _probe_detail
+
+    # -- device-side modular primitives -----------------------------------
+
+    @staticmethod
+    def _d_add(cp, a, b, q):
+        s = a + b
+        return cp.where(s >= q, s - q, s)
+
+    @staticmethod
+    def _d_sub(cp, a, b, q):
+        return cp.where(a >= b, a - b, a + q - b)
+
+    @staticmethod
+    def _d_mul(cp, a, b, q):
+        quot = cp.floor(
+            a.astype(cp.float64) * b.astype(cp.float64)
+            / q.astype(cp.float64)).astype(cp.uint64)
+        r = a * b - quot * q  # wraps mod 2**64 exactly like numpy
+        two63 = cp.uint64(1 << 63)
+        r = cp.where(r >= two63, r + q, r)
+        return cp.where(r >= q, r - q, r)
+
+    # -- elementwise (host in, host out) ----------------------------------
+
+    def _ew(self, fn, *arrays):
+        cp = _cupy()
+        dev = [cp.asarray(np.asarray(x, dtype=np.uint64)) for x in arrays]
+        return cp.asnumpy(fn(cp, *dev))
+
+    def add_mod(self, a, b, q):
+        return self._ew(lambda cp, x, y, qq: self._d_add(cp, x, y, qq),
+                        a, b, q)
+
+    def sub_mod(self, a, b, q):
+        return self._ew(lambda cp, x, y, qq: self._d_sub(cp, x, y, qq),
+                        a, b, q)
+
+    def neg_mod(self, a, q):
+        return self._ew(
+            lambda cp, x, qq: cp.where(x == 0, x, qq - x), a, q)
+
+    def mul_mod(self, a, b, q):
+        return self._ew(lambda cp, x, y, qq: self._d_mul(cp, x, y, qq),
+                        a, b, q)
+
+    def mod_reduce(self, a, q):
+        return self._ew(lambda cp, x, qq: x % qq, a, q)
+
+    # -- NTT ---------------------------------------------------------------
+
+    def _device_tables(self, tables: NttTables) -> dict:
+        cp = _cupy()
+        b = tables.num_rows
+        if b == 1:
+            return {
+                "psi": cp.asarray(tables.psi_rev[0]),
+                "psi_inv": cp.asarray(tables.psi_inv_rev[0]),
+                "q": cp.uint64(tables.moduli[0]),
+                "n_inv": cp.uint64(tables.n_inv[0]),
+                "q_row": cp.uint64(tables.moduli[0]),
+            }
+        return {
+            "psi": cp.asarray(tables.psi_rev),
+            "psi_inv": cp.asarray(tables.psi_inv_rev),
+            "q": cp.asarray(tables.q.reshape(b, 1, 1)),
+            "n_inv": cp.asarray(tables.n_inv.reshape(b, 1)),
+            "q_row": cp.asarray(tables.q.reshape(b, 1)),
+        }
+
+    def _check_tables(self, a: np.ndarray, tables: NttTables) -> None:
+        if tables.max_bits > self.max_modulus_bits:
+            raise ParameterError(
+                f"{tables.max_bits}-bit modulus exceeds the cuda backend's "
+                f"{self.max_modulus_bits}-bit ceiling")
+        if tables.num_rows > 1 and a.shape[-2] != tables.num_rows:
+            raise ParameterError(
+                f"residue stack shape {a.shape} does not carry "
+                f"{tables.num_rows} limb rows")
+
+    def ntt_forward(self, a: np.ndarray, tables: NttTables) -> np.ndarray:
+        cp = _cupy()
+        self._check_tables(a, tables)
+        dt = tables.extras(self.name, self._device_tables)
+        work = cp.asarray(a)
+        n = a.shape[-1]
+        lead = work.shape[:-1]
+        psi, q = dt["psi"], dt["q"]
+        t = n
+        m = 1
+        while m < n:
+            t //= 2
+            s = psi[..., m: 2 * m]
+            blocks = work.reshape(*lead, m, 2, t)
+            u = blocks[..., 0, :].copy()
+            v = self._d_mul(cp, blocks[..., 1, :], s[..., :, None], q)
+            blocks[..., 0, :] = self._d_add(cp, u, v, q)
+            blocks[..., 1, :] = self._d_sub(cp, u, v, q)
+            m *= 2
+        a[...] = cp.asnumpy(work)
+        return a
+
+    def ntt_inverse(self, a: np.ndarray, tables: NttTables) -> np.ndarray:
+        cp = _cupy()
+        self._check_tables(a, tables)
+        dt = tables.extras(self.name, self._device_tables)
+        work = cp.asarray(a)
+        n = a.shape[-1]
+        lead = work.shape[:-1]
+        psi_inv, q = dt["psi_inv"], dt["q"]
+        t = 1
+        m = n
+        while m > 1:
+            h = m // 2
+            s = psi_inv[..., h: 2 * h]
+            blocks = work.reshape(*lead, h, 2, t)
+            u = blocks[..., 0, :].copy()
+            v = blocks[..., 1, :].copy()
+            blocks[..., 0, :] = self._d_add(cp, u, v, q)
+            diff = self._d_sub(cp, u, v, q)
+            blocks[..., 1, :] = self._d_mul(cp, diff, s[..., :, None], q)
+            t *= 2
+            m = h
+        scaled = self._d_mul(cp, work, dt["n_inv"], dt["q_row"])
+        a[...] = cp.asnumpy(scaled)
+        return a
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def warmup(self, degree: int = 32) -> None:
+        from repro.polymath.kernels.jitbase import JitStyleBackend
+
+        JitStyleBackend.warmup(self, degree)

@@ -1,0 +1,233 @@
+"""Shared machinery for backends running the :mod:`jitcore` kernels.
+
+The numba backend runs them JIT-compiled over uint64 arrays; the
+pyloops backend runs the *same functions* as pure Python over object
+arrays (exact big-int arithmetic, masked to 64 bits by the kernels
+themselves).  Everything above the kernel call — broadcast
+normalisation to the flat "modulus constant per row" layout, Barrett
+pack memoisation, NTT table preparation — is identical and lives here.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.polymath.kernels import KernelBackend, NttTables
+from repro.polymath.kernels import jitcore
+
+#: NTT-friendly warmup basis: primes ≡ 1 (mod 64) for degree 32.
+_WARMUP_MODULI = (193, 257)
+_WARMUP_DEGREE = 32
+
+
+class JitStyleBackend(KernelBackend):
+    """Base for backends whose kernels take flat rows + per-row packs."""
+
+    max_modulus_bits = jitcore.JIT_MAX_MODULUS_BITS
+
+    def __init__(self):
+        self._pack_lock = threading.Lock()
+        self._pack_cache: dict[bytes, tuple] = {}
+
+    # -- representation hooks (pyloops converts to/from object arrays) ----
+
+    def _kernel(self, name: str):
+        raise NotImplementedError
+
+    def _wrap(self, arr: np.ndarray) -> np.ndarray:
+        """Input uint64 array -> the representation the kernels consume."""
+        return arr
+
+    def _alloc(self, shape) -> np.ndarray:
+        """Output array in kernel representation."""
+        return np.empty(shape, dtype=np.uint64)
+
+    def _unwrap(self, arr: np.ndarray) -> np.ndarray:
+        """Kernel representation -> uint64 ndarray."""
+        return arr
+
+    # -- broadcast normalisation ------------------------------------------
+
+    def _fallback(self):
+        from repro.polymath.kernels import get_backend
+
+        return get_backend("numpy")
+
+    def _layout(self, q, *ops):
+        """Broadcast operands to the flat per-row-modulus layout.
+
+        Returns ``(shape, n, flat_operands, q_rows)`` or ``None`` when
+        the layout is exotic (0-d/empty results, or a modulus varying
+        along the last axis) — those fall back to the numpy reference,
+        which is bit-identical by contract.
+        """
+        arrs = [np.asarray(x, dtype=np.uint64) for x in ops]
+        qa = np.asarray(q, dtype=np.uint64)
+        shape = np.broadcast_shapes(qa.shape, *[a.shape for a in arrs])
+        if shape == () or 0 in shape or (qa.ndim and qa.shape[-1] != 1):
+            return None
+        n = shape[-1]
+        flat = [
+            np.ascontiguousarray(np.broadcast_to(a, shape)).reshape(-1)
+            for a in arrs
+        ]
+        q_rows = np.ascontiguousarray(
+            np.broadcast_to(qa, shape[:-1] + (1,))).reshape(-1)
+        return shape, n, flat, q_rows
+
+    def _barrett_pack(self, q_rows: np.ndarray) -> tuple:
+        """Memoised ``(q, c_hi, c_lo)`` in kernel representation."""
+        key = q_rows.tobytes()
+        hit = self._pack_cache.get(key)
+        if hit is not None:
+            return hit
+        with self._pack_lock:
+            hit = self._pack_cache.get(key)
+            if hit is None:
+                q, c_hi, c_lo = jitcore.barrett_pack(q_rows.tolist())
+                hit = (self._wrap(q), self._wrap(c_hi), self._wrap(c_lo))
+                if len(self._pack_cache) > 512:
+                    self._pack_cache.clear()
+                self._pack_cache[key] = hit
+            return hit
+
+    # -- elementwise ------------------------------------------------------
+
+    def _binary(self, kernel_name: str, a, b, q):
+        layout = self._layout(q, a, b)
+        if layout is None:
+            fb = self._fallback()
+            return getattr(fb, kernel_name.replace("k_", ""))(a, b, q)
+        shape, n, (fa, fb_), q_rows = layout
+        out = self._alloc(fa.shape[0])
+        self._kernel(kernel_name)(
+            self._wrap(fa), self._wrap(fb_), self._wrap(q_rows), n, out)
+        return self._unwrap(out).reshape(shape)
+
+    def add_mod(self, a, b, q):
+        return self._binary("k_add_mod", a, b, q)
+
+    def sub_mod(self, a, b, q):
+        return self._binary("k_sub_mod", a, b, q)
+
+    def neg_mod(self, a, q):
+        layout = self._layout(q, a)
+        if layout is None:
+            return self._fallback().neg_mod(a, q)
+        shape, n, (fa,), q_rows = layout
+        out = self._alloc(fa.shape[0])
+        self._kernel("k_neg_mod")(self._wrap(fa), self._wrap(q_rows), n, out)
+        return self._unwrap(out).reshape(shape)
+
+    def mul_mod(self, a, b, q):
+        layout = self._layout(q, a, b)
+        if layout is None:
+            return self._fallback().mul_mod(a, b, q)
+        shape, n, (fa, fb_), q_rows = layout
+        q_k, c_hi, c_lo = self._barrett_pack(q_rows)
+        out = self._alloc(fa.shape[0])
+        self._kernel("k_mul_mod")(
+            self._wrap(fa), self._wrap(fb_), q_k, c_hi, c_lo, n, out)
+        return self._unwrap(out).reshape(shape)
+
+    def mod_reduce(self, a, q):
+        layout = self._layout(q, a)
+        if layout is None:
+            return self._fallback().mod_reduce(a, q)
+        shape, n, (fa,), q_rows = layout
+        out = self._alloc(fa.shape[0])
+        self._kernel("k_mod_reduce")(
+            self._wrap(fa), self._wrap(q_rows), n, out)
+        return self._unwrap(out).reshape(shape)
+
+    # -- NTT --------------------------------------------------------------
+
+    def _ntt_pack(self, tables: NttTables) -> dict:
+        q, c_hi, c_lo = jitcore.barrett_pack(tables.moduli)
+        return {
+            "q": self._wrap(q),
+            "psi": self._wrap(np.ascontiguousarray(tables.psi_rev)),
+            "psi_inv": self._wrap(np.ascontiguousarray(tables.psi_inv_rev)),
+            "psi_sh": self._wrap(
+                jitcore.shoup_pack(tables.psi_rev, tables.moduli)),
+            "psi_inv_sh": self._wrap(
+                jitcore.shoup_pack(tables.psi_inv_rev, tables.moduli)),
+            "n_inv": self._wrap(tables.n_inv),
+            "n_inv_sh": self._wrap(
+                jitcore.shoup_pack(tables.n_inv, tables.moduli)),
+        }
+
+    def _rows_view(self, a: np.ndarray, tables: NttTables) -> np.ndarray:
+        if tables.num_rows > 1 and a.shape[-2] != tables.num_rows:
+            raise ParameterError(
+                f"residue stack shape {a.shape} does not carry "
+                f"{tables.num_rows} limb rows")
+        return np.ascontiguousarray(a).reshape(-1, tables.degree)
+
+    def _run_ntt(self, kernel_name: str, a: np.ndarray,
+                 tables: NttTables) -> np.ndarray:
+        pack = tables.extras(self.name, self._ntt_pack)
+        rows = self._rows_view(a, tables)
+        work = self._wrap(rows)
+        if kernel_name == "k_ntt_forward":
+            self._kernel(kernel_name)(
+                work, pack["psi"], pack["psi_sh"], pack["q"])
+        else:
+            self._kernel(kernel_name)(
+                work, pack["psi_inv"], pack["psi_inv_sh"], pack["q"],
+                pack["n_inv"], pack["n_inv_sh"])
+        result = self._unwrap(work).reshape(a.shape)
+        # honour the mutate-and-return contract of the numpy cores: when
+        # the kernel ran on a copy (non-contiguous input, object arrays)
+        # the result must land back in the caller's array
+        if not np.shares_memory(result, a):
+            a[...] = result
+        return a
+
+    def ntt_forward(self, a: np.ndarray, tables: NttTables) -> np.ndarray:
+        return self._run_ntt("k_ntt_forward", a, tables)
+
+    def ntt_inverse(self, a: np.ndarray, tables: NttTables) -> np.ndarray:
+        return self._run_ntt("k_ntt_inverse", a, tables)
+
+    # -- fused rescale ----------------------------------------------------
+
+    def rescale_delta(self, last_coeff: np.ndarray, q_last: int,
+                      q_col: np.ndarray) -> np.ndarray:
+        last = np.asarray(last_coeff, dtype=np.uint64)
+        q_rows = np.ascontiguousarray(
+            np.asarray(q_col, dtype=np.uint64).reshape(-1))
+        lead = last.shape[:-1]
+        n = last.shape[-1]
+        k = q_rows.shape[0]
+        last2d = np.ascontiguousarray(last).reshape(-1, n)
+        corr = np.mod(np.uint64(q_last), q_rows)
+        out = self._alloc((last2d.shape[0], k, n))
+        self._kernel("k_rescale_delta")(
+            self._wrap(last2d), int(q_last) // 2, self._wrap(q_rows),
+            self._wrap(corr), out)
+        return self._unwrap(out).reshape(lead + (k, n))
+
+    # -- warmup -----------------------------------------------------------
+
+    def warmup(self, degree: int = _WARMUP_DEGREE) -> None:
+        """Exercise every kernel once at the shapes real callers use."""
+        from repro.polymath.ntt import stacked_tables
+
+        tables = stacked_tables(_WARMUP_DEGREE, _WARMUP_MODULI)
+        rng = np.random.default_rng(0)
+        q_col = tables.q.reshape(-1, 1)
+        stack = (rng.integers(0, 193, size=(2, _WARMUP_DEGREE))
+                 .astype(np.uint64) % q_col)
+        self.add_mod(stack, stack, q_col)
+        self.sub_mod(stack, stack, q_col)
+        self.neg_mod(stack, q_col)
+        self.mul_mod(stack, stack, q_col)
+        self.mod_reduce(stack, q_col)
+        work = stack.copy()
+        self.ntt_forward(work, tables)
+        self.ntt_inverse(work, tables)
+        self.rescale_delta(stack[0], int(tables.moduli[-1]), q_col[:1])

@@ -1,0 +1,284 @@
+"""Kernel source shared by the numba (JIT) and pyloops (pure) backends.
+
+Everything here is written in the *intersection* of nopython-numba and
+plain Python semantics:
+
+* Arithmetic that may exceed 64 bits is masked with ``& MASK64`` after
+  every step.  Under numba the operands are ``uint64`` and wrap modulo
+  2**64 anyway (the mask compiles to a no-op LLVM ``and``); under pure
+  Python the operands are arbitrary-precision ints and the mask makes
+  the wrap explicit — so the two executions are bit-identical.
+* Helpers carry :func:`numba.extending.register_jitable`, which leaves
+  them callable as ordinary Python functions *and* inlinable from
+  ``@njit`` kernels.  Without numba the decorator degrades to identity.
+* Loops use ``prange``; numba parallelises them, plain Python treats it
+  as ``range`` (``numba.prange`` falls back to ``range`` outside JIT).
+
+The multiplication kernels avoid the float-reciprocal quotient estimate
+entirely: generic ``mul_mod`` is a SEAL-style base-2^64 Barrett
+reduction of the full 128-bit product (built from 32-bit limb products)
+against a per-modulus precomputed ``floor(2^128 / q)``, and the NTT
+butterflies use Shoup multiplication against precomputed
+``floor(w * 2^64 / q)`` twiddles.  Both are exact for moduli up to
+:data:`JIT_MAX_MODULUS_BITS` bits — past the 50-bit float-trick ceiling
+of the numpy backend.
+
+Top-level ``k_*`` kernels take flat/2-D contiguous arrays plus small
+per-row constant vectors; the backends own shape normalisation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+try:  # pragma: no cover - exercised only where numba is installed
+    import numba
+    from numba.extending import register_jitable
+
+    prange = numba.prange
+    HAVE_NUMBA = True
+except ImportError:  # pragma: no cover - the only branch on this host
+    numba = None
+    HAVE_NUMBA = False
+    prange = range
+
+    def register_jitable(*args, **kwargs):
+        if args and callable(args[0]):
+            return args[0]
+
+        def deco(fn):
+            return fn
+
+        return deco
+
+
+MASK64 = (1 << 64) - 1
+MASK32 = (1 << 32) - 1
+
+#: Modulus ceiling for the Barrett/Shoup arithmetic below.  Shoup
+#: multiplication needs ``2q < 2^64``; the base-2^64 Barrett estimate is
+#: within 2 of the true quotient for q below ~2^62.  59 bits keeps a
+#: comfortable margin on both (and well past the 50-bit float-trick
+#: floor shared with numpy).
+JIT_MAX_MODULUS_BITS = 59
+
+
+# -- 64x64 -> 128 building blocks ------------------------------------------
+
+@register_jitable
+def mul_hi(a, b):
+    """High 64 bits of the 128-bit product ``a * b`` (32-bit limbs)."""
+    al = a & MASK32
+    ah = a >> 32
+    bl = b & MASK32
+    bh = b >> 32
+    ll = al * bl
+    lh = al * bh
+    hl = ah * bl
+    # carries out of the low word; every term < 2^32 so no wrap
+    t = (ll >> 32) + (hl & MASK32) + (lh & MASK32)
+    return (ah * bh + (hl >> 32) + (lh >> 32) + (t >> 32)) & MASK64
+
+
+@register_jitable
+def shoup_mul_mod(x, w, w_shoup, q):
+    """``x * w mod q`` with ``w_shoup = floor(w * 2^64 / q)`` precomputed.
+
+    Valid for any ``x < 2^64`` and ``q < 2^63``; the quotient estimate
+    is off by at most one, fixed with a single conditional subtraction.
+    """
+    hi = mul_hi(x, w_shoup)
+    r = ((x * w) & MASK64) - ((hi * q) & MASK64)
+    r = r & MASK64
+    if r >= q:
+        r -= q
+    return r
+
+
+@register_jitable
+def barrett_mul_mod(a, b, q, c_hi, c_lo):
+    """``a * b mod q`` via base-2^64 Barrett reduction of the product.
+
+    ``c_hi * 2^64 + c_lo = floor(2^128 / q)``.  Exact for operands in
+    ``[0, q)`` with ``q`` up to :data:`JIT_MAX_MODULUS_BITS` bits; the
+    truncated-estimate error is at most 2, corrected by the loop.
+    """
+    z_hi = mul_hi(a, b)
+    z_lo = (a * b) & MASK64
+    # round 1: z_lo * const_ratio.  Carry flags fold in via branches, not
+    # int-typed ternaries: numba would promote uint64 + int64 to float64.
+    carry = mul_hi(z_lo, c_lo)
+    t2_hi = mul_hi(z_lo, c_hi)
+    t2_lo = (z_lo * c_hi) & MASK64
+    tmp1 = (t2_lo + carry) & MASK64
+    tmp3 = t2_hi
+    if tmp1 < carry:
+        tmp3 = (t2_hi + 1) & MASK64
+    # round 2: z_hi * const_ratio
+    t4_hi = mul_hi(z_hi, c_lo)
+    t4_lo = (z_hi * c_lo) & MASK64
+    tmp1b = (tmp1 + t4_lo) & MASK64
+    carry2 = t4_hi
+    if tmp1b < t4_lo:
+        carry2 = (t4_hi + 1) & MASK64
+    # low word of the estimated quotient floor(z * const_ratio / 2^128)
+    quot = ((z_hi * c_hi) + tmp3 + carry2) & MASK64
+    r = (z_lo - ((quot * q) & MASK64)) & MASK64
+    while r >= q:
+        r -= q
+    return r
+
+
+# -- elementwise kernels (flat layout, modulus constant per row) ------------
+#
+# ``a``/``b``/``out`` are flat length-``rows*n`` arrays; element ``i``
+# uses modulus ``q_rows[i // n]``.  A scalar modulus is the single-row
+# case ``n == len(a)``.
+
+def k_add_mod(a, b, q_rows, n, out):
+    for i in prange(a.shape[0]):
+        q = q_rows[i // n]
+        s = (a[i] + b[i]) & MASK64
+        out[i] = s - q if s >= q else s
+
+
+def k_sub_mod(a, b, q_rows, n, out):
+    for i in prange(a.shape[0]):
+        q = q_rows[i // n]
+        x = a[i]
+        y = b[i]
+        out[i] = x - y if x >= y else (x + q) - y
+
+
+def k_neg_mod(a, q_rows, n, out):
+    for i in prange(a.shape[0]):
+        q = q_rows[i // n]
+        x = a[i]
+        out[i] = 0 if x == 0 else q - x
+
+
+def k_mul_mod(a, b, q_rows, c_hi, c_lo, n, out):
+    for i in prange(a.shape[0]):
+        r = i // n
+        out[i] = barrett_mul_mod(a[i], b[i], q_rows[r], c_hi[r], c_lo[r])
+
+
+def k_mod_reduce(a, q_rows, n, out):
+    for i in prange(a.shape[0]):
+        out[i] = a[i] % q_rows[i // n]
+
+
+# -- NTT kernels (rows transform independently; row r uses modulus r % B) ---
+
+def k_ntt_forward(a, psi, psi_shoup, q_rows):
+    """Fused Cooley–Tukey forward NTT over every row of ``a`` (R, N)."""
+    rows, n = a.shape
+    nb = q_rows.shape[0]
+    for r in prange(rows):
+        base = r % nb
+        q = q_rows[base]
+        t = n
+        m = 1
+        while m < n:
+            t = t // 2
+            for i in range(m):
+                s = psi[base, m + i]
+                s_sh = psi_shoup[base, m + i]
+                j1 = 2 * i * t
+                for j in range(j1, j1 + t):
+                    u = a[r, j]
+                    v = shoup_mul_mod(a[r, j + t], s, s_sh, q)
+                    s1 = u + v
+                    a[r, j] = s1 - q if s1 >= q else s1
+                    a[r, j + t] = u - v if u >= v else (u + q) - v
+            m = m * 2
+
+
+def k_ntt_inverse(a, psi_inv, psi_inv_shoup, q_rows, n_inv, n_inv_shoup):
+    """Fused Gentleman–Sande inverse NTT incl. the final N^-1 scaling."""
+    rows, n = a.shape
+    nb = q_rows.shape[0]
+    for r in prange(rows):
+        base = r % nb
+        q = q_rows[base]
+        t = 1
+        m = n
+        while m > 1:
+            h = m // 2
+            for i in range(h):
+                s = psi_inv[base, h + i]
+                s_sh = psi_inv_shoup[base, h + i]
+                j1 = 2 * i * t
+                for j in range(j1, j1 + t):
+                    u = a[r, j]
+                    v = a[r, j + t]
+                    s1 = u + v
+                    a[r, j] = s1 - q if s1 >= q else s1
+                    d = u - v if u >= v else (u + q) - v
+                    a[r, j + t] = shoup_mul_mod(d, s, s_sh, q)
+            t = t * 2
+            m = h
+        ninv = n_inv[base]
+        ninv_sh = n_inv_shoup[base]
+        for j in range(n):
+            a[r, j] = shoup_mul_mod(a[r, j], ninv, ninv_sh, q)
+
+
+def k_rescale_delta(last, half, q_rows, corr, out):
+    """Fused centred-reduce: ``out[p, k, :] = centred(last[p, :]) mod q_k``.
+
+    ``last`` is ``(P, N)`` coefficient-form last residues, ``out`` is
+    ``(P, K, N)``; ``corr[k] = q_last mod q_k`` precomputed.
+    """
+    p_count, n = last.shape
+    k_count = q_rows.shape[0]
+    for pk in prange(p_count * k_count):
+        p = pk // k_count
+        k = pk % k_count
+        q = q_rows[k]
+        c = corr[k]
+        for j in range(n):
+            x = last[p, j]
+            v = x % q
+            if x > half:
+                v = v - c if v >= c else (v + q) - c
+            out[p, k, j] = v
+
+
+ELEMENTWISE_KERNELS = ("k_add_mod", "k_sub_mod", "k_neg_mod", "k_mul_mod",
+                       "k_mod_reduce")
+NTT_KERNELS = ("k_ntt_forward", "k_ntt_inverse", "k_rescale_delta")
+
+
+# -- precomputation (pure Python big-int; memoised by the backends) ---------
+
+def barrett_pack(moduli) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """``(q, c_hi, c_lo)`` uint64 vectors with ``floor(2^128/q)`` split."""
+    q_rows = np.empty(len(moduli), dtype=np.uint64)
+    c_hi = np.empty(len(moduli), dtype=np.uint64)
+    c_lo = np.empty(len(moduli), dtype=np.uint64)
+    for i, q in enumerate(moduli):
+        q = int(q)
+        if q.bit_length() > JIT_MAX_MODULUS_BITS:
+            raise ValueError(
+                f"modulus {q} exceeds the {JIT_MAX_MODULUS_BITS}-bit JIT "
+                f"kernel ceiling")
+        ratio = (1 << 128) // q
+        q_rows[i] = q
+        c_hi[i] = ratio >> 64
+        c_lo[i] = ratio & MASK64
+    return q_rows, c_hi, c_lo
+
+
+def shoup_pack(values: np.ndarray, moduli) -> np.ndarray:
+    """``floor(v * 2^64 / q)`` per element; ``values`` is ``(B, ...)``.
+
+    Computed with exact big-int arithmetic through an object array (one
+    vectorised pass, no Python-level loop); memoise per ``(N, moduli)``
+    — this is table-build cost, not per-op cost.
+    """
+    obj = values.astype(object)
+    out = np.empty_like(obj)
+    for i, q in enumerate(moduli):
+        out[i] = (obj[i] << 64) // int(q)
+    return out.astype(np.uint64)

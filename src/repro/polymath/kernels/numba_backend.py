@@ -1,0 +1,59 @@
+"""Numba CPU-JIT kernel backend.
+
+Compiles the :mod:`repro.polymath.kernels.jitcore` kernels with
+``@njit(parallel=True, nogil=True)``: the NTT runs as one fused machine-
+code loop per residue row (``prange`` across rows) instead of
+``log2(N)`` numpy passes, and the elementwise ops fuse the broadcast,
+reduction and write-back into a single pass.
+
+Because the arithmetic is exact 64-bit Barrett/Shoup (no float quotient
+estimate), this backend's modulus ceiling is
+:data:`repro.polymath.kernels.jitcore.JIT_MAX_MODULUS_BITS` (59) — past
+the numpy backend's 50-bit floor.  Parameter sets stay within the
+shared floor by default so every backend produces identical ciphertext
+bytes; the headroom is opt-in for experiments.
+
+Compilation happens lazily per kernel and is cached on disk by numba
+(``cache=True``), so only the first process on a host pays the full
+compile; call :func:`repro.polymath.kernels.warmup` at process start to
+pay whatever remains before the first request.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.polymath.kernels import jitcore
+from repro.polymath.kernels.jitbase import JitStyleBackend
+
+
+class NumbaBackend(JitStyleBackend):
+    name = "numba"
+    jit = True
+
+    @classmethod
+    def available(cls) -> bool:
+        return jitcore.HAVE_NUMBA
+
+    @classmethod
+    def unavailable_reason(cls) -> str:
+        return "the numba package is not installed"
+
+    def __init__(self):
+        super().__init__()
+        self._compiled: dict[str, object] = {}
+        self._compile_lock = threading.Lock()
+
+    def _kernel(self, name: str):
+        fn = self._compiled.get(name)
+        if fn is not None:
+            return fn
+        with self._compile_lock:
+            fn = self._compiled.get(name)
+            if fn is None:
+                import numba
+
+                fn = numba.njit(parallel=True, nogil=True, cache=True)(
+                    getattr(jitcore, name))
+                self._compiled[name] = fn
+            return fn

@@ -1,0 +1,116 @@
+"""The default kernel backend: the repo's vectorised numpy code.
+
+This backend *is* the reference: it delegates straight to the
+float-reciprocal Barrett elementwise ops in
+:mod:`repro.polymath.modmath` and the vectorised butterfly cores in
+:mod:`repro.polymath.ntt` — the exact code every prior benchmark and
+bit-identity test ran on.  Its per-modulus ceiling is the shared
+50-bit floor (the float quotient estimate needs ``a*b/q < 2**52``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.polymath.kernels import KernelBackend, NttTables
+
+
+def _broadcast_views(tables: NttTables) -> dict:
+    """Numpy-shaped views of an :class:`NttTables`.
+
+    ``B == 1`` uses the scalar-modulus layout (tables shaped ``(N,)``,
+    scalar q) accepted for any ``(..., N)`` input; ``B > 1`` uses the
+    stacked layout (``(B, N)`` tables, ``(B, 1, 1)`` modulus) for
+    ``(..., B, N)`` inputs — both exactly as the pre-backend code did.
+    """
+    b = tables.num_rows
+    if b == 1:
+        q = tables.q[0]
+        return {
+            "psi": tables.psi_rev[0],
+            "psi_inv": tables.psi_inv_rev[0],
+            "q": q,
+            "n_inv": tables.n_inv[0],
+            "q_row": q,
+        }
+    return {
+        "psi": tables.psi_rev,
+        "psi_inv": tables.psi_inv_rev,
+        "q": tables.q.reshape(b, 1, 1),
+        "n_inv": tables.n_inv.reshape(b, 1),
+        "q_row": tables.q.reshape(b, 1),
+    }
+
+
+class NumpyBackend(KernelBackend):
+    name = "numpy"
+    jit = False
+
+    @classmethod
+    def available(cls) -> bool:
+        return True
+
+    @classmethod
+    def unavailable_reason(cls) -> str:
+        return "always available"
+
+    @property
+    def max_modulus_bits(self) -> int:
+        from repro.polymath import modmath
+
+        return modmath.MAX_MODULUS_BITS
+
+    # -- elementwise ------------------------------------------------------
+
+    def add_mod(self, a, b, q):
+        from repro.polymath import modmath
+
+        return modmath.add_mod_numpy(a, b, q)
+
+    def sub_mod(self, a, b, q):
+        from repro.polymath import modmath
+
+        return modmath.sub_mod_numpy(a, b, q)
+
+    def neg_mod(self, a, q):
+        from repro.polymath import modmath
+
+        return modmath.neg_mod_numpy(a, q)
+
+    def mul_mod(self, a, b, q):
+        from repro.polymath import modmath
+
+        return modmath.mul_mod_numpy(a, b, q)
+
+    def mod_reduce(self, a, q):
+        return np.mod(np.asarray(a, dtype=np.uint64),
+                      np.asarray(q, dtype=np.uint64))
+
+    # -- NTT --------------------------------------------------------------
+
+    def _check_tables(self, a: np.ndarray, tables: NttTables) -> None:
+        if tables.max_bits > self.max_modulus_bits:
+            raise ParameterError(
+                f"{tables.max_bits}-bit modulus exceeds the numpy "
+                f"backend's {self.max_modulus_bits}-bit ceiling (use a "
+                f"JIT kernel backend)")
+        if tables.num_rows > 1 and a.shape[-2] != tables.num_rows:
+            raise ParameterError(
+                f"residue stack shape {a.shape} does not carry "
+                f"{tables.num_rows} limb rows")
+
+    def ntt_forward(self, a: np.ndarray, tables: NttTables) -> np.ndarray:
+        from repro.polymath.ntt import ntt_forward_core
+
+        self._check_tables(a, tables)
+        views = tables.extras(self.name, _broadcast_views)
+        return ntt_forward_core(a, views["psi"], views["q"])
+
+    def ntt_inverse(self, a: np.ndarray, tables: NttTables) -> np.ndarray:
+        from repro.polymath.ntt import ntt_inverse_core
+
+        self._check_tables(a, tables)
+        views = tables.extras(self.name, _broadcast_views)
+        return ntt_inverse_core(a, views["psi_inv"], views["q"],
+                                views["n_inv"], views["q_row"])

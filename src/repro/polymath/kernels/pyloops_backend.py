@@ -1,0 +1,48 @@
+"""Pure-Python execution of the JIT kernel source (testing only).
+
+Runs the *exact* functions the numba backend compiles — same masked
+64-bit Barrett/Shoup arithmetic, same loop structure — as plain Python
+over object arrays (arbitrary-precision ints, wrapped explicitly by the
+kernels' ``& MASK64`` masks).  Orders of magnitude slower than numpy;
+its sole purpose is differential coverage of the JIT arithmetic on
+hosts where numba is not installed: ``test_kernels.py`` drives full
+encrypt/eval/decrypt runs through this backend and asserts the
+ciphertext bytes match numpy's bit for bit.
+
+Never selected by ``auto``; reachable only by explicit request
+(``--kernel pyloops`` / ``REPRO_KERNEL=pyloops``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.polymath.kernels import jitcore
+from repro.polymath.kernels.jitbase import JitStyleBackend
+
+
+class PyloopsBackend(JitStyleBackend):
+    name = "pyloops"
+    jit = False
+
+    @classmethod
+    def available(cls) -> bool:
+        return True
+
+    @classmethod
+    def unavailable_reason(cls) -> str:
+        return "always available"
+
+    def _kernel(self, name: str):
+        return getattr(jitcore, name)
+
+    def _wrap(self, arr: np.ndarray) -> np.ndarray:
+        if arr.dtype == object:
+            return arr
+        return arr.astype(object)
+
+    def _alloc(self, shape) -> np.ndarray:
+        return np.empty(shape, dtype=object)
+
+    def _unwrap(self, arr: np.ndarray) -> np.ndarray:
+        return arr.astype(np.uint64)

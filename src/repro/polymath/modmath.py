@@ -1,11 +1,21 @@
 """Vectorised modular arithmetic on numpy uint64 arrays.
 
-The core primitive is :func:`mul_mod`, a Barrett-style reduction that uses
-double-precision floats to estimate the quotient ``floor(a*b/q)`` and then
-corrects it exactly in wrap-around uint64 arithmetic.  The estimate is
-within ±1 of the true quotient provided ``a*b/q < 2**52``, which holds for
-all moduli up to :data:`MAX_MODULUS_BITS` bits.  This is the standard
-technique used by NTT libraries to avoid 128-bit arithmetic.
+The public entry points (:func:`add_mod`, :func:`sub_mod`,
+:func:`neg_mod`, :func:`mul_mod`) dispatch through the process-global
+kernel backend (:mod:`repro.polymath.kernels`), so the same call sites
+run vectorised numpy, numba-JIT machine code, or CUDA kernels depending
+on ``--kernel`` / ``REPRO_KERNEL``.  The ``*_numpy`` variants are the
+always-available reference implementations the default backend runs.
+
+The numpy reference multiply is :func:`mul_mod_numpy`, a Barrett-style
+reduction that uses double-precision floats to estimate the quotient
+``floor(a*b/q)`` and then corrects it exactly in wrap-around uint64
+arithmetic.  The estimate is within ±1 of the true quotient provided
+``a*b/q < 2**52``, which holds for all moduli up to
+:data:`MAX_MODULUS_BITS` bits.  This is the standard technique used by
+NTT libraries to avoid 128-bit arithmetic; JIT backends use exact
+64-bit Barrett/Shoup arithmetic instead and may accept wider moduli
+(their ceiling is ``kernels.active().max_modulus_bits``).
 
 All functions accept scalars or arrays and always return ``uint64`` numpy
 values reduced to ``[0, q)``.  The modulus ``q`` may itself be an array
@@ -19,20 +29,32 @@ from __future__ import annotations
 import numpy as np
 
 from repro.errors import ParameterError
+# safe at import time: kernels/__init__ pulls in nothing from polymath
+from repro.polymath import kernels as _kernels
 
-#: Largest supported modulus width, in bits.  The float-reciprocal quotient
+#: The *shared* modulus-width floor, in bits: every backend supports at
+#: least this width, and parameter sets within it produce bit-identical
+#: ciphertexts on every backend.  The numpy float-reciprocal quotient
 #: estimate needs a*b/q < 2**52, i.e. q < 2**52 when a, b < q.
+#: Individual backends may accept more — see
+#: ``kernels.active().max_modulus_bits``.
 MAX_MODULUS_BITS = 50
 
 _U64 = np.uint64
 _TWO63 = np.uint64(1) << np.uint64(63)
 
 
-def check_modulus(q: int) -> None:
-    """Validate that ``q`` is usable by this arithmetic layer."""
-    if q < 2 or q.bit_length() > MAX_MODULUS_BITS:
+def check_modulus(q: int, max_bits: int | None = None) -> None:
+    """Validate that ``q`` is usable by the active arithmetic backend.
+
+    ``max_bits`` overrides the ceiling (pass :data:`MAX_MODULUS_BITS`
+    to enforce the cross-backend bit-identity floor explicitly).
+    """
+    if max_bits is None:
+        max_bits = _kernels.active().max_modulus_bits
+    if q < 2 or q.bit_length() > max_bits:
         raise ParameterError(
-            f"modulus {q} outside supported range (2..2^{MAX_MODULUS_BITS})"
+            f"modulus {q} outside supported range (2..2^{max_bits})"
         )
 
 
@@ -40,7 +62,9 @@ def _as_u64(x) -> np.ndarray:
     return np.asarray(x, dtype=_U64)
 
 
-def add_mod(a, b, q) -> np.ndarray:
+# -- numpy reference implementations ----------------------------------------
+
+def add_mod_numpy(a, b, q) -> np.ndarray:
     """Element-wise ``(a + b) mod q`` for operands already in [0, q).
 
     ``q`` may be a scalar or an array broadcastable against the operands
@@ -51,7 +75,7 @@ def add_mod(a, b, q) -> np.ndarray:
     return np.where(s >= qq, s - qq, s)
 
 
-def sub_mod(a, b, q) -> np.ndarray:
+def sub_mod_numpy(a, b, q) -> np.ndarray:
     """Element-wise ``(a - b) mod q`` for operands already in [0, q)."""
     qq = _as_u64(q)
     a = _as_u64(a)
@@ -59,14 +83,14 @@ def sub_mod(a, b, q) -> np.ndarray:
     return np.where(a >= b, a - b, a + qq - b)
 
 
-def neg_mod(a, q) -> np.ndarray:
+def neg_mod_numpy(a, q) -> np.ndarray:
     """Element-wise ``(-a) mod q`` for operands already in [0, q)."""
     qq = _as_u64(q)
     a = _as_u64(a)
     return np.where(a == 0, a, qq - a)
 
 
-def mul_mod(a, b, q) -> np.ndarray:
+def mul_mod_numpy(a, b, q) -> np.ndarray:
     """Element-wise ``(a * b) mod q`` via float-reciprocal Barrett reduction.
 
     Operands must already be reduced to ``[0, q)`` and every modulus must
@@ -85,6 +109,41 @@ def mul_mod(a, b, q) -> np.ndarray:
     r = np.where(r >= _TWO63, r + qq, r)
     r = np.where(r >= qq, r - qq, r)
     return r
+
+
+# -- backend dispatchers -----------------------------------------------------
+
+def add_mod(a, b, q) -> np.ndarray:
+    """Element-wise ``(a + b) mod q`` via the active kernel backend."""
+    return _kernels.active().add_mod(a, b, q)
+
+
+def sub_mod(a, b, q) -> np.ndarray:
+    """Element-wise ``(a - b) mod q`` via the active kernel backend."""
+    return _kernels.active().sub_mod(a, b, q)
+
+
+def neg_mod(a, q) -> np.ndarray:
+    """Element-wise ``(-a) mod q`` via the active kernel backend."""
+    return _kernels.active().neg_mod(a, q)
+
+
+def mul_mod(a, b, q) -> np.ndarray:
+    """Element-wise ``(a * b) mod q`` via the active kernel backend.
+
+    Operands must already be reduced to ``[0, q)`` and every modulus
+    must fit the active backend's ``max_modulus_bits`` ceiling.
+    """
+    return _kernels.active().mul_mod(a, b, q)
+
+
+def mod_reduce(a, q) -> np.ndarray:
+    """Element-wise ``a mod q`` for *unreduced* uint64 ``a``.
+
+    The base-conversion primitive (digit lifts, accumulator folds),
+    dispatched through the active kernel backend.
+    """
+    return _kernels.active().mod_reduce(a, q)
 
 
 def mul_mod_scalar(a, s: int, q: int) -> np.ndarray:

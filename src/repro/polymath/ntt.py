@@ -4,15 +4,23 @@ Implements the Longa–Naehrig iterative NTT: the forward transform is a
 Cooley–Tukey decimation-in-time with the powers of the 2N-th root of unity
 ``psi`` merged into the twiddle factors (so no separate pre-multiplication
 is needed for negacyclic convolution), and the inverse is the matching
-Gentleman–Sande decimation-in-frequency.  Each stage is fully vectorised
-with numpy, so a transform costs ``log2(N)`` vector passes.
+Gentleman–Sande decimation-in-frequency.  The vectorised cores below are
+the *numpy reference*: each stage is one numpy pass, so a transform costs
+``log2(N)`` vector passes.  :class:`NttContext` (and the stacked variants
+on :class:`repro.polymath.rns.RnsBasis`) do not call the cores directly —
+they dispatch through the active kernel backend
+(:mod:`repro.polymath.kernels`), which may instead run the whole
+transform as one fused numba/CUDA kernel.
 
 Both transforms accept stacked inputs: an array of shape ``(..., N)`` is
-transformed row-wise in the same ``log2(N)`` passes, which is how the RNS
-layer batches all limbs of a polynomial (and all digits of a key-switch
-decomposition) through a single sequence of numpy kernels.  The stacked
-variants with *per-row* moduli live on :class:`repro.polymath.rns.RnsBasis`,
-built from the shared cores below.
+transformed row-wise, which is how the RNS layer batches all limbs of a
+polynomial (and all digits of a key-switch decomposition) through a single
+sequence of kernels.
+
+Twiddle tables are memoised process-wide by ``(degree, moduli)`` via
+:func:`stacked_tables` — constructing ten contexts over the same prime
+chain builds (and derives per-backend constants for) one table set, not
+ten.
 
 The forward transform leaves slot ``j`` holding the evaluation
 ``a(psi^(2*rev(j)+1))`` where ``rev`` is the ``log2(N)``-bit reversal; this
@@ -22,10 +30,12 @@ domain (see :func:`repro.polymath.poly.ntt_automorphism_index_map`).
 
 from __future__ import annotations
 
+import threading
+
 import numpy as np
 
 from repro.errors import ParameterError
-from repro.polymath import modmath
+from repro.polymath import kernels, modmath
 from repro.utils.bits import bit_reverse_indices, is_power_of_two
 from repro.utils.primes import primitive_root_of_unity
 
@@ -36,7 +46,9 @@ def ntt_forward_core(a: np.ndarray, psi_rev: np.ndarray, q) -> np.ndarray:
     ``psi_rev`` is the merged-psi twiddle table, shape ``(N,)`` for a single
     modulus or ``(B, N)`` for per-row moduli (with ``a`` shaped
     ``(..., B, N)``); ``q`` must broadcast accordingly (scalar, or
-    ``(B, 1, 1)``).  Mutates and returns ``a``.
+    ``(B, 1, 1)``).  Mutates and returns ``a``.  This is the numpy
+    reference path — it always runs the ``*_numpy`` elementwise ops,
+    regardless of the selected kernel backend.
     """
     n = a.shape[-1]
     lead = a.shape[:-1]
@@ -47,9 +59,9 @@ def ntt_forward_core(a: np.ndarray, psi_rev: np.ndarray, q) -> np.ndarray:
         s = psi_rev[..., m : 2 * m]
         blocks = a.reshape(*lead, m, 2, t)
         u = blocks[..., 0, :].copy()
-        v = modmath.mul_mod(blocks[..., 1, :], s[..., :, None], q)
-        blocks[..., 0, :] = modmath.add_mod(u, v, q)
-        blocks[..., 1, :] = modmath.sub_mod(u, v, q)
+        v = modmath.mul_mod_numpy(blocks[..., 1, :], s[..., :, None], q)
+        blocks[..., 0, :] = modmath.add_mod_numpy(u, v, q)
+        blocks[..., 1, :] = modmath.sub_mod_numpy(u, v, q)
         m *= 2
     return a
 
@@ -77,44 +89,107 @@ def ntt_inverse_core(
         blocks = a.reshape(*lead, h, 2, t)
         u = blocks[..., 0, :].copy()
         v = blocks[..., 1, :].copy()
-        blocks[..., 0, :] = modmath.add_mod(u, v, q)
-        diff = modmath.sub_mod(u, v, q)
-        blocks[..., 1, :] = modmath.mul_mod(diff, s[..., :, None], q)
+        blocks[..., 0, :] = modmath.add_mod_numpy(u, v, q)
+        diff = modmath.sub_mod_numpy(u, v, q)
+        blocks[..., 1, :] = modmath.mul_mod_numpy(diff, s[..., :, None], q)
         t *= 2
         m = h
-    return modmath.mul_mod(a, n_inv, q_row)
+    return modmath.mul_mod_numpy(a, n_inv, q_row)
+
+
+# -- process-wide twiddle-table memo ----------------------------------------
+
+_tables_lock = threading.Lock()
+_tables_memo: dict[tuple[int, tuple[int, ...]], kernels.NttTables] = {}
+
+
+def _validate_ntt_modulus(modulus: int, degree: int) -> None:
+    if not is_power_of_two(degree):
+        raise ParameterError(f"ring degree must be a power of two: {degree}")
+    if (modulus - 1) % (2 * degree) != 0:
+        raise ParameterError(
+            f"modulus {modulus} is not NTT-friendly for degree {degree}"
+        )
+    modmath.check_modulus(modulus)
+
+
+def _build_single(degree: int, modulus: int) -> kernels.NttTables:
+    """Twiddle tables for one modulus (the memo's base case)."""
+    _validate_ntt_modulus(modulus, degree)
+    psi = primitive_root_of_unity(2 * degree, modulus)
+    psi_inv = modmath.inv_mod(psi, modulus)
+    powers = np.empty(degree, dtype=np.uint64)
+    powers_inv = np.empty(degree, dtype=np.uint64)
+    acc = acc_inv = 1
+    for i in range(degree):
+        powers[i] = acc
+        powers_inv[i] = acc_inv
+        acc = (acc * psi) % modulus
+        acc_inv = (acc_inv * psi_inv) % modulus
+    rev = bit_reverse_indices(degree)
+    n_inv = np.array([modmath.inv_mod(degree, modulus)], dtype=np.uint64)
+    return kernels.NttTables(
+        degree, (modulus,),
+        powers[rev].reshape(1, degree),
+        powers_inv[rev].reshape(1, degree),
+        n_inv,
+    )
+
+
+def stacked_tables(degree: int, moduli) -> kernels.NttTables:
+    """Memoised :class:`~repro.polymath.kernels.NttTables` per basis.
+
+    Keyed by ``(degree, tuple(moduli))`` under a double-checked lock.
+    Multi-modulus entries stack the (also memoised) single-modulus rows,
+    so a prefix chain of L bases costs L single-table builds total — and
+    per-backend derived tables (numpy broadcast views, numba
+    Shoup/Barrett packs) attach to the shared entry exactly once.
+    """
+    key = (degree, tuple(int(q) for q in moduli))
+    hit = _tables_memo.get(key)
+    if hit is not None:
+        return hit
+    if not key[1]:
+        raise ParameterError("empty modulus chain")
+    with _tables_lock:
+        hit = _tables_memo.get(key)
+        if hit is not None:
+            return hit
+    # build outside the lock: singles recurse into stacked_tables and
+    # a long first build must not serialise unrelated lookups
+    if len(key[1]) == 1:
+        built = _build_single(degree, key[1][0])
+    else:
+        singles = [stacked_tables(degree, (q,)) for q in key[1]]
+        built = kernels.NttTables(
+            degree, key[1],
+            np.ascontiguousarray(
+                np.concatenate([s.psi_rev for s in singles])),
+            np.ascontiguousarray(
+                np.concatenate([s.psi_inv_rev for s in singles])),
+            np.concatenate([s.n_inv for s in singles]),
+        )
+    with _tables_lock:
+        return _tables_memo.setdefault(key, built)
 
 
 class NttContext:
     """Precomputed tables for NTTs modulo one prime ``q`` at degree ``N``.
 
     Requires ``q ≡ 1 (mod 2N)`` so a primitive 2N-th root of unity exists.
+    Transforms dispatch through the active kernel backend; the tables
+    themselves come from the process-wide :func:`stacked_tables` memo.
     """
 
     def __init__(self, modulus: int, degree: int):
-        if not is_power_of_two(degree):
-            raise ParameterError(f"ring degree must be a power of two: {degree}")
-        if (modulus - 1) % (2 * degree) != 0:
-            raise ParameterError(
-                f"modulus {modulus} is not NTT-friendly for degree {degree}"
-            )
-        modmath.check_modulus(modulus)
         self.modulus = modulus
         self.degree = degree
-        psi = primitive_root_of_unity(2 * degree, modulus)
-        psi_inv = modmath.inv_mod(psi, modulus)
-        powers = np.empty(degree, dtype=np.uint64)
-        powers_inv = np.empty(degree, dtype=np.uint64)
-        acc = acc_inv = 1
-        for i in range(degree):
-            powers[i] = acc
-            powers_inv[i] = acc_inv
-            acc = (acc * psi) % modulus
-            acc_inv = (acc_inv * psi_inv) % modulus
-        rev = bit_reverse_indices(degree)
-        self._psi_rev = powers[rev]
-        self._psi_inv_rev = powers_inv[rev]
-        self._n_inv = np.uint64(modmath.inv_mod(degree, modulus))
+        self.tables = stacked_tables(degree, (modulus,))
+        # kept as public-ish views: the stacked RNS layer and tests
+        # historically read these directly
+        self._psi_rev = self.tables.psi_rev[0]
+        self._psi_inv_rev = self.tables.psi_inv_rev[0]
+        self._n_inv = self.tables.n_inv[0]
 
     def _validated_copy(self, data: np.ndarray) -> np.ndarray:
         a = np.array(data, dtype=np.uint64, copy=True)
@@ -128,11 +203,10 @@ class NttContext:
         """Coefficient form -> evaluation (NTT) form, bit-reversed order.
 
         Accepts a single polynomial ``(N,)`` or a stacked ``(limbs, N)``
-        matrix (any leading shape); rows transform independently in the
-        same ``log2(N)`` vector passes.
+        matrix (any leading shape); rows transform independently.
         """
         a = self._validated_copy(coeffs)
-        return ntt_forward_core(a, self._psi_rev, self.modulus)
+        return kernels.active().ntt_forward(a, self.tables)
 
     def inverse(self, values: np.ndarray) -> np.ndarray:
         """Evaluation (NTT) form, bit-reversed order -> coefficient form.
@@ -141,7 +215,7 @@ class NttContext:
         :meth:`forward`.
         """
         a = self._validated_copy(values)
-        return ntt_inverse_core(a, self._psi_inv_rev, self.modulus, self._n_inv)
+        return kernels.active().ntt_inverse(a, self.tables)
 
     def negacyclic_multiply(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         """Multiply two coefficient-form polynomials mod (X^N + 1, q)."""

@@ -20,8 +20,8 @@ from functools import lru_cache
 import numpy as np
 
 from repro.errors import ParameterError
-from repro.polymath import modmath
-from repro.polymath.ntt import NttContext, ntt_forward_core, ntt_inverse_core
+from repro.polymath import kernels, modmath
+from repro.polymath.ntt import NttContext, stacked_tables
 from repro.polymath.poly import apply_automorphism  # noqa: F401  (re-export)
 from repro.polymath.poly import automorphism_index_map, ntt_automorphism_index_map
 
@@ -107,19 +107,18 @@ class RnsBasis:
             self._moduli_col = col
         return col
 
-    def _stacked_tables(self) -> dict:
-        tabs = getattr(self, "_ntt_stack", None)
+    @property
+    def tables(self) -> kernels.NttTables:
+        """Stacked per-limb twiddle tables (process-wide memo).
+
+        Shared by every basis over the same ``(degree, moduli)`` —
+        including prefixes of longer chains built in other contexts —
+        so per-backend derived tables are computed once per process.
+        """
+        tabs = getattr(self, "_tables", None)
         if tabs is None:
-            limbs = len(self.moduli)
-            tabs = {
-                "psi_rev": np.stack([c._psi_rev for c in self.ntts]),
-                "psi_inv_rev": np.stack([c._psi_inv_rev for c in self.ntts]),
-                "q": self.moduli_col.reshape(limbs, 1, 1),
-                "n_inv": np.array(
-                    [c._n_inv for c in self.ntts], dtype=np.uint64
-                ).reshape(limbs, 1),
-            }
-            self._ntt_stack = tabs
+            tabs = stacked_tables(self.degree, tuple(self.moduli))
+            self._tables = tabs
         return tabs
 
     def _validated_copy(self, rows: np.ndarray) -> np.ndarray:
@@ -135,20 +134,16 @@ class RnsBasis:
         """Batched forward NTT of a ``(..., limbs, N)`` residue stack.
 
         Row ``i`` transforms modulo ``moduli[i]``; all limbs (and any extra
-        leading dimensions, e.g. key-switch digits) go through the same
-        ``log2(N)`` vector passes.
+        leading dimensions, e.g. key-switch digits) go through the active
+        kernel backend in one batched dispatch.
         """
-        tabs = self._stacked_tables()
         a = self._validated_copy(rows)
-        return ntt_forward_core(a, tabs["psi_rev"], tabs["q"])
+        return kernels.active().ntt_forward(a, self.tables)
 
     def ntt_inverse(self, rows: np.ndarray) -> np.ndarray:
         """Batched inverse NTT of a ``(..., limbs, N)`` residue stack."""
-        tabs = self._stacked_tables()
         a = self._validated_copy(rows)
-        return ntt_inverse_core(
-            a, tabs["psi_inv_rev"], tabs["q"], tabs["n_inv"], self.moduli_col
-        )
+        return kernels.active().ntt_inverse(a, self.tables)
 
 
 class RnsPoly:
@@ -282,18 +277,12 @@ class RnsPoly:
         """
         k = len(self.basis) - 1
         q_last = self.basis.moduli[k]
-        half = q_last // 2
         q_col = self.basis.moduli_col[:k]
         # delta = centred(last) mod qi, computed without leaving uint64:
         # centred(x) = x - q_last * (x > half); mod qi that is
-        # x mod qi - q_last mod qi when x > half.
-        last_mod = np.mod(last_coeff[None, :], q_col)
-        correction = np.mod(np.uint64(q_last), q_col)
-        return np.where(
-            last_coeff[None, :] > half,
-            modmath.sub_mod(last_mod, correction, q_col),
-            last_mod,
-        )
+        # x mod qi - q_last mod qi when x > half.  JIT backends fuse the
+        # whole pass into one kernel.
+        return kernels.active().rescale_delta(last_coeff, q_last, q_col)
 
     def rescale_last(self) -> "RnsPoly":
         """Exact division (with centred rounding) by the last modulus.
@@ -343,7 +332,7 @@ class RnsPoly:
         """
         poly = self.to_coeff()
         digit = poly.residues[j]
-        rows = np.mod(digit[None, :], target_basis.moduli_col)
+        rows = modmath.mod_reduce(digit[None, :], target_basis.moduli_col)
         return RnsPoly(target_basis, rows, is_ntt=False).to_ntt()
 
     def extend_zero_pad(self, target_basis: RnsBasis) -> "RnsPoly":
@@ -354,7 +343,7 @@ class RnsPoly:
         """
         poly = self.to_coeff()
         base = poly.residues[0]
-        rows = np.mod(base[None, :], target_basis.moduli_col)
+        rows = modmath.mod_reduce(base[None, :], target_basis.moduli_col)
         return RnsPoly(target_basis, rows, is_ntt=False)
 
     # -- automorphisms -----------------------------------------------------
@@ -415,17 +404,10 @@ def mod_down_stack(polys: list[RnsPoly], special_count: int) -> list[RnsPoly]:
             raise ParameterError("cannot rescale a single-modulus polynomial")
         sub = basis.prefix(k)
         q_last = basis.moduli[k]
-        half = q_last // 2
         q_col = basis.moduli_col[:k]
         inv = basis.inverses_of(k)[:, None]
         last = basis.ntts[k].inverse(stack[:, k, :])  # (P, N) coeff form
-        last_mod = np.mod(last[:, None, :], q_col)
-        correction = np.mod(np.uint64(q_last), q_col)
-        delta = np.where(
-            last[:, None, :] > half,
-            modmath.sub_mod(last_mod, correction, q_col),
-            last_mod,
-        )
+        delta = kernels.active().rescale_delta(last, q_last, q_col)
         delta_ntt = sub.ntt_forward(delta)  # (P, k, N)
         diff = modmath.sub_mod(stack[:, :k, :], delta_ntt, q_col)
         stack = modmath.mul_mod(diff, inv, q_col)

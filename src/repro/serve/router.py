@@ -204,7 +204,8 @@ class ShardHandle:
                  pool_size: int = 4, timeout_s: float = 60.0,
                  workers: int = 2, exec_jobs: int | None = None,
                  spawn_timeout_s: float = 30.0,
-                 mem_budget: int | None = None):
+                 mem_budget: int | None = None,
+                 kernel: str | None = None):
         self.index = index
         self.host = host
         self.pool_size = pool_size
@@ -213,6 +214,10 @@ class ShardHandle:
         self.exec_jobs = exec_jobs
         self.spawn_timeout_s = spawn_timeout_s
         self.mem_budget = mem_budget
+        self.kernel = kernel
+        #: backend the shard reported at registration (its own resolution
+        #: of the requested kernel, e.g. ``auto`` -> ``numpy``)
+        self.kernel_backend: str | None = None
         self.lock = threading.Lock()
         self.generation = 0
         self.port = 0
@@ -255,6 +260,8 @@ class ShardHandle:
         ]
         if self.exec_jobs is not None:
             cmd += ["--jobs", str(self.exec_jobs)]
+        if self.kernel is not None:
+            cmd += ["--kernel", self.kernel]
         self.proc = subprocess.Popen(
             cmd, env=self._child_env(),
             stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
@@ -366,8 +373,9 @@ class RouterServer:
         dispatch_threads: request-handling threads.  These block on
             shard RPCs, not on FHE math, so a few go a long way; idle
             *connections* cost nothing either way.
-        shard_workers / shard_jobs / shard_mem_budget: forwarded to each
-            shard (worker threads, executor jobs, REPRO_MEM_BUDGET).
+        shard_workers / shard_jobs / shard_mem_budget / shard_kernel:
+            forwarded to each shard (worker threads, executor jobs,
+            REPRO_MEM_BUDGET, ``--kernel`` backend choice).
     """
 
     def __init__(
@@ -385,6 +393,7 @@ class RouterServer:
         shard_jobs: int | None = None,
         shard_mem_budget: int | None = None,
         spawn_timeout_s: float = 30.0,
+        shard_kernel: str | None = None,
     ):
         self.metrics = metrics or Metrics()
         self.placement = KeyMemoryPlacement(num_shards, key_budget)
@@ -399,7 +408,8 @@ class RouterServer:
                         timeout_s=request_timeout_s, workers=shard_workers,
                         exec_jobs=shard_jobs,
                         spawn_timeout_s=spawn_timeout_s,
-                        mem_budget=shard_mem_budget)
+                        mem_budget=shard_mem_budget,
+                        kernel=shard_kernel)
             for index in range(num_shards)
         ]
         for shard in self.shards:
@@ -509,6 +519,7 @@ class RouterServer:
             raise ServeError(
                 f"shard {shard.index} refused model {spec.model_id!r}: "
                 f"{reply.get('message')}")
+        shard.kernel_backend = reply.get("kernel_backend")
         self.metrics.inc("router_models_registered_total")
 
     def _recover_shard(self, shard: ShardHandle, seen_generation: int) -> None:
@@ -695,6 +706,9 @@ class RouterServer:
                 "text": self.metrics.render(),
                 "placement": {
                     str(k): v for k, v in self.placement.snapshot().items()
+                },
+                "shard_kernels": {
+                    str(s.index): s.kernel_backend for s in self.shards
                 },
             }, b""
         if op == "open_session":

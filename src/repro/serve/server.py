@@ -41,6 +41,7 @@ from repro.errors import (
     ReproError,
     ServeError,
 )
+from repro.polymath import kernels
 from repro.runtime.executor import width_capped_total
 from repro.serve.metrics import Metrics
 from repro.serve.registry import ModelRegistry
@@ -129,6 +130,9 @@ class InferenceServer:
         # the registry exports per-model serve_key_bytes_* gauges (the
         # Figure-7 key-memory meter) through the server's metrics
         registry.export_key_gauges(self.metrics)
+        # pre-compile the selected kernel backend's JIT kernels now, so
+        # the first request never pays compilation latency
+        self.metrics.set_gauge("kernel_warmup_seconds", kernels.warmup())
         self.sessions = SessionManager(registry)
         self.max_message_bytes = max_message_bytes
         # bounds how long one recv may sit idle: a slow-loris client
@@ -282,6 +286,7 @@ class InferenceServer:
                 "executor_width_capped_total", width_capped_total())
             return {
                 "ok": True,
+                "kernel_backend": kernels.active_name(),
                 "snapshot": self.metrics.snapshot(),
                 "text": self.metrics.render(),
             }, b""

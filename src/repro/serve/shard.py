@@ -26,6 +26,7 @@ import os
 
 from repro.ckks import CkksParameters
 from repro.errors import ServeError
+from repro.polymath import kernels
 from repro.serve.server import InferenceServer
 
 
@@ -66,6 +67,7 @@ class ShardServer(InferenceServer):
                 "models": self.registry.ids(),
                 "key_bytes": key_bytes,
                 "sessions": self.sessions.count(),
+                "kernel_backend": kernels.active_name(),
             }, b""
         return super()._dispatch(header, body)
 
@@ -111,4 +113,5 @@ class ShardServer(InferenceServer):
             "fingerprint": entry.fingerprint,
             "max_batch": entry.max_batch,
             "key_bytes": entry.key_bytes,
+            "kernel_backend": kernels.active_name(),
         }, b""

@@ -51,10 +51,16 @@ def test_mul_mod_extreme_operands():
 
 
 def test_modulus_bound_enforced():
+    # the default ceiling is the active backend's (50 bits on numpy,
+    # 59 under the JIT backends) — 62 bits is above every backend's
     with pytest.raises(ParameterError):
-        modmath.check_modulus(1 << 55)
+        modmath.check_modulus(1 << 62)
+    # the shared 50-bit floor stays enforceable regardless of backend
+    with pytest.raises(ParameterError):
+        modmath.check_modulus(1 << 55, max_bits=modmath.MAX_MODULUS_BITS)
     with pytest.raises(ParameterError):
         modmath.check_modulus(1)
+    modmath.check_modulus((1 << 50) - 27, max_bits=modmath.MAX_MODULUS_BITS)
 
 
 @settings(max_examples=200, deadline=None)
@@ -68,6 +74,68 @@ def test_mul_mod_property(a, b):
     b %= q
     got = int(modmath.mul_mod(np.uint64(a), np.uint64(b), q))
     assert got == (a * b) % q
+
+
+#: a modulus at exactly the shared MAX_MODULUS_BITS floor
+Q_FLOOR = (1 << modmath.MAX_MODULUS_BITS) - 27
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    a=st.integers(min_value=0, max_value=Q_FLOOR - 1),
+    b=st.integers(min_value=0, max_value=Q_FLOOR - 1),
+)
+def test_mul_mod_at_ceiling_modulus_property(a, b):
+    """Operands drawn up to q-1 with q at exactly the 50-bit floor."""
+    got = int(modmath.mul_mod(np.uint64(a), np.uint64(b), Q_FLOOR))
+    assert got == (a * b) % Q_FLOOR
+
+
+@settings(max_examples=100, deadline=None)
+@given(data=st.data())
+def test_add_sub_mul_property_matches_bigint(data):
+    q = data.draw(st.sampled_from(PRIMES + [Q_FLOOR]))
+    a = data.draw(st.lists(st.integers(0, q - 1), min_size=1, max_size=8))
+    b = data.draw(st.lists(st.integers(0, q - 1), min_size=len(a),
+                           max_size=len(a)))
+    av = np.array(a, dtype=np.uint64)
+    bv = np.array(b, dtype=np.uint64)
+    assert modmath.add_mod(av, bv, q).tolist() == \
+        [(x + y) % q for x, y in zip(a, b)]
+    assert modmath.sub_mod(av, bv, q).tolist() == \
+        [(x - y) % q for x, y in zip(a, b)]
+    assert modmath.mul_mod(av, bv, q).tolist() == \
+        [(x * y) % q for x, y in zip(a, b)]
+
+
+@settings(max_examples=50, deadline=None)
+@given(data=st.data())
+def test_broadcast_column_moduli_property(data):
+    """(B, 1, 1)-shaped moduli broadcast over (B, R, N) operand stacks."""
+    from repro.polymath import kernels
+
+    moduli = data.draw(st.lists(st.sampled_from(PRIMES + [Q_FLOOR]),
+                                min_size=1, max_size=3, unique=True))
+    n = data.draw(st.integers(min_value=1, max_value=8))
+    q = np.array(moduli, dtype=np.uint64).reshape(-1, 1, 1)
+    rows = []
+    for m in moduli:
+        rows.append([data.draw(st.lists(st.integers(0, m - 1), min_size=n,
+                                        max_size=n)) for _ in range(2)])
+    a = np.array(rows, dtype=np.uint64)  # (B, 2, n)
+    b = np.roll(a, 1, axis=-1)
+    for op, py in (("add_mod", lambda x, y, m: (x + y) % m),
+                   ("sub_mod", lambda x, y, m: (x - y) % m),
+                   ("mul_mod", lambda x, y, m: (x * y) % m)):
+        got = getattr(modmath, op)(a, b, q)
+        assert got.shape == a.shape
+        for bi, m in enumerate(moduli):
+            want = [py(int(x), int(y), m)
+                    for x, y in zip(a[bi].ravel(), b[bi].ravel())]
+            assert got[bi].ravel().tolist() == want, op
+    # same inputs through the pyloops differential backend
+    alt = kernels.get_backend("pyloops")
+    assert np.array_equal(alt.mul_mod(a, b, q), modmath.mul_mod(a, b, q))
 
 
 def test_reduce_signed_handles_negatives_and_bigints():
