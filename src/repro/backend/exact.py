@@ -57,10 +57,17 @@ class ExactBackend(HEBackend):
             secret_hamming_weight=params.secret_hamming_weight,
         )
         self._bootstrapper: Bootstrapper | None = None
+        #: one bootstrapper per refresh target — the level replanner
+        #: emits per-region targets, and rebuilding the linear
+        #: transforms (and re-deriving their rotation keys) on every
+        #: call would swamp the refresh itself
+        self._bootstrappers: dict[int, Bootstrapper] = {}
         if enable_bootstrap:
             self._bootstrapper = self.ctx.make_bootstrapper(
                 target_level=bootstrap_target_level
             )
+            self._bootstrappers[self._bootstrapper.target_level] = (
+                self._bootstrapper)
 
     def _rec(self, op: str, handle) -> None:
         # every homomorphic op funnels through here, making it the
@@ -140,7 +147,12 @@ class ExactBackend(HEBackend):
             )
         bs = self._bootstrapper
         if target_level is not None and target_level != bs.target_level:
-            bs = self.ctx.make_bootstrapper(target_level=target_level)
+            bs = self._bootstrappers.get(target_level)
+            if bs is None:
+                # make_bootstrapper also generates the rotation and
+                # conjugation keys this target's transforms need
+                bs = self.ctx.make_bootstrapper(target_level=target_level)
+                self._bootstrappers[target_level] = bs
         self.trace.record("bootstrap", bs.target_level + 1)
         return bs.bootstrap(a)
 

@@ -68,26 +68,65 @@ def _opt_summary_line(program) -> str:
         return (f"opt: level {opt.get('opt_level', '?')}, "
                 f"no rewrites recorded")
     saved = 100.0 * (before - after) / before
-    return (f"opt: level {opt['opt_level']}, key switches "
+    line = (f"opt: level {opt['opt_level']}, key switches "
             f"{before} -> {after} (-{saved:.1f}%), ops "
             f"{opt['ops_before']} -> {opt['ops_after']}")
+    levels = program.stats.get("levels", {})
+    if levels.get("enabled"):
+        line += (f"; replan: bootstraps "
+                 f"{levels.get('bootstraps_before', 0)} -> "
+                 f"{levels.get('bootstraps_after', 0)}, targets "
+                 f"{levels.get('targets_before', [])} -> "
+                 f"{levels.get('targets_after', [])}")
+    return line
 
 
 def _explain_table(program) -> str:
-    """Per-pass op-delta table from ``program.stats['opt']``."""
+    """Per-pass op-delta table from ``program.stats['opt']``, followed by
+    the level-replanner's per-round deltas (``program.stats['levels']``)."""
     rows = program.stats.get("opt", {}).get("rows", [])
     if not rows:
         return "no optimizer passes ran (--opt-level 0)"
     header = (f"{'stage':<6} {'pass':<18} {'rewrites':>8} "
-              f"{'ops':>12} {'key-switches':>14} {'levels':>10}")
+              f"{'ops':>12} {'key-switches':>14} {'levels':>10} "
+              f"{'bootstraps':>12}")
     lines = [header, "-" * len(header)]
     for row in rows:
         lines.append(
             f"{row['stage']:<6} {row['pass']:<18} {row['rewrites']:>8} "
             f"{row['ops_before']:>5} -> {row['ops_after']:<4} "
             f"{row['key_switches_before']:>6} -> {row['key_switches_after']:<5} "
-            f"{row['level_span_before']:>4} -> {row['level_span_after']:<3}"
+            f"{row['level_span_before']:>4} -> {row['level_span_after']:<3} "
+            f"{row.get('bootstraps_before', 0):>5} -> "
+            f"{row.get('bootstraps_after', 0):<4}"
         )
+    levels = program.stats.get("levels", {})
+    if levels.get("enabled"):
+        lines.append("")
+        lines.append(
+            f"level replan: {levels.get('rounds_run', 0)} round(s), "
+            f"bootstraps {levels.get('bootstraps_before', 0)} -> "
+            f"{levels.get('bootstraps_after', 0)}, targets "
+            f"{levels.get('targets_before', [])} -> "
+            f"{levels.get('targets_after', [])}, modeled cost "
+            f"{levels.get('cost_before', 0.0):.3f}s -> "
+            f"{levels.get('cost_after', 0.0):.3f}s"
+        )
+        for row in levels.get("rounds", []):
+            lines.append(
+                f"  round {row['round']}: proposal {row['proposal']}, "
+                f"ops {row['ops_before']} -> {row['ops_after']}, "
+                f"bootstraps {row['bootstraps_before']} -> "
+                f"{row['bootstraps_after']}, "
+                f"{'adopted' if row['adopted'] else 'rejected'}"
+            )
+        relin = levels.get("relin")
+        if relin:
+            lines.append(
+                f"  global relin placement: {relin['relins_before']} -> "
+                f"{relin['relins_after']} relins, "
+                f"{'adopted' if relin['adopted'] else 'kept peephole plan'}"
+            )
     return "\n".join(lines)
 
 
@@ -113,6 +152,7 @@ def _compile(args) -> int:
         "ckks_ops": program.stats["ckks_ops"],
         "rotation_keys": len(program.rotation_steps),
         "opt": program.stats.get("opt", {}),
+        "levels": program.stats.get("levels", {}),
         "compile_seconds": {
             k: round(v, 3) for k, v in program.pass_timers.items()
         },

@@ -25,6 +25,11 @@ from repro.onnx.protos import ModelProto
 from repro.params import ParameterSelector, SelectedParameters
 from repro.polymath import kernels
 from repro.passes.frontend import onnx_to_nn
+from repro.passes.levels import (
+    clone_module,
+    run_level_replan,
+    summarize_levels_stats,
+)
 from repro.passes.opt import (
     make_opt_pass,
     recompute_rotation_steps,
@@ -128,7 +133,10 @@ class CompiledProgram:
         """An exact backend; ``params`` must match the compiled slot count.
 
         The compiler hands the backend exactly the rotation keys the key
-        analysis found (paper §4.4) unless overridden.
+        analysis found (paper §4.4) unless overridden, and — when the
+        *final* IR contains refresh ops — enables bootstrapping at the
+        highest replanned target, so eval/rotation keys always match
+        the program that actually executes.
         """
         if params.num_slots * 2 != self.scheme.poly_degree:
             raise CompileError(
@@ -136,7 +144,25 @@ class CompiledProgram:
                 f"compiled for {self.scheme.num_slots}"
             )
         kwargs.setdefault("rotation_steps", self.rotation_steps)
+        targets = [t for t in self.bootstrap_targets if t is not None]
+        if targets and kwargs.get("keychain") is None:
+            kwargs.setdefault("enable_bootstrap", True)
+            kwargs.setdefault("bootstrap_target_level", max(targets))
         return ExactBackend(params, **kwargs)
+
+    @property
+    def bootstrap_targets(self) -> list[int]:
+        """Refresh targets in the final IR, in execution order."""
+        return [
+            op.attrs.get("target_level")
+            for op in self.module.main().body
+            if op.opcode == "ckks.bootstrap"
+        ]
+
+    @property
+    def needs_bootstrap(self) -> bool:
+        """Whether the *final* (post-replan) IR still contains refreshes."""
+        return bool(self.bootstrap_targets)
 
     @property
     def batch_size(self) -> int:
@@ -298,9 +324,14 @@ class ACECompiler:
             "schedule": context["schedules"][module.main().name].describe(),
             "opt": summarize_opt_stats(context.get("opt_stats", []),
                                        opts.opt_level),
+            "levels": summarize_levels_stats(context.get("levels_stats")),
             # which NTT/RNS kernel backend executions will run on (the
             # process-global --kernel / REPRO_KERNEL selection)
             "kernel_backend": kernels.active_name(),
+            # refresh-target slack the lowering settled on (the retry
+            # ladder widens it when a real prime chain costs more
+            # alignment units than the depth estimate predicts)
+            "align_margin": context.get("align_margin"),
         }
         if opts.poly_mode != "off":
             stats["poly"] = self._poly_stage(timers, module, context, scheme)
@@ -408,13 +439,42 @@ class ACECompiler:
             poly_degree=scheme.poly_degree,
             num_special_primes=scheme.num_special_primes,
         )
+        # the replanner re-runs the scale/level assignment from the SIHE
+        # module, which the lowering consumes — snapshot it first
+        sihe_snapshot = (clone_module(module)
+                         if self.options.opt_level >= 2 else None)
+        def lower_sihe(m, ctx):
+            # the refresh targets come from a SIHE-level depth estimate;
+            # real prime chains (``exact_params``) can cost more
+            # alignment units than the estimate predicts, so retry a
+            # lowering that runs the chain dry with widening margins —
+            # the post-opt replanner trims the slack back down from the
+            # measured needs of the optimized DAG
+            last_err = None
+            for margin in (2, 4, 6, 8):
+                candidate = clone_module(m)
+                attempt_ctx = dict(ctx)
+                try:
+                    SiheToCkksLowering(
+                        moduli, scheme.scale,
+                        self.options.bootstrap_enabled,
+                        self.options.minimal_level_bootstrap,
+                        align_margin=margin,
+                    ).run(candidate, attempt_ctx)
+                except LoweringError as err:
+                    last_err = err
+                    continue
+                m.functions = candidate.functions
+                m.constants = candidate.constants
+                m.meta = candidate.meta
+                ctx.update(attempt_ctx)
+                ctx["align_margin"] = margin
+                return
+            raise last_err
+
         pm = PassManager(timers=timers.timers)
         pm.add(Pass(
-            "sihe-to-ckks", "CKKS",
-            SiheToCkksLowering(
-                moduli, scheme.scale, self.options.bootstrap_enabled,
-                self.options.minimal_level_bootstrap,
-            ).run,
+            "sihe-to-ckks", "CKKS", lower_sihe,
             "rescale/relin/bootstrap placement, key analysis",
         ))
         if self.options.opt_level >= 1:
@@ -423,6 +483,23 @@ class ACECompiler:
                 make_opt_pass("ckks", self.options.opt_level),
                 "op reduction: CSE, rotation composition, lazy relin, "
                 "rescale sinking",
+            ))
+        if self.options.opt_level >= 2:
+            # bootstrap re-placement only makes sense when refreshes are
+            # both enabled and minimally targeted (the ablation flag
+            # pins refreshes to the full chain on purpose); the global
+            # relin placement inside the pass runs regardless
+            boot_rounds = 3 if (self.options.bootstrap_enabled
+                                and self.options.minimal_level_bootstrap) \
+                else 0
+            pm.add(Pass(
+                "ckks-level-replan", "CKKS",
+                lambda m, c: run_level_replan(
+                    m, sihe_snapshot, moduli, scheme.scale,
+                    self.options, c.get("cost_model"), c,
+                    max_rounds=boot_rounds,
+                ),
+                "post-opt bootstrap/level re-planning to fixpoint",
             ))
         # the rotation-key working set and the wavefront/DAG schedule
         # are both properties of the *final* op list, so they follow

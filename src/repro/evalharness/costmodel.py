@@ -33,6 +33,14 @@ class CostModel:
     c_eltwise: float = 1.5e-9
     #: bootstrap: seconds per (target_level+1) * N log2 N unit
     c_boot: float = 6.0e-8
+    #: target-independent bootstrap work, in limb-equivalents of
+    #: ``c_boot``: the ModRaise to the full chain plus the CtS/EvalMod/
+    #: StC stages all run near the top of the modulus chain regardless
+    #: of the refresh target, so most of a refresh's cost survives any
+    #: retargeting — which is exactly why *deleting* a refresh (the
+    #: level replanner's job) is worth so much more than lowering its
+    #: target.
+    boot_base_limbs: float = 24.0
     #: fixed per-op dispatch overhead
     c_fixed: float = 2.0e-6
 
@@ -66,12 +74,40 @@ class CostModel:
         if op == "rescale":
             return self.c_fixed + self.c_ntt * unit * 2 * limbs
         if op == "bootstrap":
-            # `limbs` records target_level+1 (set by the backends); cost is
-            # linear in the refreshed level — the §4.4 optimisation lever.
-            return self.c_fixed + self.c_boot * unit * limbs
+            # `limbs` records target_level+1 (set by the backends); the
+            # variable term is linear in the refreshed level (the §4.4
+            # optimisation lever), on top of the target-independent
+            # full-chain stages (``boot_base_limbs``).
+            return (self.c_fixed
+                    + self.c_boot * unit * (self.boot_base_limbs + limbs))
         if op in ("encrypt", "decrypt", "encode"):
             return self.c_fixed + self.c_ntt * unit * limbs
         return self.c_fixed
+
+    def hoisted_rotation_seconds(self, limbs: int, count: int) -> float:
+        """Seconds for ``count`` rotations of one ciphertext under hoisting.
+
+        The runtime shares a single digit decomposition across every
+        rotation of the same input (PR-2 hoisted path): the
+        ``digits * ext`` decomposition NTTs are paid once per batch, and
+        each rotation then costs only its mod-down NTTs and
+        multiply-accumulates.  Costing the batch per-rotation over-prices
+        BSGS regions by nearly the full decomposition each step, which
+        made the optimizer's gates too timid about rotation-heavy plans.
+        """
+        if count <= 1:
+            return self.op_seconds("rotate", limbs) * max(count, 0)
+        n = self.poly_degree
+        unit = self._nlogn()
+        digits = limbs
+        ext = limbs + self.num_special_primes
+        ntts = digits * ext + count * 2 * ext   # one decomposition + mod-downs
+        muladds = count * 2 * digits * ext
+        return (
+            count * self.c_fixed
+            + self.c_ntt * unit * ntts
+            + self.c_eltwise * n * muladds
+        )
 
     def trace_seconds(self, trace: OpTrace) -> dict[str, float]:
         """Seconds per region tag for a recorded trace."""

@@ -1,0 +1,88 @@
+"""Opt-level sweep: the key-switch / bootstrap / latency frontier.
+
+Compiles each evaluation model at ``--opt-level`` 0, 1 and 2 and charts
+what each tier buys: level 1 merges duplicate work (CSE, dedup, folds),
+level 2 adds the noise-path rewrites *and* the global level/bootstrap
+replanner — so the sweep shows key switches, refresh counts/targets and
+modeled latency moving together, the frontier the ROADMAP's carried-over
+item asked for.
+"""
+
+from __future__ import annotations
+
+from repro.compiler import ACECompiler, CompileOptions
+from repro.evalharness.costmodel import CostModel
+from repro.evalharness.models import EVAL_MODELS, trained_model
+from repro.nn import model_to_onnx
+from repro.onnx import load_model_bytes, model_to_bytes
+from repro.passes.opt import OpCostTable, bootstrap_count, key_switch_count
+
+
+def sweep_rows(models=EVAL_MODELS, scale: str = "ci",
+               opt_levels=(0, 1, 2)) -> list[dict]:
+    rows: list[dict] = []
+    for name in models:
+        model, _dataset = trained_model(name, scale)
+        proto = load_model_bytes(model_to_bytes(model_to_onnx(model)))
+        for level in opt_levels:
+            program = ACECompiler(proto, CompileOptions(
+                sign_iterations=4, poly_mode="off", opt_level=level,
+            )).compile()
+            table = OpCostTable(CostModel(
+                poly_degree=program.scheme.poly_degree,
+                num_special_primes=program.scheme.num_special_primes,
+            ))
+            fn = program.module.main()
+            rows.append({
+                "model": name,
+                "opt_level": level,
+                "ops": fn.op_count(),
+                "key_switches": key_switch_count(program.module),
+                "bootstraps": bootstrap_count(program.module),
+                "bootstrap_targets": program.bootstrap_targets,
+                "rotation_keys": len(program.rotation_steps),
+                "modeled_seconds": table.function_cost(fn),
+            })
+    return rows
+
+
+def render(rows: list[dict]) -> str:
+    lines = ["Opt-level sweep — key-switch / bootstrap / latency frontier"]
+    lines.append(
+        f"{'model':<12}{'opt':>4}{'ops':>7}{'keysw':>7}{'boots':>6}"
+        f"{'targets':>18}{'rotkeys':>8}{'modeled s':>11}"
+    )
+    for row in rows:
+        ts = row["bootstrap_targets"]
+        if len(ts) > 4:
+            targets = f"{len(ts)}x[{min(ts)}..{max(ts)}]"
+        else:
+            targets = ",".join(str(t) for t in ts) or "-"
+        lines.append(
+            f"{row['model']:<12}{row['opt_level']:>4}{row['ops']:>7}"
+            f"{row['key_switches']:>7}{row['bootstraps']:>6}"
+            f"{targets:>18}{row['rotation_keys']:>8}"
+            f"{row['modeled_seconds']:>11.3f}"
+        )
+    by_model: dict[str, list[dict]] = {}
+    for row in rows:
+        by_model.setdefault(row["model"], []).append(row)
+    speedups = []
+    for model_rows in by_model.values():
+        base = next((r for r in model_rows if r["opt_level"] == 0), None)
+        best = min(model_rows, key=lambda r: r["modeled_seconds"])
+        if base and best["modeled_seconds"] > 0:
+            speedups.append(base["modeled_seconds"] / best["modeled_seconds"])
+    if speedups:
+        lines.append(
+            f"geo-mean modeled speedup opt0 -> best: "
+            f"{_geomean(speedups):.2f}x"
+        )
+    return "\n".join(lines)
+
+
+def _geomean(values: list[float]) -> float:
+    product = 1.0
+    for v in values:
+        product *= v
+    return product ** (1.0 / len(values))

@@ -18,6 +18,7 @@ from repro.evalharness import (
     fig5,
     fig6,
     fig7,
+    opt_sweep,
     surveys,
     table8,
     table10,
@@ -53,6 +54,8 @@ def generate_report(out_dir: str | Path, models=EVAL_MODELS,
     emit("table10", table10.render(table10.parameter_rows(models, scale)))
     emit("table11", table11.render(
         table11.accuracy_rows(models, scale, num_images=num_images)))
+    emit("opt_sweep", opt_sweep.render(
+        opt_sweep.sweep_rows(models, scale)))
     if echo:
         print(f"\nreport complete in {time.perf_counter() - started:.0f}s; "
               f"artifacts in {out_dir}/")

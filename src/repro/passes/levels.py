@@ -1,0 +1,524 @@
+"""Global level & bootstrap re-planning on the *optimized* CKKS IR.
+
+Bootstrap placement happens inside the ``sihe -> ckks`` lowering, which
+runs *before* the op-reduction optimizer — so the lowering plans refresh
+targets from a SIHE-level depth *estimate* (multiplication counts plus an
+``ALIGN_MARGIN`` slack for scale-management units it cannot predict).
+After optimization the program's true level consumption is a measurable
+property of the final DAG, and a refresh is the most expensive operation
+in the whole system: one deleted bootstrap dwarfs any key-switch win.
+
+This module closes the loop (ROADMAP item 5, in the spirit of Orion's
+global bootstrap placement and CHET's whole-program costed planning):
+
+* :func:`consumed_need` — a backward dataflow analysis computing, for
+  every value of the optimized DAG, how many levels must still be
+  available below it (rescales consume one, modswitches consume their
+  ``levels`` attribute, a bootstrap input consumes nothing).  This
+  replaces the lowering-time ``depth[v]`` estimate with ground truth.
+* :func:`plan_bootstraps` — walks the DAG once, projecting post-replan
+  levels forward, and proposes per-hint overrides: *skip* a refresh
+  whose remaining budget now covers its region, or *retarget* it to the
+  measured minimal need.  Every proposal is gated by the
+  :class:`~repro.passes.opt.OpCostTable` (a skipped refresh must pay for
+  the deeper — hence wider — region ops it leaves behind).
+* :func:`run_level_replan` — the driver hook: re-lowers the preserved
+  SIHE module under the proposed plan, re-optimizes, and repeats to a
+  fixpoint (op count and bootstrap count stable), bounded rounds.  Each
+  candidate is verifier-checked and adopted only when the modeled
+  function cost actually improves; a candidate whose tightened plan
+  turns out infeasible (``LoweringError``) is retried with relaxed
+  targets and finally abandoned.  Re-lowering (rather than patching
+  levels in place) keeps the scale plan exact against *real* prime
+  chains, where shifting a region changes which primes its rescales
+  divide by.
+* :func:`replan_relins` — generalises the lazy-relinearisation
+  peepholes to a whole-DAG placement: strip every ``ckks.relin`` and
+  re-insert one per value at the latest legal frontier (rotation,
+  conjugation, bootstrap, cipher-cipher multiply, mixed-degree addition
+  or return), merging relins across whole add-trees no matter how the
+  lowering froze its region boundaries.  Adopted only if the modeled
+  cost improves (carrying three parts through long element-wise chains
+  can lose; the peepholes' cost gates become one global comparison).
+
+Per-round deltas surface as ``program.stats["levels"]`` and in
+``repro compile --explain``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import LoweringError
+from repro.ir.core import Function, Module, Op, Value
+from repro.ir.registry import OPS
+from repro.ir.types import Cipher3Type, CipherType
+from repro.ir.verifier import verify_module
+from repro.passes.opt import OpCostTable, bootstrap_count, cse_function
+
+_CIPHERISH = (CipherType, Cipher3Type)
+
+
+# ---------------------------------------------------------------------------
+# IR cloning (candidate plans are built on copies, never in place)
+# ---------------------------------------------------------------------------
+
+def clone_function(fn: Function) -> Function:
+    """Deep-copy a function: fresh values, remapped operands/returns."""
+    mapping: dict[int, Value] = {}
+    params = []
+    for p in fn.params:
+        new_p = Value(p.type, p.name)
+        new_p.meta = dict(p.meta)
+        mapping[p.id] = new_p
+        params.append(new_p)
+    out = Function(fn.name, params)
+    for op in fn.body:
+        operands = [mapping[o.id] for o in op.operands]
+        results = []
+        for r in op.results:
+            new_r = Value(r.type, r.name)
+            new_r.meta = dict(r.meta)
+            mapping[r.id] = new_r
+            results.append(new_r)
+        out.append(Op(op.opcode, operands, results, dict(op.attrs)))
+    out.returns = [mapping[v.id] for v in fn.returns]
+    return out
+
+
+def clone_module(module: Module) -> Module:
+    """Copy a module; constant payloads are shared (they are immutable)."""
+    out = Module(module.name)
+    out.constants = dict(module.constants)
+    out.meta = {
+        k: (dict(v) if isinstance(v, dict) else v)
+        for k, v in module.meta.items()
+    }
+    for name, fn in module.functions.items():
+        out.functions[name] = clone_function(fn)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# dataflow analyses over the optimized DAG
+# ---------------------------------------------------------------------------
+
+def _capacity_floors(moduli) -> list[float]:
+    """Cumulative modulus products: ``floors[L]`` = capacity at level L."""
+    caps: list[float] = []
+    product = 1.0
+    for q in moduli:
+        product *= float(q)
+        caps.append(product)
+    return caps
+
+
+def _scale_floor(scale: float, caps: list[float]) -> int:
+    """Smallest level whose capacity strictly exceeds ``scale``.
+
+    The backends refuse any value whose scale reaches the remaining
+    modulus product (``NoiseBudgetExhausted``), and the lowering's lazy
+    waterline legally parks Δ²-scale products un-rescaled — so a level
+    plan must keep such values high enough on the chain even when no
+    rescale ever consumes those levels.
+    """
+    for level, cap in enumerate(caps):
+        if cap > scale * (1.0 + 1e-9):
+            return level
+    return len(caps) - 1
+
+
+def consumed_need(fn: Function,
+                  moduli: list[float] | None = None) -> dict[int, int]:
+    """Backward analysis: ``need[v.id]`` = levels that must remain
+    available at ``v`` for the rest of the program to execute.
+
+    A rescale consumes one level, a modswitch its ``levels`` attribute;
+    a bootstrap refreshes, so its *input* needs nothing further.  On top
+    of the consumption walk, every value's planned *scale* imposes a
+    capacity floor (see :func:`_scale_floor`) — the lazy waterline keeps
+    scales up to ~Δ² in flight, which must stay representable.  This is
+    the ground-truth replacement for the lowering-time depth estimate:
+    it includes every scale-alignment unit the lowering actually emitted
+    and every op the optimizer actually removed.
+    """
+    caps = _capacity_floors(moduli) if moduli else None
+
+    def floor_of(value: Value) -> int:
+        if caps is None or not value.meta:
+            return 0
+        scale = value.meta.get("scale")
+        return _scale_floor(scale, caps) if scale is not None else 0
+
+    need: dict[int, int] = {}
+    for op in reversed(fn.body):
+        out_need = max(
+            (max(need.get(r.id, 0), floor_of(r)) for r in op.results),
+            default=0,
+        )
+        if op.opcode == "ckks.rescale":
+            in_need = out_need + 1
+        elif op.opcode == "ckks.modswitch":
+            in_need = out_need + op.attrs.get("levels", 1)
+        elif op.opcode == "ckks.bootstrap":
+            in_need = 0
+        else:
+            in_need = out_need
+        for operand in op.operands:
+            if isinstance(operand.type, _CIPHERISH):
+                if in_need > need.get(operand.id, 0):
+                    need[operand.id] = in_need
+    return need
+
+
+def plan_bootstraps(fn: Function, table: OpCostTable, max_level: int,
+                    margin: int = 0,
+                    moduli: list[float] | None = None,
+                    ) -> tuple[dict[int, dict], list[dict]]:
+    """Propose per-hint overrides from the optimized DAG.
+
+    One forward walk projects each value's post-replan level; at every
+    ``ckks.bootstrap`` the projected entry budget and the measured
+    region need decide between *skip* (budget covers the region;
+    cost-gated against the deeper region ops it implies) and *retarget*
+    (measured need replaces estimate + alignment margin).  ``margin``
+    adds slack on non-uniform prime chains, where shifting a region
+    changes rescale divisors and can surface new alignment units.
+
+    Returns ``(plan, rows)``: ``plan`` maps hint index to an override
+    (empty = the current placement is already minimal), ``rows`` one
+    diagnostic entry per bootstrap op.
+    """
+    need = consumed_need(fn, moduli)
+    region_ops = _region_map(fn)
+    proj: dict[int, int] = {}      # value id -> projected new level
+    plan: dict[int, dict] = {}
+    rows: list[dict] = []
+    for p in fn.params:
+        if isinstance(p.type, _CIPHERISH):
+            proj[p.id] = p.meta.get("level", max_level)
+
+    for op in fn.body:
+        cipher_ins = [o for o in op.operands
+                      if isinstance(o.type, _CIPHERISH) and o.id in proj]
+        if op.opcode == "ckks.bootstrap":
+            hint = op.attrs.get("hint")
+            t_old = op.attrs.get("target_level", max_level)
+            entry = proj.get(op.operands[0].id)
+            region_need = need.get(op.result.id, 0)
+            want = max(min(region_need + margin, max_level), 1)
+            row = {
+                "hint": hint, "target": t_old, "need": region_need,
+                "entry": entry, "decision": "keep",
+            }
+            if hint is None or entry is None:
+                proj[op.result.id] = t_old
+                rows.append(row)
+                continue
+            deeper = entry - want
+            if entry >= want and _skip_pays(table, op, region_ops.get(
+                    hint, []), want, deeper):
+                plan[hint] = {"skip": True}
+                row["decision"] = "skip"
+                proj[op.result.id] = entry
+            elif want < t_old:
+                plan[hint] = {"target": want}
+                row["decision"] = "retarget"
+                proj[op.result.id] = want
+            else:
+                proj[op.result.id] = t_old
+            rows.append(row)
+            continue
+        # projected level: merges take the minimum contributing budget;
+        # rescale/modswitch consume what the current plan says
+        if cipher_ins:
+            base = min(proj[o.id] for o in cipher_ins)
+            if op.opcode == "ckks.rescale":
+                base -= 1
+            elif op.opcode == "ckks.modswitch":
+                base -= op.attrs.get("levels", 1)
+            for r in op.results:
+                if isinstance(r.type, _CIPHERISH):
+                    proj[r.id] = base
+    return plan, rows
+
+
+def _region_map(fn: Function) -> dict[int, list[Op]]:
+    """Map each bootstrap hint to the downstream ops its refresh feeds.
+
+    Forward ownership propagation: a value produced from a refreshed
+    value belongs to that refresh's region (first contributing hint
+    wins).  The skip gate prices these ops ``deeper`` levels up the
+    chain — the rent a deleted refresh keeps paying.
+    """
+    region: dict[int, int] = {}
+    region_ops: dict[int, list[Op]] = {}
+    for op in fn.body:
+        if op.opcode == "ckks.bootstrap":
+            hint = op.attrs.get("hint")
+            if hint is not None:
+                region[op.result.id] = hint
+                region_ops.setdefault(hint, [])
+            continue
+        owner = None
+        for operand in op.operands:
+            if operand.id in region:
+                owner = region[operand.id]
+                break
+        if owner is not None:
+            for r in op.results:
+                region[r.id] = owner
+            region_ops.setdefault(owner, []).append(op)
+    return region_ops
+
+
+def _skip_pays(table: OpCostTable, boot: Op, ops: list[Op],
+               want: int, deeper: int) -> bool:
+    """Does deleting this refresh beat retargeting it to ``want``?
+
+    Skipping saves the whole bootstrap (dominated by its fixed
+    CtS/EvalMod/StC stages) but leaves the region's ops ``deeper``
+    levels higher on the chain, i.e. wider; ``ops`` is the *previous*
+    region rooted at the same hint — a proxy for the op mix that will
+    ride on the preserved budget.
+    """
+    saved = table.model.op_seconds("bootstrap", want + 1)
+    extra = 0.0
+    if deeper > 0:
+        for op in ops:
+            extra += table.op_cost(op, limb_shift=deeper) - table.op_cost(op)
+    return saved > extra
+
+
+# ---------------------------------------------------------------------------
+# whole-DAG relinearisation placement
+# ---------------------------------------------------------------------------
+
+def _global_relin_placement(fn: Function) -> int:
+    """Strip every relin; re-insert one per value at the latest legal
+    frontier.  Returns the number of relins inserted."""
+    replace: dict[int, Value] = {}
+    relined_cache: dict[int, Value] = {}
+    new_body: list[Op] = []
+    inserted = 0
+
+    def relined(value: Value) -> Value:
+        nonlocal inserted
+        if not isinstance(value.type, Cipher3Type):
+            return value
+        red = relined_cache.get(value.id)
+        if red is None:
+            red = Value(CipherType(value.type.slots), f"{value.name}_relin")
+            red.meta = dict(value.meta)
+            producer = value.producer
+            region = producer.attrs.get("region") if producer else None
+            new_body.append(Op("ckks.relin", [value], [red],
+                               {"region": region}))
+            relined_cache[value.id] = red
+            inserted += 1
+        return red
+
+    for op in fn.body:
+        operands = [replace.get(o.id, o) for o in op.operands]
+        if op.opcode == "ckks.relin":
+            replace[op.result.id] = operands[0]
+            continue
+        for i, operand in enumerate(operands):
+            if not isinstance(operand.type, Cipher3Type):
+                continue
+            if op.opcode in ("ckks.rotate", "ckks.conjugate",
+                             "ckks.bootstrap"):
+                operands[i] = relined(operand)
+            elif op.opcode == "ckks.mul" and isinstance(
+                    operands[1].type, _CIPHERISH):
+                operands[i] = relined(operand)
+            elif op.opcode in ("ckks.add", "ckks.sub"):
+                if not isinstance(operands[1 - i].type, Cipher3Type):
+                    operands[i] = relined(operand)
+        op.operands = operands
+        inferred = OPS.get(op.opcode).infer(
+            [o.type for o in operands], op.attrs)
+        for result, type_ in zip(op.results, inferred):
+            if result.type != type_:
+                result.type = type_
+        new_body.append(op)
+    fn.body = new_body  # relined() appended return-site relins here too
+    fn.returns = [relined(replace.get(v.id, v)) for v in fn.returns]
+    fn.dce()
+    return inserted
+
+
+def replan_relins(fn: Function, table: OpCostTable) -> dict:
+    """Whole-DAG relin placement, adopted only when the cost model says
+    it beats the current (peephole-placed) program.  Returns a stats row
+    and, when adopted, rewrites ``fn`` in place."""
+    before_cost = table.function_cost(fn)
+    before_relins = fn.op_count("ckks.relin")
+    candidate = clone_function(fn)
+    _global_relin_placement(candidate)
+    cse_function(candidate)
+    candidate.dce()
+    after_cost = table.function_cost(candidate)
+    adopted = after_cost < before_cost * (1.0 - 1e-12)
+    if adopted:
+        fn.params = candidate.params
+        fn.body = candidate.body
+        fn.returns = candidate.returns
+    return {
+        "relins_before": before_relins,
+        "relins_after": fn.op_count("ckks.relin"),
+        "cost_before": before_cost,
+        "cost_after": after_cost if adopted else before_cost,
+        "adopted": adopted,
+    }
+
+
+# ---------------------------------------------------------------------------
+# the fixpoint driver hook
+# ---------------------------------------------------------------------------
+
+def _relax(plan: dict[int, dict], step: int) -> dict[int, dict]:
+    """Back off a plan that turned out infeasible: raise every retarget
+    by ``step`` levels; at step >= 2 also give up on skips."""
+    relaxed: dict[int, dict] = {}
+    for hint, decision in plan.items():
+        if decision.get("skip"):
+            if step < 2:
+                relaxed[hint] = decision
+            continue
+        relaxed[hint] = {"target": decision["target"] + step}
+    return relaxed
+
+
+def _lower_candidate(sihe_module: Module, plan: dict[int, dict],
+                     moduli: list[float], scale: float,
+                     bootstrap_enabled: bool,
+                     minimal_level_bootstrap: bool,
+                     align_margin: int | None = None) -> tuple[Module, dict]:
+    from repro.passes.lowering.sihe_to_ckks import SiheToCkksLowering
+
+    candidate = clone_module(sihe_module)
+    ctx: dict = {}
+    SiheToCkksLowering(
+        moduli, scale, bootstrap_enabled, minimal_level_bootstrap,
+        hint_plan=plan, align_margin=align_margin,
+    ).run(candidate, ctx)
+    return candidate, ctx
+
+
+def run_level_replan(module: Module, sihe_module: Module,
+                     moduli: list[float], scale: float, options,
+                     cost_model, context: dict,
+                     max_rounds: int = 3) -> dict:
+    """Replan -> re-lower -> re-optimize to fixpoint; mutates ``module``.
+
+    ``sihe_module`` is the preserved pre-lowering SIHE module (the
+    replanner re-runs the scale/level assignment from it so plans stay
+    exact against the real modulus chain).  Returns the stats dict also
+    stored as ``context["levels_stats"]``.
+    """
+    from repro.passes.opt import optimize_module
+
+    table = OpCostTable(cost_model)
+    max_level = len(moduli) - 1
+    # a uniform chain (the synthetic SimBackend moduli) is shift
+    # invariant; real prime chains get one level of slack because moving
+    # a region changes its rescale divisors and can add alignment units
+    uniform = len(set(float(q) for q in moduli[1:])) <= 1
+    margin = 0 if uniform else 1
+    stats: dict = {
+        "enabled": True,
+        "margin": margin,
+        "rounds": [],
+        "bootstraps_before": bootstrap_count(module),
+        "targets_before": bootstrap_targets(module.main()),
+        "cost_before": table.function_cost(module.main()),
+    }
+    plan: dict[int, dict] = {}
+    for round_no in range(1, max_rounds + 1):
+        proposal, rows = plan_bootstraps(
+            module.main(), table, max_level, margin, moduli)
+        merged = {**plan, **proposal}
+        if not proposal or merged == plan:
+            break
+        candidate = cand_ctx = None
+        for relax_step in range(3):
+            attempt = _relax(merged, relax_step) if relax_step else merged
+            if not attempt:
+                break
+            try:
+                candidate, cand_ctx = _lower_candidate(
+                    sihe_module, attempt, moduli, scale,
+                    options.bootstrap_enabled,
+                    options.minimal_level_bootstrap,
+                    align_margin=context.get("align_margin"),
+                )
+            except LoweringError:
+                candidate = None
+                continue
+            merged = attempt
+            break
+        if candidate is None:
+            break
+        opt_rows = optimize_module(
+            candidate, "ckks", options.opt_level, cost_model=cost_model)
+        verify_module(candidate)
+        cost_old = table.function_cost(module.main())
+        cost_new = table.function_cost(candidate.main())
+        row = {
+            "round": round_no,
+            "proposal": {
+                h: ("skip" if d.get("skip") else d.get("target"))
+                for h, d in merged.items()
+            },
+            "bootstraps_before": bootstrap_count(module),
+            "bootstraps_after": bootstrap_count(candidate),
+            "ops_before": module.main().op_count(),
+            "ops_after": candidate.main().op_count(),
+            "cost_before": cost_old,
+            "cost_after": cost_new,
+            "adopted": cost_new < cost_old * (1.0 - 1e-12),
+            "opt_rows": opt_rows,
+        }
+        stats["rounds"].append(row)
+        if not row["adopted"]:
+            break
+        stable = (row["ops_after"] == row["ops_before"]
+                  and row["bootstraps_after"] == row["bootstraps_before"])
+        module.functions = candidate.functions
+        module.constants = candidate.constants
+        module.meta = candidate.meta
+        if "bootstrap_plan" in cand_ctx:
+            context["bootstrap_plan"] = cand_ctx["bootstrap_plan"]
+        plan = merged
+        if stable:
+            break
+    if getattr(options, "opt_level", 2) >= 2:
+        stats["relin"] = replan_relins(module.main(), table)
+        verify_module(module)
+    stats["bootstraps_after"] = bootstrap_count(module)
+    stats["targets_after"] = bootstrap_targets(module.main())
+    stats["cost_after"] = table.function_cost(module.main())
+    context["levels_stats"] = stats
+    return stats
+
+
+def bootstrap_targets(fn: Function) -> list[int]:
+    """The refresh targets of a function's bootstrap ops, in body order."""
+    return [op.attrs.get("target_level") for op in fn.body
+            if op.opcode == "ckks.bootstrap"]
+
+
+def summarize_levels_stats(stats: dict | None) -> dict:
+    """Condense replanner stats into the ``program.stats["levels"]``
+    surface (full per-round rows stay available under ``rounds``)."""
+    if not stats:
+        return {"enabled": False}
+    out = dict(stats)
+    out["rounds_run"] = len(stats.get("rounds", []))
+    out["bootstraps_removed"] = (
+        stats.get("bootstraps_before", 0) - stats.get("bootstraps_after", 0))
+    before, after = stats.get("cost_before"), stats.get("cost_after")
+    if before and after is not None and before > 0:
+        out["cost_reduction"] = (before - after) / before
+    return out

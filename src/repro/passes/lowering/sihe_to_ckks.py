@@ -106,14 +106,30 @@ class SiheToCkksLowering:
 
     def __init__(self, moduli: list[float], scale: float,
                  bootstrap_enabled: bool = True,
-                 minimal_level_bootstrap: bool = True):
+                 minimal_level_bootstrap: bool = True,
+                 hint_plan: dict[int, dict] | None = None,
+                 align_margin: int | None = None):
         self.moduli = [float(q) for q in moduli]
+        #: refresh-target slack above the SIHE depth estimate; real
+        #: prime chains can cost more alignment units than the default
+        #: predicts, so the driver retries a failed lowering with wider
+        #: margins (the post-opt replanner then trims the slack back
+        #: down from measured needs)
+        self.align_margin = (self.ALIGN_MARGIN if align_margin is None
+                             else align_margin)
         self.scale = float(scale)
         self.max_level = len(moduli) - 1
         self.bootstrap_enabled = bootstrap_enabled
         #: False = refresh to the full chain (the expert behaviour); the
         #: ablation benchmarks flip this to isolate §4.4's optimisation
         self.minimal_level_bootstrap = minimal_level_bootstrap
+        #: per-hint overrides from the post-optimizer level replanner
+        #: (``repro.passes.levels``): hint index -> {"skip": True} or
+        #: {"target": level}.  A target override replaces the
+        #: requirement + ALIGN_MARGIN estimate with the replanner's
+        #: measured need; "skip" deletes the refresh because the
+        #: remaining budget covers its region.
+        self.hint_plan = dict(hint_plan or {})
 
     # -- state helpers ----------------------------------------------------
 
@@ -134,6 +150,8 @@ class SiheToCkksLowering:
             env[old_p.id] = new_p
             self._set(new_p, self.scale, self.max_level)
         self._region = None
+        self._next_hint = 0
+        self.hint_log: list[dict] = []
         for op in old.body:
             self._region = op.attrs.get("region")
             before = len(new_fn.body)
@@ -146,6 +164,10 @@ class SiheToCkksLowering:
         module.add_function(new_fn)
         context["rotation_steps"] = sorted(self.rotations)
         context["slots"] = slots
+        # region metadata for the level replanner: one row per
+        # ``sihe.bootstrap_hint`` in body order (the stable hint index
+        # carried on every emitted ``ckks.bootstrap`` as attrs["hint"])
+        context["bootstrap_plan"] = list(self.hint_log)
 
     def _set(self, value: Value, scale: float, level: int) -> Value:
         self.state[value.id] = (scale, level)
@@ -218,7 +240,7 @@ class SiheToCkksLowering:
             raise LoweringError("compensating scale below 1")
         ones = self._ones(v.type.slots)
         enc = self._encode(ones, comp_scale, level + 1)
-        prod = self._emit("ckks.mul", [v, enc], hint="align")
+        prod = self._emit("ckks.mul", [v, enc], {"role": "align"}, "align")
         self._set(prod, self._scale_of(v) * comp_scale, level + 1)
         return self._rescale(prod)
 
@@ -309,21 +331,53 @@ class SiheToCkksLowering:
         return self._set(out, *self.state[a.id])
 
     def _lower_hint(self, op, arg, analysis):
+        hint = self._next_hint
+        self._next_hint += 1
         requirement = analysis.hint_requirements.get(id(op), 0)
-        if self.minimal_level_bootstrap:
-            target = min(requirement + self.ALIGN_MARGIN, self.max_level)
+        plan = self.hint_plan.get(hint)
+        # canonicalise *before* deciding skip/dead/emit: both the
+        # replanner's measured region needs and the analysis'
+        # ``hint_requirements`` are depths from a canonical-scale entry,
+        # so the decision level must be the canonical one too.  An
+        # off-waterline entry (the lazy policy legally parks Δ²-scale
+        # values here) would otherwise pass the dead-refresh check with
+        # a level its region cannot actually afford — shifting every
+        # rescale in the region and running the chain dry on deep
+        # multi-region models compiled against short exact prime chains.
+        arg = self._normalize(arg)
+        if not math.isclose(self._scale_of(arg), self.scale, rel_tol=0.3):
+            arg = self._align_to(arg, self.scale, self._level_of(arg) - 1)
+        if plan is not None and plan.get("skip"):
+            # the replanner measured that the remaining budget covers
+            # this region on the optimized DAG
+            self.hint_log.append({
+                "hint": hint, "requirement": requirement,
+                "status": "skipped", "target": None,
+                "level_in": self._level_of(arg),
+            })
+            return arg
+        if plan is not None and plan.get("target") is not None:
+            # measured need from the final DAG replaces the SIHE-level
+            # estimate (and its alignment margin)
+            target = min(int(plan["target"]), self.max_level)
+        elif self.minimal_level_bootstrap:
+            target = min(requirement + self.align_margin, self.max_level)
         else:
             target = self.max_level
         current = self._level_of(arg)
         if not self.bootstrap_enabled or current >= target:
+            self.hint_log.append({
+                "hint": hint, "requirement": requirement,
+                "status": "dead", "target": None, "level_in": current,
+            })
             return arg  # dead-refresh elimination
-        arg = self._normalize(arg)
-        # the runtime bootstrap expects the canonical scale; align if the
-        # lazy policy left the value elsewhere
-        if not math.isclose(self._scale_of(arg), self.scale, rel_tol=0.3):
-            arg = self._align_to(arg, self.scale, self._level_of(arg) - 1)
         out = self._emit(
             "ckks.bootstrap", [arg],
-            {"target_level": target, "region": "Bootstrap"},
+            {"target_level": target, "region": "Bootstrap", "hint": hint},
         )
+        self.hint_log.append({
+            "hint": hint, "requirement": requirement,
+            "status": "emitted", "target": target,
+            "level_in": self._level_of(arg),
+        })
         return self._set(out, self.scale, target)

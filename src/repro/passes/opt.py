@@ -65,6 +65,12 @@ _COMMUTATIVE = {"ckks.add", "ckks.mul", "sihe.add", "sihe.mul",
 
 _SCALE_RTOL = 1e-6
 
+#: attrs that annotate provenance, not semantics — two ops differing
+#: only in these compute the same ciphertext, so CSE must ignore them
+#: ("region" labels the Figure-6 breakdown, "hint" the originating
+#: bootstrap-hint index, "role" marks lowering-internal helper ops)
+_DIAGNOSTIC_ATTRS = ("region", "hint", "role")
+
 
 # ---------------------------------------------------------------------------
 # cost table
@@ -96,7 +102,11 @@ class OpCostTable:
         level = value.meta.get("level") if value.meta else None
         return (level + 1) if level is not None else self.default_limbs
 
-    def op_cost(self, op: Op) -> float:
+    def op_cost(self, op: Op, limb_shift: int = 0) -> float:
+        """Estimated seconds for one op; ``limb_shift`` prices the same
+        op as if it ran that many levels higher on the chain (the level
+        replanner uses this to cost keeping a region deep instead of
+        refreshing)."""
         kind = _COST_KIND.get(op.opcode)
         if kind is None:
             return 0.0
@@ -106,6 +116,7 @@ class OpCostTable:
                     else "mul_plain")
         limbs = self.limbs_of(op.results[0]) if op.results \
             else self.default_limbs
+        limbs = max(limbs + limb_shift, 1)
         cost = self.model.op_seconds(kind, limbs)
         if kind in ("add", "sub", "mul_plain", "negate") and any(
                 isinstance(o.type, Cipher3Type) for o in op.operands):
@@ -121,7 +132,26 @@ class OpCostTable:
         return self.model.op_seconds("mul_plain", limbs) * 0.5
 
     def function_cost(self, fn: Function) -> float:
-        return sum(self.op_cost(op) for op in fn.body)
+        """Modeled seconds for the whole function, hoisting-aware.
+
+        Rotations sharing one source ciphertext are costed as a batch at
+        a single shared digit decomposition (the runtime's hoisted
+        path), matching what actually executes — per-rotation pricing
+        over-penalised BSGS regions and skewed every cost gate that
+        compares rotation-heavy candidates.
+        """
+        total = 0.0
+        rotation_batches: dict[int, list[Op]] = {}
+        for op in fn.body:
+            if op.opcode == "ckks.rotate":
+                rotation_batches.setdefault(
+                    op.operands[0].id, []).append(op)
+            else:
+                total += self.op_cost(op)
+        for batch in rotation_batches.values():
+            limbs = self.limbs_of(batch[0].results[0])
+            total += self.model.hoisted_rotation_seconds(limbs, len(batch))
+        return total
 
 
 # ---------------------------------------------------------------------------
@@ -151,11 +181,48 @@ def level_span(module: Module) -> int:
     return max(levels) - min(levels) + 1
 
 
+def bootstrap_count(module: Module) -> int:
+    """Refresh ops in the module — the replanner's headline number."""
+    return sum(fn.op_count("ckks.bootstrap")
+               for fn in module.functions.values())
+
+
+def post_refresh_span(module: Module) -> int:
+    """Levels spanned below the highest refresh target.
+
+    ``level_span`` alone is dishonest about bootstrap wins: it measures
+    max-minus-min over *all* value levels, so a program entering at the
+    chain top reports the same span whether its refreshes re-raise to
+    the top or to a replanned minimal target.  When refreshes exist,
+    measure from the highest ``target_level`` down to the lowest level
+    reached — the depth the plan actually consumes after a refresh.
+    """
+    targets = [
+        op.attrs["target_level"]
+        for fn in module.functions.values()
+        for op in fn.body
+        if op.opcode == "ckks.bootstrap"
+        and op.attrs.get("target_level") is not None
+    ]
+    if not targets:
+        return level_span(module)
+    levels = [
+        v.meta["level"]
+        for fn in module.functions.values()
+        for v in fn.values()
+        if v.meta and "level" in v.meta
+    ]
+    low = min(levels) if levels else 0
+    return max(max(targets) - low + 1, 0)
+
+
 def _snapshot(module: Module) -> dict:
     return {
         "ops": sum(fn.op_count() for fn in module.functions.values()),
         "key_switches": key_switch_count(module),
         "level_span": level_span(module),
+        "bootstraps": bootstrap_count(module),
+        "post_refresh_span": post_refresh_span(module),
     }
 
 
@@ -214,7 +281,8 @@ def cse_function(fn: Function) -> int:
         key = (
             op.opcode,
             ids,
-            _attr_key({k: v for k, v in op.attrs.items() if k != "region"}),
+            _attr_key({k: v for k, v in op.attrs.items()
+                       if k not in _DIAGNOSTIC_ATTRS}),
         )
         if op.opcode.endswith(".constant"):
             key = (op.opcode, (), _attr_key(op.attrs.get("const_name")))
@@ -349,16 +417,20 @@ def _is_defer_candidate(value: Value, counts: dict[int, int]) -> bool:
             and _single_use_relin(producer.operands[0], counts) is not None)
 
 
-def _defer_pays(fn: Function, op: Op, counts: dict[int, int],
+def _defer_pays(uses_map: dict, op: Op, counts: dict[int, int],
                 table: OpCostTable) -> bool:
     """Sinking a relin below a plain-multiply costs one extra ciphertext
     part; it pays only when a downstream add can then merge two relins
     into one key switch.  Checks both the enabling structure and the
-    cost table's relin-vs-extra-part comparison."""
+    cost table's relin-vs-extra-part comparison.
+
+    ``uses_map`` is the caller's ``fn.uses()`` snapshot — rebuilding it
+    here per candidate is quadratic in the function size and dominated
+    ResNet-scale compiles."""
     limbs = table.limbs_of(op.results[0])
     if table.key_switch_cost(limbs) <= table.extra_part_cost(limbs):
         return False
-    for consumer in fn.uses().get(op.result, []):
+    for consumer in uses_map.get(op.result, []):
         if consumer.opcode not in ("ckks.add", "ckks.sub"):
             continue
         other = (consumer.operands[1] if consumer.operands[0] is op.result
@@ -403,9 +475,11 @@ def lazy_relinearize(fn: Function, table: OpCostTable) -> int:
     while budget > 0:
         budget -= 1
         counts = fn.use_counts()
+        uses_map = None  # built on first demand, fresh per iteration
         fired = False
         for idx, op in enumerate(fn.body):
             new_ops = None
+            dead_ops = None
             if op.opcode in ("ckks.rescale", "ckks.modswitch"):
                 # pattern R
                 relin = _single_use_relin(op.operands[0], counts)
@@ -429,10 +503,15 @@ def lazy_relinearize(fn: Function, table: OpCostTable) -> int:
                     Op("ckks.relin", [inner3], [red],
                        {"region": op.attrs.get("region")}),
                 ]
+                dead_ops = [op, relin]
             elif (op.opcode == "ckks.mul"
                     and isinstance(op.operands[1].type, PlainType)):
                 relin = _single_use_relin(op.operands[0], counts)
-                if relin is None or not _defer_pays(fn, op, counts, table):
+                if relin is None:
+                    continue
+                if uses_map is None:
+                    uses_map = fn.uses()
+                if not _defer_pays(uses_map, op, counts, table):
                     continue
                 u = relin.operands[0]
                 meta = op.result.meta
@@ -445,6 +524,7 @@ def lazy_relinearize(fn: Function, table: OpCostTable) -> int:
                     Op("ckks.relin", [mul3], [red],
                        {"region": op.attrs.get("region")}),
                 ]
+                dead_ops = [op, relin]
             elif op.opcode in ("ckks.add", "ckks.sub"):
                 a, b = op.operands
                 ra = _single_use_relin(a, counts)
@@ -462,6 +542,7 @@ def lazy_relinearize(fn: Function, table: OpCostTable) -> int:
                         Op("ckks.relin", [grouped], [red],
                            {"region": op.attrs.get("region")}),
                     ]
+                    dead_ops = [op, ra, rb]
                 elif op.opcode == "ckks.add" and (ra is None) != (rb is None):
                     # pattern C: reassociate through a single-use inner add
                     relin = ra if ra is not None else rb
@@ -494,15 +575,23 @@ def lazy_relinearize(fn: Function, table: OpCostTable) -> int:
                            {"region": op.attrs.get("region")}),
                         Op("ckks.add", [x, red], [out], dict(op.attrs)),
                     ]
+                    dead_ops = [op, relin, inner, inner_relin]
             if new_ops is None:
                 continue
             fn.body[idx:idx] = new_ops
             fn.replace_uses(op.result, new_ops[-1].results[0])
+            # Every pattern consumes ops it proved single-use against
+            # this iteration's counts, so the dead set is known exactly
+            # — erase it directly instead of a full dce() fixpoint per
+            # rewrite, which was quadratic on ResNet-scale functions.
+            dead_ids = {id(d) for d in dead_ops}
+            fn.body = [o for o in fn.body if id(o) not in dead_ids]
             rewrites += 1
             fired = True
             break
         if not fired:
             break
+    if rewrites:
         fn.dce()
     return rewrites
 
@@ -674,6 +763,10 @@ def optimize_module(module: Module, stage: str, opt_level: int,
             "key_switches_after": after["key_switches"],
             "level_span_before": before["level_span"],
             "level_span_after": after["level_span"],
+            "bootstraps_before": before["bootstraps"],
+            "bootstraps_after": after["bootstraps"],
+            "post_refresh_span_before": before["post_refresh_span"],
+            "post_refresh_span_after": after["post_refresh_span"],
         })
 
     if opt_level >= 1:
@@ -755,4 +848,7 @@ def summarize_opt_stats(rows: list[dict], opt_level: int) -> dict:
         last_stage = [r for r in rows if r["stage"] == rows[-1]["stage"]]
         summary["ops_before"] = last_stage[0]["ops_before"]
         summary["ops_after"] = last_stage[-1]["ops_after"]
+        summary["bootstraps"] = rows[-1].get("bootstraps_after", 0)
+        summary["post_refresh_span"] = rows[-1].get(
+            "post_refresh_span_after", 0)
     return summary

@@ -1,0 +1,329 @@
+"""Global level/bootstrap re-planning on optimized IR (repro.passes.levels).
+
+Unit tests drive the analyses over hand-built CKKS DAGs (where every
+rescale/bootstrap position is known exactly); the end-to-end tests
+compile a bootstrap-deep ResNet-lite at every opt level and check the
+replanner's contract: fewer/lower refreshes, bounded fixpoint, and
+bit-identical decrypted outputs on the noiseless simulator.
+"""
+
+import numpy as np
+import pytest
+
+from repro.compiler import ACECompiler, CompileOptions
+from repro.evalharness.costmodel import CostModel
+from repro.ir.core import Function, Op, Value
+from repro.ir.types import Cipher3Type, CipherType
+from repro.nn import model_to_onnx, resnet_mini
+from repro.onnx import load_model_bytes, model_to_bytes
+from repro.passes.levels import (
+    _global_relin_placement,
+    _skip_pays,
+    bootstrap_targets,
+    clone_function,
+    consumed_need,
+    plan_bootstraps,
+    replan_relins,
+    summarize_levels_stats,
+)
+from repro.passes.opt import OpCostTable
+from repro.polymath import kernels
+
+DELTA = 2.0 ** 56
+Q0 = 2.0 ** 60
+SLOTS = 8
+
+
+def _moduli(levels):
+    return [Q0] + [DELTA] * levels
+
+
+def _make_fn(level):
+    x = Value(CipherType(SLOTS), "x")
+    x.meta = {"scale": DELTA, "level": level}
+    fn = Function("main", [x])
+    return fn, x
+
+
+def _emit(fn, opcode, operands, attrs, scale, level, type_=None):
+    result = Value(type_ or CipherType(SLOTS), "")
+    result.meta = {"scale": scale, "level": level}
+    fn.append(Op(opcode, list(operands), [result], dict(attrs or {})))
+    return result
+
+
+def _unit(fn, v, region="ReLU"):
+    """One squaring unit: mul -> relin -> rescale, Δ -> Δ one level down."""
+    lvl = v.meta["level"]
+    prod = _emit(fn, "ckks.mul", [v, v], {"region": region},
+                 DELTA * DELTA, lvl, Cipher3Type(SLOTS))
+    red = _emit(fn, "ckks.relin", [prod], {"region": region},
+                DELTA * DELTA, lvl)
+    return _emit(fn, "ckks.rescale", [red], {"region": region},
+                 DELTA, lvl - 1)
+
+
+def _boot(fn, v, target, hint=0):
+    return _emit(fn, "ckks.bootstrap", [v],
+                 {"target_level": target, "region": "Bootstrap",
+                  "hint": hint},
+                 DELTA, target)
+
+
+def _table():
+    return OpCostTable(CostModel(poly_degree=2 * SLOTS))
+
+
+# ---------------------------------------------------------------------------
+# consumed_need: the backward ground-truth depth analysis
+# ---------------------------------------------------------------------------
+
+class TestConsumedNeed:
+    def test_rescales_count_one_level_each(self):
+        fn, x = _make_fn(6)
+        v = x
+        for _ in range(3):
+            v = _unit(fn, v)
+        fn.returns = [v]
+        assert consumed_need(fn, _moduli(6))[x.id] == 3
+
+    def test_capacity_floor_keeps_wide_scales_representable(self):
+        # a Δ²-scale value that is never rescaled consumes no levels,
+        # but 2^112 does not fit under q0 = 2^60 alone: the plan must
+        # keep it at level >= 1
+        fn, x = _make_fn(6)
+        prod = _emit(fn, "ckks.mul", [x, x], {}, DELTA * DELTA, 6,
+                     Cipher3Type(SLOTS))
+        red = _emit(fn, "ckks.relin", [prod], {}, DELTA * DELTA, 6)
+        fn.returns = [red]
+        assert consumed_need(fn).get(x.id, 0) == 0   # no moduli, no floor
+        assert consumed_need(fn, _moduli(6))[x.id] == 1
+
+    def test_bootstrap_resets_need(self):
+        fn, x = _make_fn(6)
+        v = _unit(fn, x)
+        refreshed = _boot(fn, v, target=6)
+        out = _unit(fn, refreshed)
+        fn.returns = [out]
+        need = consumed_need(fn, _moduli(6))
+        assert need[x.id] == 1          # only the pre-refresh unit
+        assert need[refreshed.id] == 1  # only the post-refresh unit
+
+    def test_modswitch_consumes_attr_levels(self):
+        fn, x = _make_fn(6)
+        v = _emit(fn, "ckks.modswitch", [x], {"levels": 2}, DELTA, 4)
+        fn.returns = [v]
+        assert consumed_need(fn, _moduli(6))[x.id] == 2
+
+
+# ---------------------------------------------------------------------------
+# plan_bootstraps: skip / retarget / keep decisions
+# ---------------------------------------------------------------------------
+
+class TestPlanBootstraps:
+    def test_retargets_overprovisioned_refresh(self):
+        # lowering guessed target 10; the optimized region only needs 4
+        fn, x = _make_fn(3)
+        v = _boot(fn, x, target=10)
+        for _ in range(4):
+            v = _unit(fn, v)
+        fn.returns = [v]
+        plan, rows = plan_bootstraps(fn, _table(), max_level=10,
+                                     moduli=_moduli(10))
+        assert plan == {0: {"target": 4}}
+        assert rows[0]["decision"] == "retarget"
+        assert rows[0]["need"] == 4
+
+    def test_skips_refresh_whose_budget_covers_region(self):
+        # entering at level 10 with a 2-unit region: the refresh is dead
+        # weight and the cost gate agrees (six small ops vs one refresh)
+        fn, x = _make_fn(10)
+        v = _boot(fn, x, target=8)
+        for _ in range(2):
+            v = _unit(fn, v)
+        fn.returns = [v]
+        plan, rows = plan_bootstraps(fn, _table(), max_level=10,
+                                     moduli=_moduli(10))
+        assert plan == {0: {"skip": True}}
+        assert rows[0]["decision"] == "skip"
+
+    def test_keeps_already_minimal_placement(self):
+        fn, x = _make_fn(1)
+        v = _boot(fn, x, target=4)
+        for _ in range(4):
+            v = _unit(fn, v)
+        fn.returns = [v]
+        plan, rows = plan_bootstraps(fn, _table(), max_level=10,
+                                     moduli=_moduli(10))
+        assert plan == {}
+        assert rows[0]["decision"] == "keep"
+
+    def test_skip_gate_refuses_rotation_heavy_region(self):
+        # keeping hundreds of rotations 18 levels deeper costs more than
+        # the refresh it would delete; an empty region always pays
+        table = OpCostTable(CostModel(poly_degree=2 ** 14))
+        fn, x = _make_fn(20)
+        _boot(fn, x, target=2)
+        boot_op = fn.body[0]
+        rotations = []
+        for _ in range(200):
+            r = Value(CipherType(SLOTS), "")
+            r.meta = {"scale": DELTA, "level": 2}
+            rotations.append(Op("ckks.rotate", [x], [r], {"steps": 1}))
+        assert not _skip_pays(table, boot_op, rotations, want=2, deeper=18)
+        assert _skip_pays(table, boot_op, [], want=2, deeper=18)
+
+
+# ---------------------------------------------------------------------------
+# whole-DAG relinearisation placement
+# ---------------------------------------------------------------------------
+
+class TestRelinPlacement:
+    def _add_tree_fn(self):
+        """Four distinct 3-part products folded by an add tree, each
+        eagerly relinearised the way a per-region lowering would."""
+        fn, x = _make_fn(6)
+        tips = []
+        for i in range(4):
+            rot = _emit(fn, "ckks.rotate", [x], {"steps": i + 1}, DELTA, 6)
+            prod = _emit(fn, "ckks.mul", [x, rot], {}, DELTA * DELTA, 6,
+                         Cipher3Type(SLOTS))
+            tips.append(_emit(fn, "ckks.relin", [prod], {},
+                              DELTA * DELTA, 6))
+        while len(tips) > 1:
+            tips = [
+                _emit(fn, "ckks.add", [tips[i], tips[i + 1]], {},
+                      DELTA * DELTA, 6)
+                for i in range(0, len(tips), 2)
+            ]
+        fn.returns = [tips[0]]
+        return fn
+
+    def test_merges_relins_across_add_tree(self):
+        fn = self._add_tree_fn()
+        assert fn.op_count("ckks.relin") == 4
+        inserted = _global_relin_placement(fn)
+        assert inserted == 1
+        assert fn.op_count("ckks.relin") == 1
+        assert isinstance(fn.returns[0].type, CipherType)
+        # adds were retyped to carry three parts up to the single relin
+        add_results = [op.results[0] for op in fn.body
+                       if op.opcode == "ckks.add"]
+        assert all(isinstance(r.type, Cipher3Type) for r in add_results)
+
+    def test_replan_relins_adopts_when_cheaper(self):
+        fn = self._add_tree_fn()
+        row = replan_relins(fn, _table())
+        assert row["adopted"]
+        assert row["relins_after"] == 1
+        assert row["cost_after"] < row["cost_before"]
+        assert fn.op_count("ckks.relin") == 1
+
+
+# ---------------------------------------------------------------------------
+# cloning and stats plumbing
+# ---------------------------------------------------------------------------
+
+def test_clone_function_is_deep():
+    fn, x = _make_fn(6)
+    v = _unit(fn, x)
+    fn.returns = [v]
+    copy = clone_function(fn)
+    copy.body[0].attrs["region"] = "Mutated"
+    copy.body[0].results[0].meta["level"] = 0
+    assert fn.body[0].attrs["region"] == "ReLU"
+    assert fn.body[0].results[0].meta["level"] == 6
+    assert all(a.id != b.id for a, b in zip(fn.params, copy.params))
+
+
+def test_summarize_levels_stats_disabled_and_deltas():
+    assert summarize_levels_stats(None) == {"enabled": False}
+    out = summarize_levels_stats({
+        "enabled": True, "rounds": [{}, {}],
+        "bootstraps_before": 4, "bootstraps_after": 3,
+        "cost_before": 10.0, "cost_after": 8.0,
+    })
+    assert out["rounds_run"] == 2
+    assert out["bootstraps_removed"] == 1
+    assert out["cost_reduction"] == pytest.approx(0.2)
+
+
+# ---------------------------------------------------------------------------
+# end-to-end: bootstrap-deep ResNet-lite through the whole pipeline
+# ---------------------------------------------------------------------------
+
+def _compile(opt_level):
+    model = resnet_mini(num_classes=4, in_channels=1, base_width=4,
+                        input_size=8, blocks=2, seed=1)
+    proto = load_model_bytes(model_to_bytes(model_to_onnx(model)))
+    program = ACECompiler(proto, CompileOptions(
+        sign_iterations=3, poly_mode="off", opt_level=opt_level,
+    )).compile()
+    return model, program
+
+
+@pytest.fixture(scope="module")
+def programs():
+    return {level: _compile(level) for level in (0, 1, 2)}
+
+
+class TestReplanEndToEnd:
+    def test_fixpoint_bounded_and_targets_lowered(self, programs):
+        _, p0 = programs[0]
+        _, p2 = programs[2]
+        stats = p2.stats["levels"]
+        assert stats["enabled"]
+        assert stats["rounds_run"] <= 3
+        assert stats["cost_after"] <= stats["cost_before"]
+        before, after = stats["targets_before"], stats["targets_after"]
+        assert len(after) <= len(before)
+        assert sum(after) < sum(before)  # at least one refresh retargeted
+        assert bootstrap_targets(p2.module.main()) == after
+        # the replanner only ever shrinks the refresh budget vs opt 0
+        assert max(p2.bootstrap_targets) <= max(p0.bootstrap_targets)
+
+    def test_replanner_off_below_opt2(self, programs):
+        for level in (0, 1):
+            _, program = programs[level]
+            assert program.stats["levels"] == {"enabled": False}
+
+    def test_outputs_bit_identical_across_opt_levels(self, programs):
+        rng = np.random.default_rng(0)
+        img = rng.normal(size=(1, 1, 8, 8)) * 0.5
+        outs = {}
+        for level, (model, program) in programs.items():
+            backend = program.make_sim_backend(inject_noise=False, seed=0)
+            outs[level] = program.run(backend, img)[0]
+        assert np.array_equal(outs[0], outs[1])
+        assert np.array_equal(outs[1], outs[2])
+        # and the plan is still semantically right (3-iteration sign
+        # approximation without calibration: ranking, not magnitudes)
+        ref = programs[2][0].forward(img).ravel()
+        assert outs[2].argmax() == ref.argmax()
+
+    def test_parallel_jobs_bit_identical(self, programs):
+        _, program = programs[2]
+        rng = np.random.default_rng(1)
+        img = rng.normal(size=(1, 1, 8, 8)) * 0.5
+        seq = program.run(
+            program.make_sim_backend(inject_noise=False, seed=0), img,
+            jobs=1)[0]
+        par = program.run(
+            program.make_sim_backend(inject_noise=False, seed=0), img,
+            jobs=4)[0]
+        assert np.array_equal(seq, par)
+
+    def test_env_jobs_and_kernel_selection(self, programs, monkeypatch):
+        # the replanned program under the environment the CI matrix
+        # exercises: REPRO_JOBS=4 plus the numba kernels when available
+        _, program = programs[2]
+        rng = np.random.default_rng(2)
+        img = rng.normal(size=(1, 1, 8, 8)) * 0.5
+        base = program.run(
+            program.make_sim_backend(inject_noise=False, seed=0), img)[0]
+        monkeypatch.setenv("REPRO_JOBS", "4")
+        if kernels.backend_available("numba"):
+            monkeypatch.setenv("REPRO_KERNEL", "numba")
+        out = program.run(
+            program.make_sim_backend(inject_noise=False, seed=0), img)[0]
+        assert np.array_equal(base, out)
