@@ -247,7 +247,17 @@ class SimBackend(HEBackend):
             a.slots_in_use,
         )
 
+    @staticmethod
+    def _align_plain(a, p):
+        # mirror the exact evaluator: a plaintext encoded above the
+        # ciphertext's level mod-switches down for free (level-aligned
+        # batches enter programs below the planned level)
+        if p.level > a.level:
+            return SimPlain(p.values, p.scale, a.level)
+        return p
+
     def add_plain(self, a, p):
+        p = self._align_plain(a, p)
         self._check_levels(a, p)
         self._check_scales(a, p)
         self._rec("add_plain", a.level)
@@ -265,6 +275,7 @@ class SimBackend(HEBackend):
         )
 
     def sub_plain(self, a, p):
+        p = self._align_plain(a, p)
         self._check_levels(a, p)
         self._check_scales(a, p)
         self._rec("sub_plain", a.level)
@@ -286,6 +297,7 @@ class SimBackend(HEBackend):
         ))
 
     def mul_plain(self, a, p):
+        p = self._align_plain(a, p)
         self._check_levels(a, p)
         self._guard_mul_capacity(a, p)
         self._rec("mul_plain", a.level)

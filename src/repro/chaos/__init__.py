@@ -39,8 +39,16 @@ Activation:
   (``probability`` [``@max_count``] [``~value``]);
 * CLI — ``repro serve --chaos-seed N`` / ``--chaos-spec SPEC``.
 
-If ``REPRO_CHAOS_LOG`` names a file, the replay log is written there at
-interpreter exit (the CI chaos job uploads it as an artifact).
+If ``REPRO_CHAOS_LOG`` names a file, the replay log is written there
+*incrementally* — the plan header when the injector installs, each event
+as it fires — and rewritten once at interpreter exit (the CI chaos job
+uploads it as an artifact).  The incremental flush means a process
+killed mid-run (a chaos soak's whole point) still leaves a replayable
+log on disk.
+
+:mod:`repro.chaos.soak` builds on this: a long-running seeded
+overload+fault scenario against an in-process serving stack, with a
+containment report (``repro soak``).
 """
 
 from __future__ import annotations
@@ -283,7 +291,9 @@ class ChaosInjector:
             if state.rng.random() >= spec.probability:
                 return None
             state.fired += 1
-            self._events.append(ChaosEvent(site, state.fired, detail))
+            event = ChaosEvent(site, state.fired, detail)
+            self._events.append(event)
+            _append_log(event)
             return spec
 
     def value(self, site: str, spec: SiteSpec) -> float:
@@ -306,12 +316,63 @@ class ChaosInjector:
 _INJECTOR: ChaosInjector | None = None
 _install_lock = threading.Lock()
 
+#: incremental replay-log destination (REPRO_CHAOS_LOG / set_log_path)
+_LOG_PATH: str | None = None
+
+
+def set_log_path(path: str | None) -> None:
+    """Point the incremental replay log at ``path`` (None disables).
+
+    Events already fired by an installed injector are written out
+    immediately, then every subsequent firing is appended and flushed as
+    it happens — a process killed mid-soak still leaves a replayable log.
+    """
+    global _LOG_PATH
+    _LOG_PATH = path
+    inj = _INJECTOR
+    if path and inj is not None:
+        _start_log(inj)
+
+
+def _start_log(inj: ChaosInjector) -> None:
+    """(Re)write the log header + any already-fired events. Best-effort:
+    replay logging must never take the workload down with it."""
+    if _LOG_PATH is None:
+        return
+    try:
+        with open(_LOG_PATH, "w") as fh:
+            fh.write(json.dumps({"plan": inj.plan.to_spec()}) + "\n")
+            for event in inj.events():
+                fh.write(json.dumps({
+                    "site": event.site,
+                    "index": event.index,
+                    "detail": event.detail,
+                }) + "\n")
+    except OSError:
+        pass
+
+
+def _append_log(event: ChaosEvent) -> None:
+    if _LOG_PATH is None:
+        return
+    try:
+        with open(_LOG_PATH, "a") as fh:
+            fh.write(json.dumps({
+                "site": event.site,
+                "index": event.index,
+                "detail": event.detail,
+            }) + "\n")
+    except OSError:
+        pass
+
 
 def install(plan: ChaosPlan) -> ChaosInjector:
     """Install ``plan`` process-wide; returns the fresh injector."""
     global _INJECTOR
     with _install_lock:
         _INJECTOR = ChaosInjector(plan)
+        if _LOG_PATH:
+            _start_log(_INJECTOR)
         return _INJECTOR
 
 
@@ -473,4 +534,6 @@ if _env_spec:
 
 _env_log = os.environ.get("REPRO_CHAOS_LOG", "").strip()
 if _env_log:
+    # incremental flush while running + an idempotent rewrite at exit
+    set_log_path(_env_log)
     atexit.register(dump_log, _env_log)

@@ -220,12 +220,30 @@ class CkksEvaluator:
     def negate(self, a: Ciphertext) -> Ciphertext:
         return Ciphertext([-p for p in a.parts], a.scale, a.slots_in_use)
 
+    def _align_plain(self, a: Ciphertext, plain: Plaintext) -> Plaintext:
+        """Mod-switch ``plain`` down to ``a``'s basis when it sits higher.
+
+        Dropping a plaintext's trailing RNS limbs is exact (no noise, no
+        scale change), so a program whose inputs entered below the
+        planned level — e.g. a level-aligned batch
+        (:func:`repro.serve.batcher.align_to_common_level`) — can still
+        consume constants encoded at the planned level.  A plaintext
+        *below* the ciphertext stays an error: limbs cannot be invented.
+        """
+        extra = len(plain.poly.basis) - len(a.basis)
+        if extra <= 0:
+            return plain
+        return Plaintext(poly=plain.poly.drop_last(extra),
+                         scale=plain.scale)
+
     def add_plain(self, a: Ciphertext, plain: Plaintext) -> Ciphertext:
+        plain = self._align_plain(a, plain)
         self._check_binary(a, plain)
         parts = [a.parts[0] + plain.poly] + [p.copy() for p in a.parts[1:]]
         return Ciphertext(parts, a.scale, a.slots_in_use)
 
     def sub_plain(self, a: Ciphertext, plain: Plaintext) -> Ciphertext:
+        plain = self._align_plain(a, plain)
         self._check_binary(a, plain)
         parts = [a.parts[0] - plain.poly] + [p.copy() for p in a.parts[1:]]
         return Ciphertext(parts, a.scale, a.slots_in_use)
@@ -251,6 +269,7 @@ class CkksEvaluator:
         )
 
     def multiply_plain(self, a: Ciphertext, plain: Plaintext) -> Ciphertext:
+        plain = self._align_plain(a, plain)
         if a.basis.moduli != plain.poly.basis.moduli:
             raise LevelMismatchError(
                 "plaintext encoded at wrong level; re-encode or modswitch"

@@ -17,6 +17,9 @@ Commands:
   (``repro.serve.router``).
 * ``client`` — connect to a running server, encrypt inputs locally, and
   run the Figure-2 protocol over the wire.
+* ``soak`` — seeded long-running overload + fault-injection scenario
+  against an in-process server; prints a containment report and exits
+  nonzero if any client saw a non-transient error (``repro.chaos.soak``).
 """
 
 from __future__ import annotations
@@ -228,6 +231,28 @@ def _add_kernel_option(parser: argparse.ArgumentParser) -> None:
                              "with a warning")
 
 
+def _add_overload_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--shed-policy", default="aimd",
+                        choices=("off", "aimd"),
+                        help="overload admission control: 'aimd' sheds "
+                             "excess load with a typed transient error "
+                             "when the latency/deadline signal degrades "
+                             "(default), 'off' admits everything the "
+                             "queue can hold")
+    parser.add_argument("--shed-target-p95-s", type=float, default=None,
+                        help="latency target for the AIMD signal; a "
+                             "windowed p95 above it backs admission off "
+                             "even without deadline misses")
+    parser.add_argument("--repack", action="store_true",
+                        help="on a poisoned batch, re-pack the healthy "
+                             "B-1 requests into one batch instead of "
+                             "bisecting to singletons")
+    parser.add_argument("--align-levels", action="store_true",
+                        help="mod-switch same-scale requests at "
+                             "different levels to a common level so "
+                             "they can share one batch ciphertext")
+
+
 def _run(args) -> int:
     from repro.compiler import ACECompiler
     from repro.onnx import load_model
@@ -276,6 +301,8 @@ def _serve(args) -> int:
             max_wait_s=args.max_wait_ms / 1000.0,
             request_timeout_s=args.timeout_s,
             exec_jobs=args.jobs,
+            shed_policy=args.shed_policy,
+            shed_target_p95_s=args.shed_target_p95_s,
         )
         print(f"shard ready on {server.host}:{server.port} "
               "(models arrive via register_model)")
@@ -288,6 +315,7 @@ def _serve(args) -> int:
         entry = registry.register(
             model_id, str(args.model), params=_serve_params(args),
             max_batch=args.batch_size, seed=args.seed,
+            repack=args.repack, align_levels=args.align_levels,
         )
         server = InferenceServer(
             registry, host=args.host, port=args.port,
@@ -295,6 +323,8 @@ def _serve(args) -> int:
             max_wait_s=args.max_wait_ms / 1000.0,
             request_timeout_s=args.timeout_s,
             exec_jobs=args.jobs,
+            shed_policy=args.shed_policy,
+            shed_target_p95_s=args.shed_target_p95_s,
         )
         print(f"serving model {model_id!r} on {server.host}:{server.port} "
               f"(fingerprint {entry.fingerprint}, "
@@ -325,6 +355,7 @@ def _router(args) -> int:
         shard_jobs=args.jobs,
         shard_mem_budget=args.mem_budget,
         shard_kernel=args.kernel,
+        shard_shed_policy=args.shed_policy,
     )
     try:
         for index, path in enumerate(args.models):
@@ -332,6 +363,7 @@ def _router(args) -> int:
             spec = router.add_model(
                 model_id, path, params=_serve_params(args),
                 max_batch=args.batch_size, seed=args.seed + index,
+                repack=args.repack, align_levels=args.align_levels,
             )
             shard = router.placement.shard_of(model_id)
             print(f"model {model_id!r}: {spec.key_bytes} key bytes "
@@ -373,6 +405,27 @@ def _report(args) -> int:
     models = tuple(m.strip() for m in args.models.split(",") if m.strip())
     generate_report(args.output, models, args.scale, args.images)
     return 0
+
+
+def _soak(args) -> int:
+    from repro.chaos import soak
+
+    _install_kernel(args)
+    config = soak.SoakConfig(
+        seed=args.seed,
+        duration_s=args.duration_s,
+        overload=args.overload,
+        workers=args.workers,
+        chaos_spec=args.chaos_spec,
+        shed_policy=args.shed_policy,
+        repack=not args.no_repack,
+    )
+    report = soak.run_soak(config)
+    print(soak.render(report))
+    if args.out:
+        Path(args.out).write_text(json.dumps(report, indent=2))
+        print(f"report written to {args.out}")
+    return 1 if report["non_transient_errors"] > 0 else 0
 
 
 def main(argv=None) -> int:
@@ -434,6 +487,7 @@ def main(argv=None) -> int:
                               "or 1)")
     p_serve.add_argument("--port-file", default=None,
                          help="write the bound port here once listening")
+    _add_overload_options(p_serve)
     _add_kernel_option(p_serve)
     _add_chaos_options(p_serve)
     p_serve.set_defaults(fn=_serve)
@@ -472,6 +526,7 @@ def main(argv=None) -> int:
     p_router.add_argument("--levels", type=int, default=4)
     p_router.add_argument("--port-file", default=None,
                           help="write the bound port here once listening")
+    _add_overload_options(p_router)
     _add_kernel_option(p_router)
     _add_chaos_options(p_router)
     p_router.set_defaults(fn=_router)
@@ -486,6 +541,30 @@ def main(argv=None) -> int:
     p_client.add_argument("--seed", type=int, default=0)
     p_client.add_argument("--show-metrics", action="store_true")
     p_client.set_defaults(fn=_client)
+
+    p_soak = sub.add_parser(
+        "soak",
+        help="seeded overload + fault-injection soak with a containment "
+             "report (repro.chaos.soak)")
+    p_soak.add_argument("--seed", type=int, default=42)
+    p_soak.add_argument("--duration-s", type=float, default=8.0,
+                        help="open-loop overload phase length "
+                             "(calibration runs on top)")
+    p_soak.add_argument("--overload", type=float, default=3.0,
+                        help="offered load as a multiple of calibrated "
+                             "capacity")
+    p_soak.add_argument("--workers", type=int, default=2)
+    p_soak.add_argument("--chaos-spec", default=None,
+                        help="override the built-in soak fault plan")
+    p_soak.add_argument("--shed-policy", default="aimd",
+                        choices=("off", "aimd"))
+    p_soak.add_argument("--no-repack", action="store_true",
+                        help="contain poisoned batches by bisection "
+                             "instead of partial-batch re-packing")
+    p_soak.add_argument("--out", default=None,
+                        help="also write the JSON report here")
+    _add_kernel_option(p_soak)
+    p_soak.set_defaults(fn=_soak)
 
     p_report = sub.add_parser("report", help="regenerate paper artifacts")
     p_report.add_argument("-o", "--output", default="results")

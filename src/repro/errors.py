@@ -205,3 +205,16 @@ class CircuitOpenError(ServeError):
     """
 
     transient = True
+
+
+class OverloadShedError(ServeError):
+    """The admission controller shed this request under overload.
+
+    Raised by the AIMD token-bucket admission layer when the model's
+    recent p95 latency / deadline-miss signal says accepting more work
+    would only convert goodput into timeouts.  Transient by definition:
+    the controller additively recovers as soon as latency drops, so a
+    client that backs off and retries is admitted again.
+    """
+
+    transient = True

@@ -56,6 +56,13 @@ def generate_report(out_dir: str | Path, models=EVAL_MODELS,
         table11.accuracy_rows(models, scale, num_images=num_images)))
     emit("opt_sweep", opt_sweep.render(
         opt_sweep.sweep_rows(models, scale)))
+    if scale == "ci":
+        # short seeded soak: overload + fault injection against the
+        # serving stack, reported as a containment artifact
+        from repro.chaos import soak as chaos_soak
+
+        emit("soak", chaos_soak.render(chaos_soak.run_soak(
+            chaos_soak.SoakConfig(duration_s=3.0))))
     if echo:
         print(f"\nreport complete in {time.perf_counter() - started:.0f}s; "
               f"artifacts in {out_dir}/")

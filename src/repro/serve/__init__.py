@@ -12,9 +12,12 @@ serving subsystem:
   unused CKKS slot blocks of one ciphertext (one program execution
   serves the whole batch);
 * :mod:`repro.serve.worker` — bounded-queue thread pool with deadlines,
-  backpressure, batch-failure bisection, per-model circuit breakers and
-  graceful shutdown;
-* :mod:`repro.serve.breaker` — the three-state circuit breaker;
+  backpressure, deadline-aware batching, batch-failure containment
+  (partial-batch re-packing or singleton bisection), per-model circuit
+  breakers, AIMD load shedding and graceful shutdown;
+* :mod:`repro.serve.breaker` — the three-state circuit breaker (failure
+  guard) and the AIMD token-bucket admission controller (overload
+  guard);
 * :mod:`repro.serve.retry` — client-side capped exponential backoff;
 * :mod:`repro.serve.metrics` — request/batch/latency/byte accounting;
 * :mod:`repro.serve.server` — length-prefixed socket protocol plus the
@@ -49,12 +52,18 @@ Quick in-process use::
 from repro.serve.batcher import (
     BatchResult,
     PendingRequest,
+    align_to_common_level,
     can_join,
     combine_requests,
     execute_batch,
 )
-from repro.serve.breaker import CircuitBreaker
-from repro.serve.metrics import Histogram, Metrics
+from repro.serve.breaker import AdmissionController, CircuitBreaker
+from repro.serve.metrics import (
+    Histogram,
+    Metrics,
+    SlidingWindow,
+    aggregate_counters,
+)
 from repro.serve.placement import KeyMemoryPlacement, Placement
 from repro.serve.retry import RetryPolicy, is_transient
 from repro.serve.router import ModelSpec, RouterServer, ShardHandle
@@ -73,6 +82,7 @@ from repro.serve.session import Session, SessionManager
 from repro.serve.worker import InferenceWorker, ServeResponse
 
 __all__ = [
+    "AdmissionController",
     "BatchResult",
     "CircuitBreaker",
     "Histogram",
@@ -94,6 +104,9 @@ __all__ = [
     "SessionManager",
     "ShardHandle",
     "ShardServer",
+    "SlidingWindow",
+    "aggregate_counters",
+    "align_to_common_level",
     "can_join",
     "combine_requests",
     "default_serve_params",

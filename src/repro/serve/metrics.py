@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import bisect
 import threading
+import time
 
 
 class Histogram:
@@ -60,6 +61,80 @@ class Histogram:
             "p50": self.percentile(50),
             "p95": self.percentile(95),
         }
+
+
+class SlidingWindow:
+    """Time-windowed observations with percentile / rate queries.
+
+    Unlike :class:`Histogram` (which rings over *insertion order*), this
+    window forgets by *age*: only observations younger than ``window_s``
+    count.  That is the signal shape the admission controller needs — a
+    latency spike five minutes ago must not keep shedding load now.  The
+    clock is injectable so controller tests advance time without
+    sleeping.  Not thread-safe on its own; callers hold their own lock.
+    """
+
+    def __init__(self, window_s: float = 5.0, max_samples: int = 2048,
+                 clock=None):
+        self.window_s = window_s
+        self.max_samples = max_samples
+        self._clock = clock or time.monotonic
+        self._samples: list[tuple[float, float]] = []  # (when, value)
+
+    def _trim(self, now: float) -> None:
+        horizon = now - self.window_s
+        drop = 0
+        for when, _ in self._samples:
+            if when >= horizon:
+                break
+            drop += 1
+        if drop:
+            del self._samples[:drop]
+        if len(self._samples) > self.max_samples:
+            del self._samples[:len(self._samples) - self.max_samples]
+
+    def observe(self, value: float, now: float | None = None) -> None:
+        now = self._clock() if now is None else now
+        self._samples.append((now, float(value)))
+        self._trim(now)
+
+    def count(self, now: float | None = None) -> int:
+        self._trim(self._clock() if now is None else now)
+        return len(self._samples)
+
+    def rate(self, now: float | None = None) -> float:
+        """Observations per second over the window."""
+        now = self._clock() if now is None else now
+        self._trim(now)
+        return len(self._samples) / self.window_s if self.window_s else 0.0
+
+    def percentile(self, q: float, now: float | None = None) -> float:
+        self._trim(self._clock() if now is None else now)
+        if not self._samples:
+            return 0.0
+        values = sorted(v for _, v in self._samples)
+        rank = min(len(values) - 1,
+                   max(0, round(q / 100.0 * (len(values) - 1))))
+        return values[rank]
+
+
+def aggregate_counters(snapshots: list[dict],
+                       names: tuple[str, ...]) -> dict[str, float]:
+    """Sum selected counters/gauges across metrics ``snapshot()`` dicts.
+
+    The scale-out router uses this to fold its shards' overload metrics
+    (shed totals, goodput, repacks, deadline misses) into one aggregated
+    reply; missing names count as zero so a freshly spawned shard does
+    not poison the sum.
+    """
+    totals = {name: 0.0 for name in names}
+    for snap in snapshots:
+        counters = snap.get("counters", {})
+        gauges = snap.get("gauges", {})
+        for name in names:
+            totals[name] += float(counters.get(name,
+                                               gauges.get(name, 0.0)))
+    return totals
 
 
 class Metrics:

@@ -67,7 +67,7 @@ from repro.errors import (
     UnknownModelError,
     UnknownSessionError,
 )
-from repro.serve.metrics import Metrics
+from repro.serve.metrics import Metrics, aggregate_counters
 from repro.serve.placement import KeyMemoryPlacement
 from repro.serve.registry import ModelRegistry, default_serve_params
 from repro.serve.retry import RetryPolicy
@@ -79,6 +79,29 @@ from repro.serve.server import (
 from repro.serve.worker import ServeResponse
 
 _router_session_counter = itertools.count(1)
+
+#: overload counters summed across shards in the router's ``metrics`` op
+OVERLOAD_METRICS = (
+    "serve_shed_total",
+    "serve_goodput_rps",
+    "serve_batch_repacks",
+    "serve_deadline_miss_total",
+)
+
+
+def remaining_timeout_s(deadline: float, now: float | None = None,
+                        floor: float = 0.05) -> float:
+    """Time left until ``deadline`` (monotonic), floored.
+
+    The router forwards *this* — never the client's original
+    ``timeout_s`` — on every shard attempt, so a request that already
+    burned half its deadline on a dead-shard recovery cannot occupy the
+    recovered shard for its full original budget.  The floor keeps a
+    nearly-expired forward from degenerating into an instant shard-side
+    timeout (the router's own deadline loop is the real cutoff).
+    """
+    now = time.monotonic() if now is None else now
+    return max(floor, deadline - now)
 
 
 # -- model specs -----------------------------------------------------------
@@ -107,6 +130,9 @@ class ModelSpec:
     key_bytes: int
     fingerprint: str
     describe: dict
+    #: worker containment knobs forwarded to the owning shard
+    repack: bool = False
+    align_levels: bool = False
 
 
 @dataclass
@@ -205,7 +231,8 @@ class ShardHandle:
                  workers: int = 2, exec_jobs: int | None = None,
                  spawn_timeout_s: float = 30.0,
                  mem_budget: int | None = None,
-                 kernel: str | None = None):
+                 kernel: str | None = None,
+                 shed_policy: str | None = None):
         self.index = index
         self.host = host
         self.pool_size = pool_size
@@ -215,6 +242,7 @@ class ShardHandle:
         self.spawn_timeout_s = spawn_timeout_s
         self.mem_budget = mem_budget
         self.kernel = kernel
+        self.shed_policy = shed_policy
         #: backend the shard reported at registration (its own resolution
         #: of the requested kernel, e.g. ``auto`` -> ``numpy``)
         self.kernel_backend: str | None = None
@@ -262,6 +290,8 @@ class ShardHandle:
             cmd += ["--jobs", str(self.exec_jobs)]
         if self.kernel is not None:
             cmd += ["--kernel", self.kernel]
+        if self.shed_policy is not None:
+            cmd += ["--shed-policy", self.shed_policy]
         self.proc = subprocess.Popen(
             cmd, env=self._child_env(),
             stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
@@ -394,6 +424,7 @@ class RouterServer:
         shard_mem_budget: int | None = None,
         spawn_timeout_s: float = 30.0,
         shard_kernel: str | None = None,
+        shard_shed_policy: str | None = None,
     ):
         self.metrics = metrics or Metrics()
         self.placement = KeyMemoryPlacement(num_shards, key_budget)
@@ -409,7 +440,8 @@ class RouterServer:
                         exec_jobs=shard_jobs,
                         spawn_timeout_s=spawn_timeout_s,
                         mem_budget=shard_mem_budget,
-                        kernel=shard_kernel)
+                        kernel=shard_kernel,
+                        shed_policy=shard_shed_policy)
             for index in range(num_shards)
         ]
         for shard in self.shards:
@@ -428,6 +460,7 @@ class RouterServer:
 
     def add_model(self, model_id: str, model, params=None,
                   max_batch: int = 4, seed: int = 0,
+                  repack: bool = False, align_levels: bool = False,
                   eager: bool = True) -> ModelSpec:
         """Compile ``model`` once, build its key blob, and (optionally)
         place + register it on a shard right away.
@@ -459,6 +492,8 @@ class RouterServer:
             key_bytes=entry.key_bytes,
             fingerprint=entry.fingerprint,
             describe=entry.describe(),
+            repack=repack,
+            align_levels=align_levels,
         )
         scratch.unregister(model_id)  # drop the backend + its key memory
         with self._specs_lock:
@@ -512,6 +547,8 @@ class RouterServer:
             "params": spec.params_describe,
             "secret_hamming_weight": spec.secret_hamming_weight,
             "max_batch": spec.max_batch,
+            "repack": spec.repack,
+            "align_levels": spec.align_levels,
             "model_bytes": len(spec.model_bytes),
         }
         reply, _ = shard.rpc(header, spec.model_bytes + spec.key_blob)
@@ -700,6 +737,7 @@ class RouterServer:
             with self._specs_lock:
                 return {"ok": True, "models": sorted(self._specs)}, b""
         if op == "metrics":
+            shard_snaps = self._shard_metric_snapshots()
             return {
                 "ok": True,
                 "snapshot": self.metrics.snapshot(),
@@ -710,6 +748,9 @@ class RouterServer:
                 "shard_kernels": {
                     str(s.index): s.kernel_backend for s in self.shards
                 },
+                "shards": shard_snaps,
+                "aggregated": aggregate_counters(
+                    list(shard_snaps.values()), OVERLOAD_METRICS),
             }, b""
         if op == "open_session":
             return self._handle_open(header)
@@ -838,9 +879,14 @@ class RouterServer:
                 # the injected fault: the shard process dies right as
                 # this request reaches it
                 shard.kill_process()
-            forward = {"op": "infer", "session_id": session.shard_session}
-            if header.get("timeout_s") is not None:
-                forward["timeout_s"] = header["timeout_s"]
+            # forward the *remaining* deadline, not the client's original
+            # timeout: a retry after a recovery round must not grant the
+            # shard the full budget the client no longer has
+            forward = {
+                "op": "infer",
+                "session_id": session.shard_session,
+                "timeout_s": remaining_timeout_s(deadline),
+            }
             try:
                 reply, payload = shard.rpc(forward, body)
             except (ReproError, OSError) as exc:
@@ -871,6 +917,22 @@ class RouterServer:
             f"shard for model {session.model_id!r} unavailable after "
             f"{attempt} recovery attempts over "
             f"{min(deadline_s, self.request_timeout_s):.0f}s: {last_exc}")
+
+    def _shard_metric_snapshots(self) -> dict:
+        """Best-effort per-shard metrics snapshots for the metrics op.
+
+        A dead or mid-respawn shard simply contributes nothing; the
+        aggregation must never fail a metrics request.
+        """
+        snaps: dict[str, dict] = {}
+        for shard in self.shards:
+            try:
+                reply, _ = shard.rpc({"op": "metrics"})
+            except (ReproError, OSError):
+                continue
+            if reply.get("ok"):
+                snaps[str(shard.index)] = reply.get("snapshot", {})
+        return snaps
 
     def _recover_placement(self, session: RouterSession) -> None:
         """A shard could not be bound: respawn its process if it died.

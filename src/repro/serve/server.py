@@ -122,6 +122,10 @@ class InferenceServer:
         exec_watchdog_s: float | None = None,
         breaker_failures: int = 5,
         breaker_reset_s: float = 30.0,
+        shed_policy: str = "off",
+        shed_max_rate: float = 256.0,
+        shed_floor_rate: float = 2.0,
+        shed_target_p95_s: float | None = None,
         max_message_bytes: int = DEFAULT_MAX_MESSAGE_BYTES,
         recv_timeout_s: float | None = None,
     ):
@@ -148,6 +152,10 @@ class InferenceServer:
             exec_watchdog_s=exec_watchdog_s,
             breaker_failures=breaker_failures,
             breaker_reset_s=breaker_reset_s,
+            shed_policy=shed_policy,
+            shed_max_rate=shed_max_rate,
+            shed_floor_rate=shed_floor_rate,
+            shed_target_p95_s=shed_target_p95_s,
         )
         self._sock = socket.create_server((host, port))
         self.host, self.port = self._sock.getsockname()[:2]

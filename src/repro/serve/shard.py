@@ -61,6 +61,8 @@ class ShardServer(InferenceServer):
             key_bytes = {}
             for model_id in self.registry.ids():
                 key_bytes[model_id] = self.registry.get(model_id).key_bytes
+            snap = self.metrics.snapshot()
+            counters, gauges = snap["counters"], snap["gauges"]
             return {
                 "ok": True,
                 "pid": os.getpid(),
@@ -68,6 +70,13 @@ class ShardServer(InferenceServer):
                 "key_bytes": key_bytes,
                 "sessions": self.sessions.count(),
                 "kernel_backend": kernels.active_name(),
+                "overload": {
+                    "shed_total": counters.get("serve_shed_total", 0),
+                    "goodput_rps": gauges.get("serve_goodput_rps", 0.0),
+                    "batch_repacks": counters.get("serve_batch_repacks", 0),
+                    "deadline_miss_total": counters.get(
+                        "serve_deadline_miss_total", 0),
+                },
             }, b""
         return super()._dispatch(header, body)
 
@@ -105,6 +114,8 @@ class ShardServer(InferenceServer):
             model_bytes,
             params=params,
             max_batch=int(header.get("max_batch", 4)),
+            repack=bool(header.get("repack", False)),
+            align_levels=bool(header.get("align_levels", False)),
             eval_keys=bytes(key_blob),
         )
         return {

@@ -7,17 +7,31 @@ bounded request queue:
 
 * ``submit`` applies **backpressure** — a full queue raises a typed
   :class:`repro.errors.QueueFullError` instead of buffering unboundedly;
+* with ``shed_policy="aimd"`` every model is also fronted by an AIMD
+  **admission controller** (:class:`repro.serve.breaker
+  .AdmissionController`): under a degraded p95/deadline-miss signal the
+  admitted rate backs off multiplicatively and requests beyond it are
+  shed early with :class:`repro.errors.OverloadShedError`
+  (``serve_shed_total`` / ``serve_shed_total_<model>`` counters) — the
+  queue sheds the work it cannot finish in time instead of timing it
+  out after the fact;
 * each worker thread pops a request, then *lingers* up to ``max_wait_s``
   collecting compatible requests (:func:`repro.serve.batcher.can_join`)
-  into one slot-batched execution;
+  into one slot-batched execution; the linger is **deadline-aware** —
+  it is capped so the tightest member's remaining deadline still covers
+  an (EWMA-estimated) execution, so batching never converts an
+  admissible request into a timeout;
 * requests carry a **deadline**; a request that expires in the queue is
-  completed with a structured timeout failure, never executed;
+  completed with a structured timeout failure, never executed
+  (``serve_deadline_miss_total``); successes inside their deadline feed
+  the ``serve_goodput_rps`` gauge;
 * execution errors complete the affected requests with structured
   failures — a poisoned request cannot crash the server;
-* a failed *batched* execution is **bisected**: every member is retried
-  as a singleton, so one poisoned request fails alone while its
-  batchmates still return results bit-identical to an unbatched run
-  (``serve_batch_bisections`` metric);
+* a failed *batched* execution is contained: with ``entry.repack`` and
+  an attributable culprit, the culprit fails alone and the healthy B-1
+  re-execute as **one** batch (``serve_batch_repacks``); otherwise the
+  batch is **bisected** into singletons, keeping every healthy result
+  bit-identical to an unbatched run (``serve_batch_bisections``);
 * every model is guarded by a per-model **circuit breaker**
   (:mod:`repro.serve.breaker`): after N consecutive execution failures
   new requests are rejected cheaply with
@@ -40,6 +54,7 @@ from dataclasses import dataclass
 from repro import chaos
 from repro.errors import (
     CircuitOpenError,
+    OverloadShedError,
     QueueFullError,
     ReproError,
     RequestTimeoutError,
@@ -51,8 +66,14 @@ from repro.serve.batcher import (
     can_join,
     execute_batch,
 )
-from repro.serve.breaker import HALF_OPEN, OPEN, STATE_CODES, CircuitBreaker
-from repro.serve.metrics import Metrics
+from repro.serve.breaker import (
+    HALF_OPEN,
+    OPEN,
+    STATE_CODES,
+    AdmissionController,
+    CircuitBreaker,
+)
+from repro.serve.metrics import Metrics, SlidingWindow
 from repro.serve.registry import ModelEntry
 
 _SENTINEL = object()
@@ -102,17 +123,43 @@ class InferenceWorker:
         exec_watchdog_s: float | None = None,
         breaker_failures: int = 5,
         breaker_reset_s: float = 30.0,
+        shed_policy: str = "off",
+        shed_max_rate: float = 256.0,
+        shed_floor_rate: float = 2.0,
+        shed_increase: float = 8.0,
+        shed_decrease: float = 0.5,
+        shed_window_s: float = 5.0,
+        shed_target_p95_s: float | None = None,
     ):
         if num_threads < 1:
             raise ReproError("need at least one worker thread")
+        if shed_policy not in ("off", "aimd"):
+            raise ReproError(
+                f"unknown shed_policy {shed_policy!r} (off|aimd)")
         self.metrics = metrics or Metrics()
         self.max_wait_s = max_wait_s
         self.request_timeout_s = request_timeout_s
         self.exec_watchdog_s = exec_watchdog_s
         self.breaker_failures = breaker_failures
         self.breaker_reset_s = breaker_reset_s
+        self.shed_policy = shed_policy
+        self.shed_max_rate = shed_max_rate
+        self.shed_floor_rate = shed_floor_rate
+        self.shed_increase = shed_increase
+        self.shed_decrease = shed_decrease
+        self.shed_window_s = shed_window_s
+        self.shed_target_p95_s = shed_target_p95_s
         self._breakers: dict[str, CircuitBreaker] = {}
         self._breakers_lock = threading.Lock()
+        self._controllers: dict[str, AdmissionController] = {}
+        self._controllers_lock = threading.Lock()
+        # per-model EWMA of batch execution seconds; sizes the
+        # deadline-aware linger cap in _collect_batch
+        self._exec_ewma: dict[str, float] = {}
+        self._ewma_lock = threading.Lock()
+        # successes that beat their deadline, for serve_goodput_rps
+        self._goodput = SlidingWindow(window_s=shed_window_s)
+        self._goodput_lock = threading.Lock()
         # Op-level parallelism inside one batch execution.  All worker
         # threads draw executor threads from ONE shared budget, so the
         # total (serve threads x executor threads) stays bounded by
@@ -146,11 +193,24 @@ class InferenceWorker:
         """Enqueue one request; returns a Future of :class:`ServeResponse`.
 
         Raises :class:`ServerShutdownError` after :meth:`close`,
-        :class:`QueueFullError` when the bounded queue is full, and
-        :class:`CircuitOpenError` while the model's breaker is open.
+        :class:`QueueFullError` when the bounded queue is full,
+        :class:`CircuitOpenError` while the model's breaker is open, and
+        :class:`OverloadShedError` when the admission controller's AIMD
+        rate has no token for this request.
         """
         if self._stopping:
             raise ServerShutdownError("server is shutting down")
+        controller = self.controller(entry)
+        if controller is not None and not controller.try_acquire():
+            # shed before touching the breaker: a half-open probe slot
+            # must not be spent on a request we refuse anyway
+            self.metrics.inc("serve_requests_rejected_total")
+            self.metrics.inc("serve_shed_total")
+            self.metrics.inc(f"serve_shed_total_{entry.model_id}")
+            raise OverloadShedError(
+                f"overload: admission rate for model {entry.model_id!r} "
+                f"is {controller.rate:.1f} req/s and the bucket is empty"
+            )
         breaker = self.breaker(entry)
         probing = breaker.state == HALF_OPEN
         if not breaker.allow():
@@ -176,6 +236,11 @@ class InferenceWorker:
                 # the half-open probe never reached execution; reopen so
                 # the breaker does not wedge with a probe in flight
                 breaker.record_failure()
+            if controller is not None:
+                # a full queue IS the overload signal — feed it to the
+                # controller as a miss so the rate clamps before every
+                # queued request has to time out first
+                controller.observe(0.0, deadline_missed=True)
             self.metrics.inc("serve_requests_rejected_total")
             raise QueueFullError(
                 f"request queue full ({self._queue.maxsize} pending)"
@@ -210,16 +275,35 @@ class InferenceWorker:
                 self._execute(batch)
             self.metrics.set_gauge("serve_queue_depth", self._queue.qsize())
 
+    def _linger_cap(self, batch: list[PendingRequest],
+                    linger_until: float) -> float:
+        """Cap the linger so the tightest deadline still covers execution.
+
+        The cap is ``min(deadline) - 1.25 * exec_ewma``: stop collecting
+        early enough that, by the per-model execution-time estimate
+        (plus slack), the most impatient member still gets its result
+        inside its deadline.  Without deadlines the full ``max_wait_s``
+        linger stands.
+        """
+        deadlines = [r.deadline for r in batch if r.deadline is not None]
+        if not deadlines:
+            return linger_until
+        est = 1.25 * self._exec_estimate(batch[0].entry)
+        return min(linger_until, min(deadlines) - est)
+
     def _collect_batch(self, first: PendingRequest) -> list[PendingRequest]:
         """Grow a batch around ``first`` for up to ``max_wait_s``.
 
         Incompatible requests popped while lingering are pushed back to
         the queue tail (FIFO order within a batch window is not
-        guaranteed; deadlines still are).
+        guaranteed; deadlines still are).  The linger window is
+        deadline-aware (:meth:`_linger_cap`) and re-tightens as members
+        with closer deadlines join.
         """
         batch = [first]
         if first.entry.supports_batching and first.entry.max_batch > 1:
-            linger_until = time.monotonic() + self.max_wait_s
+            linger_until = self._linger_cap(
+                batch, time.monotonic() + self.max_wait_s)
             while len(batch) < first.entry.max_batch:
                 remaining = linger_until - time.monotonic()
                 try:
@@ -233,6 +317,7 @@ class InferenceWorker:
                     break
                 if can_join(batch, nxt):
                     batch.append(nxt)
+                    linger_until = self._linger_cap(batch, linger_until)
                 else:
                     try:
                         self._queue.put_nowait(nxt)
@@ -242,15 +327,79 @@ class InferenceWorker:
                             "request"))
         live = []
         now = time.monotonic()
+        est = self._exec_estimate(first.entry)
         for req in batch:
-            if req.expired(now):
+            # a request whose remaining deadline no longer covers an
+            # (estimated) execution is dropped now: executing it would
+            # spend a batch slot producing a result nobody can use
+            doomed = (est > 0.0 and req.deadline is not None
+                      and req.deadline - now < est)
+            if req.expired(now) or doomed:
                 self.metrics.inc("serve_requests_timeout_total")
+                self._observe(req.entry, now - req.enqueued_at,
+                              deadline_missed=True, good=False)
                 self._fail(req, RequestTimeoutError(
-                    f"request {req.request_id} expired after "
-                    f"{now - req.enqueued_at:.3f}s in queue"))
+                    f"request {req.request_id} "
+                    + ("cannot finish inside its deadline after"
+                       if doomed and not req.expired(now) else
+                       "expired after")
+                    + f" {now - req.enqueued_at:.3f}s in queue"))
             else:
                 live.append(req)
         return live
+
+    def controller(self, entry: ModelEntry) -> AdmissionController | None:
+        """The (lazily created) admission controller for ``entry``.
+
+        ``None`` when ``shed_policy`` is ``"off"`` — the breaker and the
+        bounded queue are then the only guards, as before.
+        """
+        if self.shed_policy == "off":
+            return None
+        with self._controllers_lock:
+            controller = self._controllers.get(entry.model_id)
+            if controller is None:
+                controller = AdmissionController(
+                    max_rate=self.shed_max_rate,
+                    floor_rate=self.shed_floor_rate,
+                    increase=self.shed_increase,
+                    decrease=self.shed_decrease,
+                    target_p95_s=self.shed_target_p95_s,
+                    signal_window_s=self.shed_window_s,
+                    # a quarter-second burst allowance: enough to fill a
+                    # slot batch at once, not enough to flood the queue
+                    # with a full second of rate on the first arrival
+                    burst_s=0.25,
+                )
+                self._controllers[entry.model_id] = controller
+            return controller
+
+    def _observe(self, entry: ModelEntry, latency_s: float,
+                 deadline_missed: bool, good: bool) -> None:
+        """Feed one finished request into the overload signal + metrics."""
+        controller = self.controller(entry)
+        if controller is not None:
+            controller.observe(latency_s, deadline_missed=deadline_missed)
+            self.metrics.set_gauge(
+                f"serve_admission_rate_{entry.model_id}", controller.rate)
+        if deadline_missed:
+            self.metrics.inc("serve_deadline_miss_total")
+        if good:
+            with self._goodput_lock:
+                self._goodput.observe(1.0)
+                rate = self._goodput.rate()
+            self.metrics.set_gauge("serve_goodput_rps", rate)
+
+    def _exec_estimate(self, entry: ModelEntry) -> float:
+        with self._ewma_lock:
+            return self._exec_ewma.get(entry.model_id, 0.0)
+
+    def _update_exec_estimate(self, entry: ModelEntry,
+                              elapsed: float) -> None:
+        with self._ewma_lock:
+            old = self._exec_ewma.get(entry.model_id)
+            self._exec_ewma[entry.model_id] = (
+                elapsed if old is None else 0.7 * old + 0.3 * elapsed)
 
     def breaker(self, entry: ModelEntry) -> CircuitBreaker:
         """The (lazily created) circuit breaker guarding ``entry``.
@@ -293,9 +442,12 @@ class InferenceWorker:
         try:
             results = execute_batch(entry, batch, jobs=self.exec_jobs,
                                     budget=self.exec_budget,
-                                    watchdog_s=self.exec_watchdog_s)
+                                    watchdog_s=self.exec_watchdog_s,
+                                    metrics=self.metrics)
         except Exception as exc:  # noqa: BLE001 — worker must survive
             if len(batch) > 1:
+                if entry.repack and self._repack(batch, exc):
+                    return
                 self._bisect(batch)
             else:
                 self._record_outcome(entry, success=False)
@@ -304,11 +456,15 @@ class InferenceWorker:
             return
         self._record_outcome(entry, success=True)
         finished = time.monotonic()
+        self._update_exec_estimate(entry, finished - started)
         self.metrics.inc("serve_batches_total")
         self.metrics.observe("serve_batch_occupancy", len(batch))
         self.metrics.observe("serve_batch_exec_s", finished - started)
         for req, result in zip(batch, results):
             latency = finished - req.enqueued_at
+            missed = req.deadline is not None and finished > req.deadline
+            self._observe(entry, latency, deadline_missed=missed,
+                          good=not missed)
             self.metrics.observe("serve_request_latency_s", latency)
             self.metrics.inc("serve_bytes_out_total", len(result.payload))
             if not req.future.set_running_or_notify_cancel():
@@ -320,6 +476,47 @@ class InferenceWorker:
                 batch_size=result.batch_size,
                 latency_s=latency,
             ))
+
+    def _repack(self, batch: list[PendingRequest],
+                exc: BaseException) -> bool:
+        """Contain a batch failure by re-packing the healthy members.
+
+        When the failure names a culprit (``exc.culprit_request_id``, or
+        a chaos-poisoned member), the culprit fails alone with the typed
+        error and the healthy B-1 re-execute as *one* batch — a single
+        extra execution instead of B-1 singleton retries.  Returns False
+        (caller falls back to bisection) when nothing attributes the
+        failure to a specific member: re-packing all survivors would
+        just fail again.
+        """
+        culprit_id = getattr(exc, "culprit_request_id", None)
+        culprits = [r for r in batch
+                    if r.poisoned or r.request_id == culprit_id]
+        if not culprits:
+            return False
+        self.metrics.inc("serve_batch_repacks")
+        entry = batch[0].entry
+        culprit_ids = {r.request_id for r in culprits}
+        for req in culprits:
+            self._record_outcome(entry, success=False)
+            self.metrics.inc("serve_requests_failed_total")
+            self._fail(req, exc)
+        healthy = [r for r in batch if r.request_id not in culprit_ids]
+        now = time.monotonic()
+        live = []
+        for req in healthy:
+            if req.expired(now):
+                self.metrics.inc("serve_requests_timeout_total")
+                self._observe(entry, now - req.enqueued_at,
+                              deadline_missed=True, good=False)
+                self._fail(req, RequestTimeoutError(
+                    f"request {req.request_id} expired during batch "
+                    "re-packing"))
+            else:
+                live.append(req)
+        if live:
+            self._execute(live)
+        return True
 
     def _bisect(self, batch: list[PendingRequest]) -> None:
         """Isolate a batch failure by retrying each request alone.
@@ -336,6 +533,8 @@ class InferenceWorker:
         for req in batch:
             if req.expired(now):
                 self.metrics.inc("serve_requests_timeout_total")
+                self._observe(req.entry, now - req.enqueued_at,
+                              deadline_missed=True, good=False)
                 self._fail(req, RequestTimeoutError(
                     f"request {req.request_id} expired during batch "
                     "bisection"))
