@@ -35,6 +35,7 @@ class ExactBackend(HEBackend):
         bootstrap_target_level: int | None = None,
         seed: int | None = None,
         keychain=None,
+        bootstrap_bsgs_giant: int | None = None,
     ):
         self.params = params
         if keychain is not None:
@@ -57,17 +58,23 @@ class ExactBackend(HEBackend):
             secret_hamming_weight=params.secret_hamming_weight,
         )
         self._bootstrapper: Bootstrapper | None = None
-        #: one bootstrapper per refresh target — the level replanner
-        #: emits per-region targets, and rebuilding the linear
-        #: transforms (and re-deriving their rotation keys) on every
-        #: call would swamp the refresh itself
-        self._bootstrappers: dict[int, Bootstrapper] = {}
+        #: default BSGS split for the bootstrap DFT transforms; a
+        #: per-op ``bsgs_giant`` attribute still wins over this
+        self._bootstrap_bsgs_giant = bootstrap_bsgs_giant
+        #: one bootstrapper per (refresh target, BSGS split) — the level
+        #: replanner emits per-region targets and the layout autotuner
+        #: per-op splits, and rebuilding the linear transforms (and
+        #: re-deriving their rotation keys) on every call would swamp
+        #: the refresh itself
+        self._bootstrappers: dict[tuple[int, int | None], Bootstrapper] = {}
         if enable_bootstrap:
             self._bootstrapper = self.ctx.make_bootstrapper(
-                target_level=bootstrap_target_level
+                target_level=bootstrap_target_level,
+                bsgs_giant=bootstrap_bsgs_giant,
             )
-            self._bootstrappers[self._bootstrapper.target_level] = (
-                self._bootstrapper)
+            self._bootstrappers[
+                (self._bootstrapper.target_level, bootstrap_bsgs_giant)
+            ] = self._bootstrapper
 
     def _rec(self, op: str, handle) -> None:
         # every homomorphic op funnels through here, making it the
@@ -140,19 +147,25 @@ class ExactBackend(HEBackend):
         self._rec("upscale", a)
         return self.ev.upscale(a, extra_scale_bits)
 
-    def bootstrap(self, a, target_level=None):
+    def bootstrap(self, a, target_level=None, bsgs_giant=None):
         if self._bootstrapper is None:
             raise ParameterError(
                 "backend built without bootstrapping support"
             )
         bs = self._bootstrapper
-        if target_level is not None and target_level != bs.target_level:
-            bs = self._bootstrappers.get(target_level)
+        giant = (bsgs_giant if bsgs_giant is not None
+                 else self._bootstrap_bsgs_giant)
+        if (target_level is not None and target_level != bs.target_level) \
+                or giant != bs.bsgs_giant:
+            target = (target_level if target_level is not None
+                      else bs.target_level)
+            bs = self._bootstrappers.get((target, giant))
             if bs is None:
                 # make_bootstrapper also generates the rotation and
                 # conjugation keys this target's transforms need
-                bs = self.ctx.make_bootstrapper(target_level=target_level)
-                self._bootstrappers[target_level] = bs
+                bs = self.ctx.make_bootstrapper(target_level=target,
+                                                bsgs_giant=giant)
+                self._bootstrappers[(target, giant)] = bs
         self.trace.record("bootstrap", bs.target_level + 1)
         return bs.bootstrap(a)
 

@@ -349,7 +349,9 @@ class SimBackend(HEBackend):
             a.size, a.slots_in_use,
         )
 
-    def bootstrap(self, a, target_level=None):
+    def bootstrap(self, a, target_level=None, bsgs_giant=None):
+        # bsgs_giant tunes the real DFT transforms; the simulation has
+        # none, so the split is accepted and ignored
         if a.size != 2:
             raise ParameterError("relinearise before bootstrapping")
         target = (

@@ -47,6 +47,14 @@ def _add_compile_options(parser: argparse.ArgumentParser) -> None:
                              "1 = bit-exact rewrites (CSE, dedup, folds), "
                              "2 = + rotation composition, lazy relin, "
                              "rescale sinking (default)")
+    parser.add_argument("--layout-tune", default="heuristic",
+                        choices=("off", "heuristic", "search"),
+                        help="packing/BSGS layout selection: 'heuristic' "
+                             "keeps the fixed rules and records the "
+                             "modeled cost (default), 'search' runs the "
+                             "cost-model-driven per-layer autotuner, "
+                             "'off' skips the machinery entirely "
+                             "(identical output to 'heuristic')")
 
 
 def _options_from(args):
@@ -59,7 +67,29 @@ def _options_from(args):
         gemm_strategy=args.gemm_strategy,
         poly_mode=args.poly_mode,
         opt_level=args.opt_level,
+        layout_tune=args.layout_tune,
     )
+
+
+def _layout_summary_line(program) -> str | None:
+    """One-line layout-autotune summary (None when nothing to report)."""
+    layout = program.stats.get("layout")
+    if not layout or layout.get("mode") in (None, "off"):
+        return None
+    line = f"layout: mode {layout['mode']}"
+    plan = layout.get("plan")
+    if plan:
+        line += f", {len(plan)} override(s)"
+    speedup = layout.get("predicted_vector_speedup")
+    if speedup:
+        line += f", predicted vector speedup {speedup:.2f}x"
+    predicted = layout.get("predicted_seconds")
+    if predicted is not None:
+        line += f", predicted {predicted:.3f}s"
+    measured = layout.get("measured_seconds")
+    if measured is not None:
+        line += f", measured {measured:.3f}s"
+    return line
 
 
 def _opt_summary_line(program) -> str:
@@ -156,6 +186,7 @@ def _compile(args) -> int:
         "rotation_keys": len(program.rotation_steps),
         "opt": program.stats.get("opt", {}),
         "levels": program.stats.get("levels", {}),
+        "layout": program.stats.get("layout", {}),
         "compile_seconds": {
             k: round(v, 3) for k, v in program.pass_timers.items()
         },
@@ -169,6 +200,9 @@ def _compile(args) -> int:
     if args.explain:
         print(_explain_table(program))
     print(_opt_summary_line(program))
+    layout_line = _layout_summary_line(program)
+    if layout_line:
+        print(layout_line)
     print(json.dumps(report["selection"]))
     return 0
 
@@ -254,6 +288,8 @@ def _add_overload_options(parser: argparse.ArgumentParser) -> None:
 
 
 def _run(args) -> int:
+    import time
+
     from repro.compiler import ACECompiler
     from repro.onnx import load_model
 
@@ -268,11 +304,27 @@ def _run(args) -> int:
         tensor = np.random.default_rng(args.seed).normal(size=shape) * 0.5
     print(_opt_summary_line(program))
     backend = program.make_sim_backend(seed=args.seed)
+    started = time.perf_counter()
     outputs = program.run(backend, tensor, check_plan=False,
                           jobs=args.jobs)
+    program.note_measured_seconds(time.perf_counter() - started)
+    layout_line = _layout_summary_line(program)
+    if layout_line:
+        print(layout_line)
     for index, out in enumerate(outputs):
         print(f"output[{index}]: {np.round(out.ravel(), 5).tolist()}")
     return 0
+
+
+def _jobs_arg(value: str):
+    """``--jobs`` accepting an integer or the literal ``auto``."""
+    if value == "auto":
+        return "auto"
+    try:
+        return int(value)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expected an integer or 'auto', got {value!r}") from None
 
 
 def _serve_params(args):
@@ -316,6 +368,7 @@ def _serve(args) -> int:
             model_id, str(args.model), params=_serve_params(args),
             max_batch=args.batch_size, seed=args.seed,
             repack=args.repack, align_levels=args.align_levels,
+            layout_tune=args.layout_tune,
         )
         server = InferenceServer(
             registry, host=args.host, port=args.port,
@@ -481,10 +534,16 @@ def main(argv=None) -> int:
     p_serve.add_argument("--scale-bits", type=int, default=30)
     p_serve.add_argument("--first-prime-bits", type=int, default=40)
     p_serve.add_argument("--levels", type=int, default=4)
-    p_serve.add_argument("--jobs", type=int, default=None,
+    p_serve.add_argument("--jobs", type=_jobs_arg, default=None,
                          help="executor threads shared across workers for "
-                              "op-level parallelism (default: $REPRO_JOBS "
-                              "or 1)")
+                              "op-level parallelism; 'auto' sizes the "
+                              "shared budget from schedule width x batch "
+                              "occupancy (default: $REPRO_JOBS or 1)")
+    p_serve.add_argument("--layout-tune", default="heuristic",
+                         choices=("off", "heuristic", "search"),
+                         help="layout/BSGS autotuning for the served "
+                              "compile; 'search' pays extra compile time "
+                              "once at startup")
     p_serve.add_argument("--port-file", default=None,
                          help="write the bound port here once listening")
     _add_overload_options(p_serve)

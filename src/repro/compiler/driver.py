@@ -31,6 +31,7 @@ from repro.passes.levels import (
     summarize_levels_stats,
 )
 from repro.passes.opt import (
+    OpCostTable,
     make_opt_pass,
     recompute_rotation_steps,
     summarize_opt_stats,
@@ -106,6 +107,15 @@ class CompileOptions:
     #: rewrites only (CSE, dedup, folds), 2 = + rotation composition,
     #: lazy relinearization, rescale sinking (see repro.passes.opt)
     opt_level: int = 2
+    #: data-layout autotuning (repro.passes.layout_tune): "off" keeps the
+    #: legacy heuristic path untouched, "heuristic" (default) records the
+    #: heuristic plan + predicted cost in ``stats["layout"]`` without
+    #: changing the program, "search" runs the cost-model-driven
+    #: per-layer packing/BSGS search and adopts the argmin plan
+    layout_tune: str = "heuristic"
+    #: explicit :class:`repro.passes.layout.LayoutPlan` to lower with
+    #: (tests / reproducing a recorded plan); suppresses the search
+    layout_plan: object | None = None
 
 
 @dataclass
@@ -220,6 +230,20 @@ class CompiledProgram:
         vec = backend.decrypt(outs[0], num_values=self.scheme.num_slots)
         return self.unpack_batch(vec, len(images))
 
+    def note_measured_seconds(self, seconds: float) -> dict:
+        """Record a measured end-to-end latency against the layout plan.
+
+        Completes the predicted-vs-measured pair in ``stats["layout"]``
+        (``repro run`` and the layout bench call this after timing an
+        execution); returns the updated layout stats.
+        """
+        info = self.stats.setdefault("layout", {})
+        info["measured_seconds"] = float(seconds)
+        predicted = info.get("predicted_seconds")
+        if predicted and seconds > 0:
+            info["predicted_over_measured"] = predicted / seconds
+        return info
+
     def run(self, backend, *tensors, check_plan: bool = True,
             jobs: int | None = None) -> list[np.ndarray]:
         """Encrypt inputs, run the compiled CKKS program, decrypt outputs.
@@ -253,6 +277,11 @@ class ACECompiler:
 
     def compile(self) -> CompiledProgram:
         opts = self.options
+        if opts.layout_tune not in ("off", "heuristic", "search"):
+            raise CompileError(
+                f"unknown layout_tune mode {opts.layout_tune!r} "
+                "(off|heuristic|search)"
+            )
         timers = PassManager()
         if opts.exact_params is not None:
             slots = opts.exact_params.num_slots
@@ -260,7 +289,8 @@ class ACECompiler:
             slots = opts.slots or (opts.batch_size * self._minimum_slots())
         for attempt in range(16):
             try:
-                module, context = self._lower_front(timers, slots)
+                module, context = self._lower_front(timers, slots,
+                                                    opts.layout_plan)
             except LoweringError:
                 # activations did not fit the provisional slot count
                 slots *= 2
@@ -282,6 +312,23 @@ class ACECompiler:
             slots = required_slots
         else:
             raise CompileError("parameter selection did not converge")
+        layout_stats: dict = {"mode": opts.layout_tune}
+        baseline = None
+        if opts.layout_plan is not None:
+            layout_stats["plan"] = opts.layout_plan.describe()
+        elif opts.layout_tune == "search":
+            baseline = (module, context, analysis)
+            module, context, analysis, search_info = self._tune_layout(
+                timers, slots, selection, module, context, analysis
+            )
+            layout_stats.update(search_info)
+            if not search_info.get("adopted"):
+                baseline = None
+        # size the modulus chain for the deeper of the two candidates
+        # (the tune guard keeps the plan's depth <= the heuristic's, so
+        # this is the heuristic's depth — and lets the final-cost guard
+        # below revert to it without re-selecting parameters)
+        level_analysis = baseline[2] if baseline is not None else analysis
         if opts.exact_params is not None:
             params = opts.exact_params
             scheme = SchemeConfig(
@@ -294,9 +341,9 @@ class ACECompiler:
             )
             moduli = [float(q) for q in params.moduli]
             needed = (
-                analysis.max_depth + opts.level_margin
+                level_analysis.max_depth + opts.level_margin
                 if opts.bootstrap_enabled
-                else self._total_depth(analysis) + opts.level_margin
+                else self._total_depth(level_analysis) + opts.level_margin
             )
             if params.num_levels < needed:
                 raise CompileError(
@@ -305,9 +352,9 @@ class ACECompiler:
                 )
         else:
             num_levels = (
-                analysis.max_depth + opts.level_margin
+                level_analysis.max_depth + opts.level_margin
                 if opts.bootstrap_enabled
-                else self._total_depth(analysis) + opts.level_margin
+                else self._total_depth(level_analysis) + opts.level_margin
             )
             scheme = SchemeConfig(
                 poly_degree=2 * slots,
@@ -318,6 +365,25 @@ class ACECompiler:
             )
             moduli = None
         self._lower_ckks(timers, module, context, scheme, moduli)
+        if baseline is not None:
+            # final-cost guard: the search prices candidates at the
+            # VECTOR level (fixed limbs, no bootstrap/replan view), so a
+            # plan that looked cheaper there can lose once levels and
+            # refreshes are real.  Lower the heuristic too and keep
+            # whichever final CKKS IR the hoisting-aware table says is
+            # cheaper.
+            bmodule, bcontext, banalysis = baseline
+            self._lower_ckks(timers, bmodule, bcontext, scheme, moduli)
+            chosen_cost = OpCostTable(
+                context["cost_model"]).function_cost(module.main())
+            naive_cost = OpCostTable(
+                bcontext["cost_model"]).function_cost(bmodule.main())
+            layout_stats["predicted_final_seconds"] = {
+                "heuristic": naive_cost, "chosen": chosen_cost}
+            if chosen_cost > naive_cost:
+                module, context, analysis = bmodule, bcontext, banalysis
+                layout_stats["adopted"] = False
+                layout_stats["reverted_by_final_cost"] = True
         stats = {
             "ckks_ops": module.main().op_count(),
             "rotations": len(context["rotation_steps"]),
@@ -333,6 +399,16 @@ class ACECompiler:
             # alignment units than the depth estimate predicts)
             "align_margin": context.get("align_margin"),
         }
+        if opts.layout_tune != "off" or opts.layout_plan is not None:
+            # predicted end-to-end seconds of the *final* CKKS IR under
+            # the hoisting-aware table; `repro run` / the layout bench
+            # pair it with a measurement via note_measured_seconds
+            table = OpCostTable(context["cost_model"])
+            layout_stats["predicted_seconds"] = table.function_cost(
+                module.main())
+            layout_stats["schedule_max_width"] = stats["schedule"].get(
+                "max_width")
+        stats["layout"] = layout_stats
         if opts.poly_mode != "off":
             stats["poly"] = self._poly_stage(timers, module, context, scheme)
         return CompiledProgram(
@@ -350,6 +426,46 @@ class ACECompiler:
 
     # -- internals ---------------------------------------------------------
 
+    def _tune_layout(self, timers, slots, selection, module, context,
+                     analysis):
+        """Search per-layer packings and re-lower with the argmin plan.
+
+        The search runs on the fused NN module snapshot (cleartext numpy
+        at the VECTOR level — a candidate costs milliseconds); the
+        winning plan then goes through one full verified re-lowering.
+        Rotation-key analysis and scheduling always run *after* the
+        plan in ``_lower_ckks``, so the generated keys match the tuned
+        program (the PR-8 replanning discipline).
+        """
+        from repro.evalharness.costmodel import CostModel
+        from repro.passes import layout_tune
+
+        opts = self.options
+        model = CostModel.calibrated(
+            poly_degree=2 * slots,
+            num_special_primes=max(1, selection.num_special_primes),
+        )
+        result = layout_tune.search_plan(
+            context["nn_module"], slots, opts, model
+        )
+        info = dict(result.info)
+        info["adopted"] = False
+        if len(result.plan):
+            try:
+                module2, context2 = self._lower_front(timers, slots,
+                                                      result.plan)
+            except LoweringError:
+                return module, context, analysis, info
+            analysis2 = context2["depth_analysis"]
+            # layout choices never add multiplicative depth; guard the
+            # already-selected parameters against surprises anyway
+            if (analysis2.max_depth <= analysis.max_depth
+                    and self._total_depth(analysis2)
+                    <= self._total_depth(analysis)):
+                info["adopted"] = True
+                return module2, context2, analysis2, info
+        return module, context, analysis, info
+
     def _minimum_slots(self) -> int:
         largest = 1
         for value_info in list(self.model.graph.input) + list(
@@ -365,7 +481,8 @@ class ACECompiler:
             pass
         return next_power_of_two(max(largest, 2))
 
-    def _lower_front(self, timers: PassManager, slots: int):
+    def _lower_front(self, timers: PassManager, slots: int,
+                     layout_plan=None):
         opts = self.options
         context: dict = {}
         module_holder: dict = {}
@@ -389,10 +506,19 @@ class ACECompiler:
 
         pm2 = PassManager(timers=timers.timers)
         pm2.add(Pass("nn-operator-fusion", "NN", nn_operator_fusion))
+        if opts.layout_tune == "search" and opts.layout_plan is None:
+            # snapshot the fused NN module: the layout search enumerates
+            # and costs candidate plans against it (layer keys are the
+            # fused module's op indices)
+            pm2.add(Pass(
+                "nn-snapshot", "NN",
+                lambda m, c: c.__setitem__("nn_module", clone_module(m)),
+            ))
         pm2.add(Pass(
             "nn-to-vector", "VECTOR",
             NnToVectorLowering(slots, opts.gemm_strategy,
-                               opts.batch_size).run,
+                               opts.batch_size,
+                               layout_plan=layout_plan).run,
             "data layout selection, batching, conv/matmul optimisation",
         ))
         if opts.opt_level >= 1:

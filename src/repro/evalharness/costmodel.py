@@ -15,10 +15,20 @@ are real properties of the two programs.
 from __future__ import annotations
 
 import math
+import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 from repro.backend.trace import OpTrace
+
+#: process-wide calibration memo: measuring the host's kernel constants
+#: costs real wall-clock (ExactBackend keygen + timed ops), and the
+#: layout autotuner asks for the same ``(poly_degree, special_primes)``
+#: model once per candidate costing.  Same double-checked-lock shape as
+#: ``repro.polymath.ntt.stacked_tables``: check, re-check under the
+#: lock, measure *outside* the lock, publish via ``setdefault``.
+_calibration_memo: dict[tuple[int, int, int], "CostModel"] = {}
+_calibration_lock = threading.Lock()
 
 
 @dataclass
@@ -128,7 +138,27 @@ class CostModel:
 
         Runs a handful of operations at a small ring degree and scales the
         measured unit costs; keeps the model honest about this host.
+
+        The measurement is memoised process-wide per
+        ``(poly_degree, num_special_primes, sample_degree)``; callers get
+        a private copy, so mutating a returned model never poisons the
+        cache.
         """
+        key = (poly_degree, num_special_primes, sample_degree)
+        hit = _calibration_memo.get(key)
+        if hit is None:
+            with _calibration_lock:
+                hit = _calibration_memo.get(key)
+            if hit is None:
+                built = cls._calibrate(poly_degree, num_special_primes,
+                                       sample_degree)
+                with _calibration_lock:
+                    hit = _calibration_memo.setdefault(key, built)
+        return replace(hit)
+
+    @classmethod
+    def _calibrate(cls, poly_degree: int, num_special_primes: int,
+                   sample_degree: int) -> "CostModel":
         from repro.backend import ExactBackend
         from repro.ckks import CkksParameters
 

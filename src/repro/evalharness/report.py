@@ -56,6 +56,8 @@ def generate_report(out_dir: str | Path, models=EVAL_MODELS,
         table11.accuracy_rows(models, scale, num_images=num_images)))
     emit("opt_sweep", opt_sweep.render(
         opt_sweep.sweep_rows(models, scale)))
+    emit("layout_tune", opt_sweep.render_layout(
+        opt_sweep.layout_rows(models, scale)))
     if scale == "ci":
         # short seeded soak: overload + fault injection against the
         # serving stack, reported as a containment artifact

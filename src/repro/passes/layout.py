@@ -18,7 +18,8 @@ what realises the paper's rotation-hoisting/data-layout wins.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import math
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -138,3 +139,109 @@ def conv_output_layout(
 def vector_layout(length: int, slots: int) -> PackedLayout:
     """Layout for a flat feature vector (gemm operands / outputs)."""
     return PackedLayout.dense((length,), slots)
+
+
+def interleaved_layout(shape: tuple[int, ...], slots: int) -> PackedLayout:
+    """Channel-minor (HWC) packing: ``slot = (i*W + j)*C + c``.
+
+    The channel-major default groups each channel's spatial plane into a
+    contiguous block; interleaving instead keeps each pixel's channels
+    adjacent, which turns cross-channel mixing (1x1 convolutions, channel
+    reductions) into short constant offsets at the price of longer
+    spatial offsets.
+    """
+    if len(shape) != 3:
+        raise LoweringError("interleaved layout needs a (C, H, W) tensor")
+    c, h, w = shape
+    if c * h * w > slots:
+        raise LoweringError(
+            f"tensor of {c * h * w} elements exceeds {slots} slots"
+        )
+    grid = np.arange(h * w).reshape(h, w)
+    positions = grid[None] * c + np.arange(c)[:, None, None]
+    return PackedLayout(tuple(shape), positions, slots)
+
+
+def strided_layout(shape: tuple[int, ...], slots: int) -> PackedLayout:
+    """Replicated-room packing: elements spread ``slots // count`` apart.
+
+    Leaves an empty sub-grid after every element (the CHET "strided"
+    candidate): downsampling layers can then keep their outputs on the
+    parent grid without ever colliding, at the price of spatial offsets
+    scaled by the stride.
+    """
+    count = int(np.prod(shape))
+    if count > slots:
+        raise LoweringError(
+            f"tensor of {count} elements exceeds {slots} slots"
+        )
+    gap = slots // count
+    positions = (np.arange(count) * gap).reshape(shape)
+    return PackedLayout(tuple(shape), positions, slots)
+
+
+def candidate_layouts(shape: tuple[int, ...],
+                      slots: int) -> dict[str, PackedLayout]:
+    """Enumerate the packing candidates for a tensor shape.
+
+    Every returned layout is injective and within the slot budget (the
+    :class:`PackedLayout` constructor enforces both); candidates that do
+    not fit are silently dropped rather than raising.
+    """
+    out: dict[str, PackedLayout] = {}
+    builders = [("dense", PackedLayout.dense)]
+    if len(shape) == 3:
+        builders.append(("interleaved", interleaved_layout))
+    builders.append(("strided", strided_layout))
+    for name, build in builders:
+        try:
+            layout = build(tuple(shape), slots)
+        except LoweringError:
+            continue
+        if not any(np.array_equal(layout.positions, seen.positions)
+                   for seen in out.values()):
+            out[name] = layout
+    return out
+
+
+def bsgs_giant_candidates(n: int) -> list[int]:
+    """Baby-split candidates for the BSGS GEMV of an n-wide matrix.
+
+    The classic balance point is ``sqrt(n)`` babies; with hoisted
+    rotations (one shared key-switch decomposition per baby batch) the
+    optimum shifts baby-heavy, so the candidates bracket the square
+    root from both sides.
+    """
+    s = int(math.isqrt(max(n, 1))) or 1
+    return sorted({g for g in (max(1, s // 2), s, min(n, 2 * s))
+                   if 1 <= g <= n})
+
+
+@dataclass
+class LayoutPlan:
+    """Per-layer packing / BSGS-split overrides adopted by the lowering.
+
+    Keys are stable layer identities of the fused NN module —
+    ``"{op_index}:{opcode}"`` for ops, ``"input:{i}"`` for function
+    inputs — so a plan searched on the NN module applies byte-for-byte
+    to a re-lowering of the same module.  An absent key means "keep the
+    heuristic"; an empty plan reproduces today's lowering exactly.
+    """
+
+    choices: dict[str, dict] = field(default_factory=dict)
+
+    def get(self, key: str) -> dict | None:
+        return self.choices.get(key)
+
+    def with_choice(self, key: str, choice: dict) -> "LayoutPlan":
+        """A copy with one override replaced (functional update)."""
+        merged = dict(self.choices)
+        merged[key] = dict(choice)
+        return LayoutPlan(merged)
+
+    def __len__(self) -> int:
+        return len(self.choices)
+
+    def describe(self) -> dict[str, dict]:
+        """JSON-serialisable summary for ``program.stats['layout']``."""
+        return {key: dict(choice) for key, choice in self.choices.items()}

@@ -1,0 +1,272 @@
+"""Cost-model-driven layout & BSGS autotuning (ROADMAP #3).
+
+CHET's headline result — and the reason ANT-ACE's §4.2 layout machinery
+exists at all — is that *automatic* data-layout selection beats any
+single hand-chosen packing across a model zoo.  This pass turns
+:mod:`repro.passes.layout` from a fixed heuristic into a search:
+
+* :func:`enumerate_choices` lists per-layer candidates on the fused NN
+  module — input packings (dense / channel-minor interleaved / strided),
+  conv output packings, global-average-pool placements, and GEMM
+  strategies including baby-heavy BSGS splits
+  (:func:`repro.passes.layout.bsgs_giant_candidates`);
+* :func:`plan_cost` lowers a candidate :class:`LayoutPlan` through the
+  real ``NnToVectorLowering`` + vector optimizer and prices the post-opt
+  VECTOR IR with the calibrated :class:`CostModel` — rotation batches
+  per source are priced *hoisted* (the PR-8 lesson: per-rotation pricing
+  over-taxes BSGS plans by nearly a full decomposition per step) — then
+  scales by the wavefront-schedule parallel factor at the effective job
+  count, so a plan that narrows the schedule pays for it;
+* :func:`search_plan` runs greedy coordinate descent over the layers
+  (sweeps until no single-layer change improves), returning the argmin
+  plan the driver re-lowers through the normal pipeline — rotation-key
+  analysis and scheduling always run last there, so the generated keys
+  match the tuned program.
+
+Costing happens entirely at the VECTOR level on cleartext numpy
+plans: a candidate evaluation is a few milliseconds, not a compile.
+The vector-level price table deliberately lives here and NOT in
+``repro.passes.opt._COST_KIND`` — extending the optimizer's own table
+would shift its cost gates and break the bit-identity contract of the
+default compile path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import LoweringError
+from repro.ir.schedule import compute_schedule
+from repro.passes.layout import LayoutPlan, bsgs_giant_candidates
+from repro.passes.levels import clone_module
+from repro.passes.lowering.nn_to_vector import NnToVectorLowering
+from repro.passes.opt import make_opt_pass
+from repro.runtime.executor import resolve_jobs
+from repro.utils.bits import next_power_of_two
+
+#: limbs assumed for vector-level costing — VECTOR IR carries no level
+#: metadata yet; a constant is fine because every candidate of one model
+#: is priced under the same assumption (ranking, not absolute seconds)
+_VECTOR_LIMBS = 8
+
+#: modeled work of one nonlinearity (sign-iteration ladder) in
+#: (mul + relin) pairs; identical across layout candidates — layout
+#: choices never change the nonlinearity count — but keeping it in the
+#: total stops the parallel factor from overweighting linear regions
+_NONLINEAR_PAIRS = 8
+
+
+def _op_seconds(op, model) -> float:
+    """Sequential modeled seconds of one VECTOR op (unhoisted)."""
+    code = op.opcode
+    if code == "vector.roll":
+        return model.op_seconds("rotate", _VECTOR_LIMBS)
+    if code == "vector.mul":
+        return model.op_seconds("mul_plain", _VECTOR_LIMBS)
+    if code == "vector.add":
+        return model.op_seconds("add", _VECTOR_LIMBS)
+    if code in ("vector.relu", "vector.nonlinear"):
+        return _NONLINEAR_PAIRS * (
+            model.op_seconds("mul", _VECTOR_LIMBS)
+            + model.op_seconds("relin", _VECTOR_LIMBS)
+        )
+    return 0.0
+
+
+def vector_function_cost(fn, model, jobs: int = 1) -> float:
+    """Modeled seconds for a VECTOR-IR function under ``jobs`` lanes.
+
+    Two components, multiplied:
+
+    * the *hoisted sequential* cost: rolls sharing a source ciphertext
+      are priced as one hoisted batch
+      (:meth:`CostModel.hoisted_rotation_seconds`), everything else
+      per-op;
+    * the *schedule factor*: LPT-greedy makespan over the wavefront
+      stages at ``min(jobs, width)`` lanes, divided by total work — 1.0
+      at one job, smaller for wide schedules on parallel hosts.
+    """
+    roll_groups: dict[int, int] = {}
+    serial = 0.0
+    for op in fn.body:
+        if op.opcode == "vector.roll":
+            src = op.operands[0].id
+            roll_groups[src] = roll_groups.get(src, 0) + 1
+        else:
+            serial += _op_seconds(op, model)
+    for count in roll_groups.values():
+        serial += model.hoisted_rotation_seconds(_VECTOR_LIMBS, count)
+    if jobs <= 1:
+        return serial
+    schedule = compute_schedule(fn)
+    total = 0.0
+    makespan = 0.0
+    for stage in schedule.stages:
+        weights = sorted(
+            (_op_seconds(fn.body[i], model) for i in stage), reverse=True
+        )
+        total += sum(weights)
+        lanes = [0.0] * max(1, min(jobs, len(weights)))
+        for w in weights:
+            lanes[lanes.index(min(lanes))] += w
+        makespan += max(lanes)
+    if total <= 0.0:
+        return serial
+    return serial * (makespan / total)
+
+
+def _const_shape(op_value, module) -> tuple[int, ...] | None:
+    producer = op_value.producer
+    if producer is None or "const_name" not in producer.attrs:
+        return None
+    return module.constants[producer.attrs["const_name"]].shape
+
+
+def enumerate_choices(
+    nn_module, slots: int, batch: int = 1, gemm_strategy: str = "auto"
+) -> list[tuple[str, list[dict]]]:
+    """Per-layer candidate choices, keyed exactly like the lowering.
+
+    The first entry of every candidate list is the heuristic default;
+    the search treats it as the no-override baseline.  Candidates that
+    cannot lower at the given slot budget are filtered later by costing
+    (a failed lowering prices at infinity), not here.
+    """
+    fn = nn_module.main()
+    block = slots // batch
+    out: list[tuple[str, list[dict]]] = []
+    for i, p in enumerate(fn.params):
+        full = p.type.shape
+        shape = tuple(full[1:]) if len(full) == 4 else (full[-1],)
+        if len(shape) == 3 and shape[0] > 1:
+            choices = [{"layout": "dense"}, {"layout": "interleaved"}]
+            if 2 * int(np.prod(shape)) <= block:
+                choices.append({"layout": "strided"})
+            out.append((f"input:{i}", choices))
+    for index, op in enumerate(fn.body):
+        kind = op.opcode.split(".")[1]
+        key = f"{index}:{kind}"
+        if kind == "conv":
+            out.append((key, [
+                {"layout": "heuristic"},
+                {"layout": "dense"},
+                {"layout": "interleaved"},
+            ]))
+        elif kind == "global_average_pool":
+            out.append((key, [
+                {"placement": "inplace"},
+                {"placement": "head"},
+            ]))
+        elif kind == "gemm" and batch == 1:
+            shape = _const_shape(op.operands[1], nn_module)
+            if shape is None or len(shape) != 2:
+                continue
+            o_count, f_count = shape
+            if not op.attrs.get("trans_b", False):
+                o_count, f_count = f_count, o_count
+            n = int(next_power_of_two(max(o_count, f_count)))
+            choices = [{"strategy": "auto"}, {"strategy": "dedup"}]
+            if 3 * n <= slots:
+                choices += [
+                    {"strategy": "bsgs", "giant": g}
+                    for g in bsgs_giant_candidates(n)
+                ]
+            out.append((key, choices))
+    return out
+
+
+@dataclass
+class TuneResult:
+    """The argmin plan plus everything worth recording about the search."""
+
+    plan: LayoutPlan
+    info: dict = field(default_factory=dict)
+
+
+def plan_cost(nn_module, plan, slots: int, options, model,
+              jobs: int = 1) -> float:
+    """Modeled seconds of one candidate plan (``inf`` if it can't lower).
+
+    Mirrors the driver's front pipeline — clone, ``NnToVectorLowering``
+    with the plan, vector optimizer at the session's opt level — so the
+    cost is measured on the same IR the adopted plan will produce.
+    """
+    candidate = clone_module(nn_module)
+    context: dict = {}
+    try:
+        NnToVectorLowering(
+            slots, options.gemm_strategy, options.batch_size,
+            layout_plan=plan,
+        ).run(candidate, context)
+        if options.opt_level >= 1:
+            make_opt_pass("vector", options.opt_level)(candidate, context)
+    except LoweringError:
+        return float("inf")
+    return vector_function_cost(candidate.main(), model, jobs)
+
+
+def search_plan(nn_module, slots: int, options, model,
+                jobs: int | None = None, max_sweeps: int = 2,
+                max_evals: int = 96) -> TuneResult:
+    """Greedy coordinate descent over the per-layer candidates.
+
+    Starts from the heuristic (empty plan); each sweep tries every
+    alternative choice per layer and keeps strict improvements.  Layers
+    interact (an input packing changes every downstream offset family),
+    which is why the sweep repeats until a full pass adopts nothing.
+    ``max_evals`` bounds the candidate lowerings for very deep models;
+    hitting it is recorded in the result info, never silent.
+    """
+    jobs = resolve_jobs(jobs)
+    candidates = enumerate_choices(
+        nn_module, slots, options.batch_size, options.gemm_strategy
+    )
+    plan = LayoutPlan()
+    baseline = plan_cost(nn_module, None, slots, options, model, jobs)
+    best_cost = baseline
+    evaluated = 0
+    truncated = False
+    for _sweep in range(max_sweeps):
+        improved = False
+        for key, choices in candidates:
+            current = plan.get(key) or choices[0]
+            for choice in choices:
+                if choice == current:
+                    continue
+                if evaluated >= max_evals:
+                    truncated = True
+                    break
+                trial = plan.with_choice(key, choice)
+                evaluated += 1
+                cost = plan_cost(nn_module, trial, slots, options, model,
+                                 jobs)
+                if cost < best_cost * (1.0 - 1e-9):
+                    plan, best_cost, current = trial, cost, choice
+                    improved = True
+            if truncated:
+                break
+        if truncated or not improved:
+            break
+    # drop overrides that merely restate the heuristic default
+    defaults = {key: choices[0] for key, choices in candidates}
+    plan = LayoutPlan({
+        k: v for k, v in plan.choices.items() if v != defaults.get(k)
+    })
+    info = {
+        "slots": slots,
+        "jobs": jobs,
+        "layers_considered": len(candidates),
+        "candidates_evaluated": evaluated,
+        "search_truncated": truncated,
+        "predicted_vector_seconds": {
+            "heuristic": baseline,
+            "chosen": best_cost,
+        },
+        "plan": plan.describe(),
+    }
+    if baseline > 0 and np.isfinite(baseline) and np.isfinite(best_cost):
+        info["predicted_vector_speedup"] = baseline / best_cost \
+            if best_cost > 0 else None
+    return TuneResult(plan=plan, info=info)

@@ -21,7 +21,12 @@ import numpy as np
 from repro.errors import LoweringError
 from repro.ir import IRBuilder, Module, VectorType
 from repro.ir.core import Function, Value
-from repro.passes.layout import PackedLayout, conv_output_layout
+from repro.passes.layout import (
+    PackedLayout,
+    conv_output_layout,
+    interleaved_layout,
+    strided_layout,
+)
 from repro.utils.bits import next_power_of_two
 
 
@@ -189,6 +194,7 @@ def lower_matmul_bsgs(
     weight: np.ndarray,
     slots: int,
     hint: str = "bsgs",
+    giant: int | None = None,
 ) -> Value:
     """Baby-step/giant-step GEMV on a head-compact input vector.
 
@@ -196,6 +202,11 @@ def lower_matmul_bsgs(
     of one per distinct offset.  Requires the features at slots [0, F) and
     3*n <= slots (the input is replicated once so rotations act cyclically
     within the n-window).
+
+    ``giant`` is the baby-split width (inner diagonals per giant step);
+    None keeps the classic ``sqrt(n)`` balance.  Hoisting makes baby
+    steps cheaper than giant steps, so the layout autotuner probes
+    baby-heavy splits (see :func:`repro.passes.layout.bsgs_giant_candidates`).
     """
     o_count, f_count = weight.shape
     n = int(next_power_of_two(max(o_count, f_count)))
@@ -207,7 +218,12 @@ def lower_matmul_bsgs(
     copy = builder.emit("vector.roll", [x], {"steps": slots - n},
                         name_hint=f"{hint}_dup")
     x2 = builder.emit("vector.add", [x, copy], name_hint=f"{hint}_win")
-    giant = int(math.isqrt(n)) or 1
+    if giant is None:
+        giant = int(math.isqrt(n)) or 1
+    elif not 1 <= giant <= n:
+        raise LoweringError(
+            f"BSGS baby split {giant} outside [1, {n}]"
+        )
     baby_count = (n + giant - 1) // giant
     babies = {0: x2}
     for j in range(1, giant):
@@ -252,7 +268,7 @@ class NnToVectorLowering:
     """The lowering pass object (layout selection + op-by-op rewrite)."""
 
     def __init__(self, slots: int, gemm_strategy: str = "auto",
-                 batch: int = 1):
+                 batch: int = 1, layout_plan=None):
         self.slots = slots
         if gemm_strategy not in ("auto", "dedup", "bsgs"):
             raise LoweringError(f"unknown gemm strategy {gemm_strategy!r}")
@@ -262,6 +278,16 @@ class NnToVectorLowering:
         self.batch = batch
         #: per-image block width; layouts are built within one block
         self.block = slots // batch
+        #: optional :class:`repro.passes.layout.LayoutPlan` of per-layer
+        #: packing / BSGS-split overrides; None (or any key miss) keeps
+        #: the heuristic path byte-for-byte
+        self.layout_plan = layout_plan
+        self._op_key: str | None = None
+
+    def _plan_choice(self, key: str | None = None) -> dict | None:
+        if self.layout_plan is None:
+            return None
+        return self.layout_plan.get(key if key is not None else self._op_key)
 
     def run(self, module: Module, context: dict) -> None:
         old = module.main()
@@ -273,7 +299,9 @@ class NnToVectorLowering:
         layouts: dict[int, PackedLayout] = {}
         env: dict[int, Value] = {}
         input_layouts = []
-        for old_p, new_p in zip(old.params, new_module_fn.params):
+        for index, (old_p, new_p) in enumerate(
+            zip(old.params, new_module_fn.params)
+        ):
             full = old_p.type.shape
             if len(full) == 4:       # (1, C, H, W) -> (C, H, W)
                 shape = tuple(full[1:])
@@ -281,11 +309,12 @@ class NnToVectorLowering:
                 shape = (full[1],)
             else:
                 shape = tuple(full)
-            layout = PackedLayout.dense(shape, self.block)
+            layout = self._input_layout(shape, index)
             layouts[new_p.id] = layout
             env[old_p.id] = new_p
             input_layouts.append(layout)
-        for op in old.body:
+        for index, op in enumerate(old.body):
+            self._op_key = f"{index}:{op.opcode.split('.')[1]}"
             self._lower_op(op, builder, module, env, layouts)
         new_module_fn.returns = [env[v.id] for v in old.returns]
         module.functions.pop(old.name)
@@ -297,6 +326,23 @@ class NnToVectorLowering:
             layouts[env[v.id].id] for v in old.returns
         ]
         context["slots"] = self.slots
+
+    def _input_layout(self, shape: tuple[int, ...],
+                      index: int) -> PackedLayout:
+        """The packing of function input ``index`` (plan-overridable).
+
+        The chosen layout is exported through ``context['input_layouts']``
+        so the generated encryptor packs exactly what the program expects.
+        """
+        choice = self._plan_choice(f"input:{index}")
+        kind = (choice or {}).get("layout", "dense")
+        if kind == "interleaved":
+            return interleaved_layout(shape, self.block)
+        if kind == "strided":
+            return strided_layout(shape, self.block)
+        if kind != "dense":
+            raise LoweringError(f"unknown input layout {kind!r}")
+        return PackedLayout.dense(shape, self.block)
 
     # -- per-op lowering -------------------------------------------------
 
@@ -336,7 +382,8 @@ class NnToVectorLowering:
         in_layout = layouts[x.id]
         stride = op.attrs.get("stride", 1)
         pad = op.attrs.get("pad", weight.shape[2] // 2)
-        out_layout = conv_output_layout(in_layout, weight.shape[0], stride)
+        out_layout = self._conv_out_layout(in_layout, weight.shape[0],
+                                           stride)
         triples = conv_triples(in_layout, out_layout, weight, stride, pad)
         out_pos_flat = out_layout.positions[:, 0, 0]
         bias_spec = None
@@ -350,6 +397,23 @@ class NnToVectorLowering:
         )
         env[op.result.id] = result
         layouts[result.id] = out_layout
+
+    def _conv_out_layout(self, in_layout: PackedLayout, c_out: int,
+                         stride: int) -> PackedLayout:
+        """Conv output packing: heuristic unless the plan overrides it."""
+        choice = self._plan_choice()
+        kind = (choice or {}).get("layout", "heuristic")
+        if kind != "heuristic":
+            c_in, h, w = in_layout.shape
+            shape = (c_out, h // stride, w // stride)
+            if kind == "dense":
+                return PackedLayout.dense(shape, self.block)
+            if kind == "interleaved":
+                return interleaved_layout(shape, self.block)
+            if kind == "strided":
+                return strided_layout(shape, self.block)
+            raise LoweringError(f"unknown conv layout {kind!r}")
+        return conv_output_layout(in_layout, c_out, stride)
 
     def _lower_gemm(self, op, builder, module, env, layouts) -> None:
         x = env[op.operands[0].id]
@@ -370,16 +434,24 @@ class NnToVectorLowering:
             in_positions = compact
         o_count, f_count = weight.shape
         out_positions = np.arange(o_count)
-        use_bsgs = self.batch == 1 and (
-            self.gemm_strategy == "bsgs"
-            or (
-                self.gemm_strategy == "auto"
-                and f_count >= 64
-                and 3 * next_power_of_two(max(o_count, f_count)) <= self.slots
+        choice = self._plan_choice()
+        giant = None
+        if choice and choice.get("strategy") in ("dedup", "bsgs"):
+            use_bsgs = self.batch == 1 and choice["strategy"] == "bsgs"
+            giant = choice.get("giant")
+        else:
+            use_bsgs = self.batch == 1 and (
+                self.gemm_strategy == "bsgs"
+                or (
+                    self.gemm_strategy == "auto"
+                    and f_count >= 64
+                    and 3 * next_power_of_two(max(o_count, f_count))
+                    <= self.slots
+                )
             )
-        )
         if use_bsgs:
-            result = lower_matmul_bsgs(builder, x, weight, self.slots)
+            result = lower_matmul_bsgs(builder, x, weight, self.slots,
+                                       giant=giant)
             if np.any(bias):
                 bias_vec = np.zeros(self.slots)
                 bias_vec[out_positions] = bias
@@ -482,8 +554,14 @@ class NnToVectorLowering:
         c = in_layout.shape[0]
         # Pool *in place* (channel c's mean lands on its own (0,0) slot):
         # the rotation offsets are then purely spatial and shared across
-        # channels, instead of one offset family per channel.
-        out_positions = in_layout.positions[:, 0, 0].copy()
+        # channels, instead of one offset family per channel.  The plan's
+        # "head" placement instead lands the means dense at the vector
+        # head, which lets a following BSGS classifier skip its repack.
+        choice = self._plan_choice()
+        if (choice or {}).get("placement") == "head":
+            out_positions = np.arange(c)
+        else:
+            out_positions = in_layout.positions[:, 0, 0].copy()
         triples = average_triples(in_layout, out_positions)
         result = lower_linear_map(builder, x, out_positions, triples,
                                   hint="gap", batch=self.batch)

@@ -180,6 +180,10 @@ def _eval(module: Module, op, args, be: HEBackend):
             out = be.rescale(out)
         return out
     if code == "ckks.bootstrap":
+        giant = op.attrs.get("bsgs_giant")
+        if giant is not None:
+            return be.bootstrap(args[0], op.attrs.get("target_level"),
+                                bsgs_giant=giant)
         return be.bootstrap(args[0], op.attrs.get("target_level"))
     if code == "ckks.encode":
         return _cached_encode(be, args[0], op.attrs["scale"],

@@ -206,6 +206,7 @@ class ModelRegistry:
         repack: bool = False,
         align_levels: bool = False,
         eval_keys: bytes | None = None,
+        layout_tune: str | None = None,
     ) -> ModelEntry:
         """Compile ``model`` and cache every serving artifact for it.
 
@@ -233,6 +234,12 @@ class ModelRegistry:
                 keys, never holds a secret, and cannot mint keys — the
                 blob must already contain the program's rotation steps
                 *and* the slot-batching steps.
+            layout_tune: layout/BSGS autotuning mode for the compile
+                (``off``/``heuristic``/``search``); None keeps the
+                options' own setting.  ``search`` spends extra compile
+                time once at registration and serves the tuned program
+                (rotation keys are re-derived after tuning, so the
+                served key set always matches).
         """
         if isinstance(model, (str, Path)):
             model = load_model(model)
@@ -248,6 +255,8 @@ class ModelRegistry:
         options = options or CompileOptions(
             bootstrap_enabled=False, poly_mode="off")
         options.exact_params = params
+        if layout_tune is not None:
+            options.layout_tune = layout_tune
         program = self._compile_with_batch_fallback(model, options,
                                                     params, max_batch)
         cipher_basis, key_basis = params.make_bases()

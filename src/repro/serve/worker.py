@@ -44,6 +44,7 @@ bounded request queue:
 from __future__ import annotations
 
 import itertools
+import os
 import queue
 import threading
 import time
@@ -77,6 +78,28 @@ from repro.serve.metrics import Metrics, SlidingWindow
 from repro.serve.registry import ModelEntry
 
 _SENTINEL = object()
+
+
+def tune_job_budget(cpu_count: int, max_width: int | None,
+                    occupancy: float | None, max_batch: int) -> int:
+    """Auto-size the shared executor budget (ROADMAP: jobs x batching).
+
+    Executor jobs and slot batching compete for the same cores: a wide
+    schedule wants many executor threads per batch, while good slot
+    batching means few concurrent batches.  The budget that keeps the
+    machine busy without oversubscribing is roughly
+
+        ``schedule max_width  x  expected concurrent executions``
+
+    where the expected concurrency is ``max_batch / observed mean
+    occupancy`` — full batches mean one execution absorbs the whole
+    arrival stream, empty ones mean up to ``max_batch`` singletons in
+    flight.  Clamped to ``[1, cpu_count]``.
+    """
+    width = max(1, int(max_width or 1))
+    occ = occupancy if occupancy and occupancy > 0 else 1.0
+    concurrent = max(1.0, max_batch / occ)
+    return max(1, min(cpu_count, int(round(width * concurrent))))
 
 
 @dataclass
@@ -119,7 +142,7 @@ class InferenceWorker:
         queue_size: int = 64,
         max_wait_s: float = 0.005,
         request_timeout_s: float = 30.0,
-        exec_jobs: int | None = None,
+        exec_jobs: int | str | None = None,
         exec_watchdog_s: float | None = None,
         breaker_failures: int = 5,
         breaker_reset_s: float = 30.0,
@@ -157,6 +180,10 @@ class InferenceWorker:
         # deadline-aware linger cap in _collect_batch
         self._exec_ewma: dict[str, float] = {}
         self._ewma_lock = threading.Lock()
+        # exec_jobs="auto": retune the shared budget from each model's
+        # schedule width and the observed batch occupancy (EWMA)
+        self._model_widths: dict[str, int] = {}
+        self._occupancy_ewma: float | None = None
         # successes that beat their deadline, for serve_goodput_rps
         self._goodput = SlidingWindow(window_s=shed_window_s)
         self._goodput_lock = threading.Lock()
@@ -165,9 +192,16 @@ class InferenceWorker:
         # total (serve threads x executor threads) stays bounded by
         # exec_jobs: concurrent batches degrade toward sequential
         # execution instead of oversubscribing the machine.
-        self.exec_jobs = resolve_jobs(exec_jobs)
+        # exec_jobs="auto" starts the budget at the core count and lets
+        # _tune_exec_budget retarget it from schedule width x occupancy.
+        self.exec_autotune = exec_jobs == "auto"
+        if self.exec_autotune:
+            self.exec_jobs = os.cpu_count() or 1
+        else:
+            self.exec_jobs = resolve_jobs(exec_jobs)
         self.exec_budget = (
-            JobBudget(self.exec_jobs) if self.exec_jobs > 1 else None
+            JobBudget(self.exec_jobs)
+            if self.exec_jobs > 1 or self.exec_autotune else None
         )
         self._queue: queue.Queue = queue.Queue(maxsize=queue_size)
         self._ids = itertools.count(1)
@@ -401,6 +435,32 @@ class InferenceWorker:
             self._exec_ewma[entry.model_id] = (
                 elapsed if old is None else 0.7 * old + 0.3 * elapsed)
 
+    def _tune_exec_budget(self, entry: ModelEntry) -> None:
+        """Retarget the shared executor budget before an execution.
+
+        Only active with ``exec_jobs="auto"``: combines the widest
+        registered schedule (``program.stats["schedule"]["max_width"]``)
+        with the occupancy EWMA via :func:`tune_job_budget` and resizes
+        the live :class:`JobBudget` — outstanding grants are untouched.
+        """
+        if not self.exec_autotune or self.exec_budget is None:
+            return
+        sched = (getattr(entry.program, "stats", None) or {}).get(
+            "schedule") or {}
+        try:
+            width = max(1, int(sched.get("max_width") or 1))
+        except (TypeError, ValueError):
+            width = 1
+        with self._ewma_lock:
+            self._model_widths[entry.model_id] = width
+            widest = max(self._model_widths.values())
+            occupancy = self._occupancy_ewma
+        limit = tune_job_budget(os.cpu_count() or 1, widest, occupancy,
+                                entry.max_batch)
+        if limit != self.exec_budget.limit:
+            self.exec_budget.resize(limit)
+        self.metrics.set_gauge("serve_exec_budget_limit", limit)
+
     def breaker(self, entry: ModelEntry) -> CircuitBreaker:
         """The (lazily created) circuit breaker guarding ``entry``.
 
@@ -438,6 +498,7 @@ class InferenceWorker:
 
     def _execute(self, batch: list[PendingRequest]) -> None:
         entry = batch[0].entry
+        self._tune_exec_budget(entry)
         started = time.monotonic()
         try:
             results = execute_batch(entry, batch, jobs=self.exec_jobs,
@@ -459,6 +520,11 @@ class InferenceWorker:
         self._update_exec_estimate(entry, finished - started)
         self.metrics.inc("serve_batches_total")
         self.metrics.observe("serve_batch_occupancy", len(batch))
+        with self._ewma_lock:
+            old = self._occupancy_ewma
+            self._occupancy_ewma = (
+                float(len(batch)) if old is None
+                else 0.7 * old + 0.3 * len(batch))
         self.metrics.observe("serve_batch_exec_s", finished - started)
         for req, result in zip(batch, results):
             latency = finished - req.enqueued_at

@@ -1,0 +1,285 @@
+"""Layout & BSGS autotuning tests (passes.layout_tune + driver wiring).
+
+The contract under test: every candidate the tuner may pick decrypts to
+the same cleartext tensor as the heuristic lowering; the search only
+reorganises work, never changes results.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ckks import CkksParameters
+from repro.compiler import ACECompiler, CompileOptions
+from repro.errors import ReproError
+from repro.onnx import OnnxGraphBuilder, load_model_bytes, model_to_bytes
+from repro.passes.frontend import onnx_to_nn
+from repro.passes.layout import (
+    LayoutPlan,
+    bsgs_giant_candidates,
+    candidate_layouts,
+)
+from repro.passes.layout_tune import enumerate_choices, search_plan
+from repro.passes.nn_opt import nn_operator_fusion
+
+
+def _gemm_model(o_count=48, f_count=48, seed=0):
+    rng = np.random.default_rng(seed)
+    builder = OnnxGraphBuilder("gemm")
+    builder.add_input("x", [1, f_count])
+    builder.add_initializer(
+        "w", (rng.normal(size=(o_count, f_count)) * 0.3).astype(np.float32))
+    builder.add_initializer(
+        "b", rng.normal(size=(o_count,)).astype(np.float32))
+    builder.add_node("Gemm", ["x", "w", "b"], outputs=["output"], transB=1)
+    builder.add_output("output", [1, o_count])
+    return load_model_bytes(model_to_bytes(builder.build()))
+
+
+def _conv_model(seed=0):
+    """conv(stride 2, 2->4 ch) -> global avg pool -> gemm: every layer
+    kind the tuner enumerates, at a depth that fits 4 levels."""
+    rng = np.random.default_rng(seed)
+    builder = OnnxGraphBuilder("convnet")
+    builder.add_input("x", [1, 2, 8, 8])
+    w = (rng.normal(size=(4, 2, 3, 3)) * 0.4).astype(np.float32)
+    cur = builder.add_node("Conv", ["x", builder.add_initializer("w", w)],
+                           strides=[2, 2], pads=[1, 1, 1, 1],
+                           kernel_shape=[3, 3])
+    cur = builder.add_node("GlobalAveragePool", [cur])
+    cur = builder.add_node("Flatten", [cur], axis=1)
+    fw = (rng.normal(size=(3, 4)) * 0.4).astype(np.float32)
+    fb = rng.normal(size=(3,)).astype(np.float32)
+    builder.add_node("Gemm", [cur, builder.add_initializer("fw", fw),
+                              builder.add_initializer("fb", fb)],
+                     outputs=["output"], transB=1)
+    builder.add_output("output", [1, 3])
+    return load_model_bytes(model_to_bytes(builder.build()))
+
+
+def _fused(model):
+    module = onnx_to_nn(model)
+    nn_operator_fusion(module, {})
+    return module
+
+
+def _override_plans(model, slots):
+    """One single-override LayoutPlan per non-default candidate choice."""
+    choices = enumerate_choices(_fused(model), slots)
+    return [(key, choice)
+            for key, per_layer in choices
+            for choice in per_layer[1:]]
+
+
+MODELS = {
+    "gemm": (_gemm_model, (1, 48), 256),
+    "conv": (_conv_model, (1, 2, 8, 8), 128),
+}
+
+
+@pytest.mark.parametrize("kind", sorted(MODELS))
+def test_every_candidate_matches_heuristic_sim(kind):
+    """Each enumerated candidate decrypts to the heuristic's cleartext
+    (noiseless simulation, 4 executor jobs)."""
+    make, shape, slots = MODELS[kind]
+    model = make()
+    x = np.random.default_rng(1).normal(size=shape) * 0.5
+    plans = _override_plans(model, slots)
+    assert plans, "tuner enumerated no candidates for this model"
+
+    def run(plan):
+        program = ACECompiler(model, CompileOptions(
+            poly_mode="off", slots=slots, layout_plan=plan)).compile()
+        backend = program.make_sim_backend(seed=0, inject_noise=False)
+        return program.run(backend, x, check_plan=False, jobs=4)[0].ravel()
+
+    expected = run(None)
+    for key, choice in plans:
+        got = run(LayoutPlan({key: choice}))
+        assert np.allclose(got, expected, atol=1e-6), (
+            f"candidate {key}={choice} diverged from the heuristic")
+
+
+def test_every_candidate_matches_heuristic_exact():
+    """Same contract on the real RNS-CKKS backend (conv model)."""
+    model = _conv_model()
+    params = CkksParameters(poly_degree=256, scale_bits=30,
+                            first_prime_bits=40, num_levels=6)
+    x = np.random.default_rng(2).normal(size=(1, 2, 8, 8)) * 0.5
+    plans = _override_plans(model, params.num_slots)
+
+    def run(plan):
+        program = ACECompiler(model, CompileOptions(
+            poly_mode="off", exact_params=params, bootstrap_enabled=False,
+            layout_plan=plan)).compile()
+        backend = program.make_exact_backend(params, seed=3)
+        return program.run(backend, x, jobs=4)[0].ravel()
+
+    expected = run(None)
+    for key, choice in plans:
+        got = run(LayoutPlan({key: choice}))
+        assert np.allclose(got, expected, atol=1e-2), (
+            f"candidate {key}={choice} diverged on the exact backend")
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    c=st.sampled_from([1, 2, 3, 4]),
+    h=st.sampled_from([2, 4, 8]),
+    slots_factor=st.sampled_from([1, 2, 4]),
+)
+def test_candidate_layouts_injective_and_bounded(c, h, slots_factor):
+    shape = (c, h, h)
+    slots = int(np.prod(shape)) * slots_factor
+    layouts = candidate_layouts(shape, slots)
+    assert "dense" in layouts
+    for name, layout in layouts.items():
+        flat = layout.positions.ravel()
+        assert flat.size == c * h * h, name
+        assert len(np.unique(flat)) == flat.size, f"{name} collides"
+        assert 0 <= flat.min() and flat.max() < slots, f"{name} overflows"
+
+
+@settings(max_examples=50, deadline=None)
+@given(n=st.integers(1, 4096))
+def test_bsgs_giant_candidates_in_range(n):
+    cands = bsgs_giant_candidates(n)
+    assert cands == sorted(set(cands))
+    assert all(1 <= g <= n for g in cands)
+
+
+def test_search_mode_improves_predicted_cost():
+    model = _gemm_model(48, 48)
+    program = ACECompiler(model, CompileOptions(
+        poly_mode="off", slots=256, layout_tune="search")).compile()
+    layout = program.stats["layout"]
+    assert layout["mode"] == "search"
+    predicted = layout["predicted_vector_seconds"]
+    assert predicted["chosen"] <= predicted["heuristic"]
+    # the dedup heuristic pays ~95 rotations here; the search must find
+    # the BSGS plan (~15 rotations)
+    assert layout["plan"], "search adopted no override on the BSGS model"
+    assert layout["adopted"] is True
+    assert layout["predicted_seconds"] > 0
+    assert layout["schedule_max_width"] >= 1
+    # the final-cost guard priced both lowered programs and kept the win
+    final = layout["predicted_final_seconds"]
+    assert final["chosen"] <= final["heuristic"]
+    assert "reverted_by_final_cost" not in layout
+
+
+def test_off_and_heuristic_bit_identical():
+    model = _gemm_model(48, 48)
+    x = np.random.default_rng(4).normal(size=(1, 48)) * 0.5
+    outs = {}
+    for mode in ("off", "heuristic"):
+        program = ACECompiler(model, CompileOptions(
+            poly_mode="off", slots=256, layout_tune=mode)).compile()
+        backend = program.make_sim_backend(seed=5)  # with injected noise:
+        # identical bits require identical op structure, not just values
+        outs[mode] = program.run(backend, x, check_plan=False)[0]
+    assert np.array_equal(outs["off"], outs["heuristic"])
+
+
+def test_heuristic_mode_records_stats_without_plan():
+    model = _gemm_model(8, 8)
+    program = ACECompiler(model, CompileOptions(
+        poly_mode="off", slots=64)).compile()  # default mode
+    layout = program.stats["layout"]
+    assert layout["mode"] == "heuristic"
+    assert "plan" not in layout
+    assert layout["predicted_seconds"] > 0
+    info = program.note_measured_seconds(2.0 * layout["predicted_seconds"])
+    assert info["measured_seconds"] == pytest.approx(
+        2.0 * layout["predicted_seconds"])
+    assert info["predicted_over_measured"] == pytest.approx(0.5)
+
+
+def test_unknown_layout_tune_mode_rejected():
+    from repro.errors import CompileError
+
+    with pytest.raises(CompileError):
+        ACECompiler(_gemm_model(8, 8), CompileOptions(
+            poly_mode="off", slots=64, layout_tune="fancy")).compile()
+
+
+def test_calibration_memoised_and_copy_private():
+    from repro.evalharness import costmodel
+
+    costmodel._calibration_memo.clear()
+    a = costmodel.CostModel.calibrated(512, 1, sample_degree=64)
+    assert len(costmodel._calibration_memo) == 1
+    b = costmodel.CostModel.calibrated(512, 1, sample_degree=64)
+    assert len(costmodel._calibration_memo) == 1
+    assert a is not b and a == b
+    a.c_ntt = 123.0  # mutating a caller copy must not poison the memo
+    c = costmodel.CostModel.calibrated(512, 1, sample_degree=64)
+    assert c.c_ntt != 123.0
+
+
+def test_search_plan_respects_eval_budget():
+    nn = _fused(_gemm_model(48, 48))
+    from repro.evalharness.costmodel import CostModel
+
+    model = CostModel(poly_degree=512)
+    options = CompileOptions(poly_mode="off", slots=256)
+    result = search_plan(nn, 256, options, model, jobs=1, max_evals=1)
+    assert result.info["candidates_evaluated"] == 1
+    assert result.info["search_truncated"] is True
+
+
+# -- serving axis ----------------------------------------------------------
+
+
+def test_tune_job_budget_formula():
+    from repro.serve.worker import tune_job_budget
+
+    # full batching: one concurrent execution of width 4
+    assert tune_job_budget(8, 4, 4.0, 4) == 4
+    # no batching: four singleton executions want 16, clamped to cores
+    assert tune_job_budget(8, 4, 1.0, 4) == 8
+    # narrow host clamps everything
+    assert tune_job_budget(2, 16, None, 4) == 2
+    # sequential schedule, no batching: one job is enough
+    assert tune_job_budget(8, 1, 1.0, 1) == 1
+
+
+def test_job_budget_resize():
+    from repro.runtime.executor import JobBudget
+
+    budget = JobBudget(4)
+    got = budget.acquire(3)
+    assert got == 3
+    budget.resize(2)  # shrink below what is outstanding
+    assert budget.limit == 2
+    assert budget.acquire(4) == 1  # guaranteed minimum while in debt
+    budget.release(1)
+    budget.release(got)
+    assert budget.available == 2  # clamped at the new limit
+    budget.resize(6)
+    assert budget.acquire(6) == 6
+    with pytest.raises(ReproError):
+        budget.resize(0)
+
+
+def test_worker_auto_budget_tracks_schedule_width():
+    from repro.serve.worker import InferenceWorker
+
+    worker = InferenceWorker(num_threads=1, exec_jobs="auto")
+    try:
+        assert worker.exec_autotune
+        assert worker.exec_budget is not None
+
+        class _Entry:
+            model_id = "m"
+            max_batch = 1
+
+            class program:
+                stats = {"schedule": {"max_width": 2}}
+
+        worker._tune_exec_budget(_Entry())
+        assert worker.exec_budget.limit == min(
+            2, worker.exec_jobs)  # width 2, no batching, clamped to cores
+    finally:
+        worker.close()

@@ -95,3 +95,42 @@ def test_wrong_slot_count_rejected(ctx):
     ct = ctx.encrypt(np.ones(SLOTS))
     with pytest.raises(ParameterError):
         lt.apply(ctx.evaluator, ct)
+
+
+@pytest.mark.parametrize("giant", [2, 8, 16])
+def test_per_transform_giant_equivalent(ctx, giant):
+    """Any divisor split computes the same product as the sqrt default."""
+    rng = np.random.default_rng(5)
+    matrix = rng.normal(size=(SLOTS, SLOTS)) / SLOTS
+    vec = rng.uniform(-1, 1, size=SLOTS)
+    lt = LinearTransform(matrix, giant=giant)
+    assert lt.giant == giant and lt.baby == SLOTS // giant
+    got = ctx.decrypt(lt.apply(ctx.evaluator, ctx.encrypt(vec)), SLOTS)
+    assert np.allclose(got, matrix @ vec, atol=1e-2)
+
+
+def test_non_divisor_giant_rejected():
+    with pytest.raises(ParameterError):
+        LinearTransform(np.eye(32), giant=5)
+
+
+def test_missing_rotation_keys_warn_once():
+    """A transform whose split needs keys the evaluator lacks warns once,
+    then still computes the right answer via composed rotations."""
+    import warnings
+
+    params = CkksParameters(poly_degree=N, scale_bits=30,
+                            first_prime_bits=40, num_levels=3)
+    # default key set = powers of two only; giant=8 needs steps 3,5,6,7
+    context = CkksContext(params, rotation_steps=None, seed=11)
+    rng = np.random.default_rng(6)
+    matrix = rng.normal(size=(SLOTS, SLOTS)) / SLOTS
+    vec = rng.uniform(-1, 1, size=SLOTS)
+    lt = LinearTransform(matrix, giant=8)
+    with pytest.warns(RuntimeWarning, match="rotation keys"):
+        out = lt.apply(context.evaluator, context.encrypt(vec))
+    assert np.allclose(context.decrypt(out, SLOTS), matrix @ vec, atol=1e-2)
+    assert context.evaluator.rotation_fallback_count > 0
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")  # the second apply must stay silent
+        lt.apply(context.evaluator, context.encrypt(vec))
